@@ -1,0 +1,97 @@
+"""Experiments F1 + L2.5: MPX decomposition structure and build cost.
+
+F1 (Figure 1): cluster radii are O(log(n)/beta) and the cut-edge
+fraction is O(beta) — printed for a beta sweep.
+
+L2.5 (Lemma 2.5): the distributed construction uses 4 log(n)/beta
+Local-Broadcasts, and every vertex participates in at most that many.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.clustering import distributed_mpx, mpx_clustering
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+from conftest import run_once
+
+BETAS = [1 / 2, 1 / 4, 1 / 8, 1 / 16]
+
+
+def test_figure1_structure(benchmark):
+    """F1: radius and cut fraction vs beta on a grid."""
+
+    def run():
+        g = topology.grid_graph(24, 24)
+        rows = []
+        for beta in BETAS:
+            radii, cuts, counts = [], [], []
+            for seed in range(5):
+                c = mpx_clustering(g, beta, seed=seed)
+                radii.append(c.max_layer)
+                cuts.append(c.cut_fraction(g))
+                counts.append(len(c.members))
+            rows.append(
+                [
+                    f"1/{round(1/beta)}",
+                    sum(counts) / len(counts),
+                    sum(radii) / len(radii),
+                    c.shifts.params.horizon,
+                    round(sum(cuts) / len(cuts), 4),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["beta", "clusters", "mean max radius", "radius bound", "cut fraction"],
+            rows,
+            title="F1: MPX decomposition structure (24x24 grid, 5 seeds)",
+        )
+    )
+    # Cut fraction decreases as beta decreases (O(beta) scaling).
+    fractions = [r[4] for r in rows]
+    assert fractions[-1] < fractions[0]
+    # Radii respect the horizon bound.
+    for r in rows:
+        assert r[2] <= r[3]
+
+
+def test_lemma25_build_cost(benchmark):
+    """L2.5: per-vertex LB participations <= T = O(log n / beta)."""
+
+    def run():
+        g = topology.random_geometric(300, seed=3)
+        rows = []
+        for beta in (1 / 2, 1 / 4, 1 / 8):
+            lbg = PhysicalLBGraph(g, seed=0)
+            c = distributed_mpx(lbg, beta, seed=1)
+            horizon = c.shifts.params.horizon
+            rows.append(
+                [
+                    f"1/{round(1/beta)}",
+                    horizon,
+                    lbg.ledger.max_lb(),
+                    round(lbg.ledger.mean_lb(), 1),
+                    lbg.ledger.lb_rounds,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["beta", "T (bound)", "max LB/vertex", "mean LB/vertex", "LB rounds"],
+            rows,
+            title="L2.5: distributed clustering cost (geometric n~300)",
+        )
+    )
+    for r in rows:
+        assert r[2] <= r[1]  # max participation within the lemma bound
+        assert r[4] == r[1]  # exactly T rounds

@@ -1,0 +1,65 @@
+"""Experiment L2.4: the Decay Local-Broadcast primitive.
+
+Lemma 2.4: time/energy ``O(log Delta log 1/f)``; senders ``O(log 1/f)``;
+success probability ``>= 1 - f`` per receiver with a sending neighbor.
+Sweeps the degree ``Delta`` (stars) and target ``f``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.primitives import DecayParameters, run_decay_local_broadcast
+from repro.radio import RadioNetwork, message_of_ints, topology
+
+from conftest import run_once
+
+
+def test_decay_scaling(benchmark):
+    def run():
+        rows = []
+        for delta in (4, 16, 64):
+            for f in (1 / 16, 1 / 256):
+                g = topology.star_graph(delta)
+                params = DecayParameters.for_network(delta, f)
+                wins = 0
+                sender_energy = 0
+                trials = 25
+                for s in range(trials):
+                    net = RadioNetwork(g)
+                    messages = {
+                        leaf: message_of_ints(leaf, leaf)
+                        for leaf in range(1, delta + 1)
+                    }
+                    out = run_decay_local_broadcast(
+                        net, messages, [0], failure_probability=f, seed=s
+                    )
+                    wins += int(0 in out)
+                    sender_energy = max(
+                        sender_energy, net.ledger.device(1).transmit_slots
+                    )
+                rows.append(
+                    [
+                        delta,
+                        f"1/{round(1/f)}",
+                        params.total_slots,
+                        sender_energy,
+                        f"{wins}/{trials}",
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["Delta", "f", "slots (O(logD log1/f))", "max sender slots", "successes"],
+            rows,
+            title="L2.4: Decay Local-Broadcast (star graphs, hub receiver)",
+        )
+    )
+    for r in rows:
+        wins, trials = map(int, r[4].split("/"))
+        assert wins >= trials - 3  # success prob >= 1 - f, f <= 1/16
+        assert r[3] <= DecayParameters.for_network(r[0], 1 / 256).iterations

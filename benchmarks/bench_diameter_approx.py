@@ -1,0 +1,106 @@
+"""Experiments T5.3 + T5.4: diameter approximation quality and energy.
+
+T5.3: the 2-approximation (leader BFS + Find Maximum) returns
+``D' in [diam/2, diam]`` with one BFS worth of energy.
+
+T5.4: the nearly-3/2 approximation returns
+``D' in [floor(2 diam/3), diam]`` using ``O~(sqrt n)`` BFS runs — its
+energy scales with ``sqrt(n)`` times one BFS, far below the
+``Omega(n)``-energy exact computation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.analysis import format_table
+from repro.core import BFSParameters
+from repro.diameter import three_halves_diameter, two_approx_diameter
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+from conftest import run_once
+
+
+FAMILIES = [
+    ("grid-10x14", lambda: topology.grid_graph(10, 14)),
+    ("path-120", lambda: topology.path_graph(120)),
+    ("geometric-200", lambda: topology.random_geometric(200, seed=6)),
+    ("tree-150", lambda: topology.random_tree(150, seed=7)),
+]
+
+
+def test_approximation_quality(benchmark):
+    def run():
+        rows = []
+        params = BFSParameters(beta=1 / 4, max_depth=1)
+        for name, maker in FAMILIES:
+            g = maker()
+            true_d = nx.diameter(g)
+            two = two_approx_diameter(
+                PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=1
+            )
+            th = three_halves_diameter(
+                PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=1
+            )
+            rows.append(
+                [
+                    name,
+                    true_d,
+                    two.estimate,
+                    th.estimate,
+                    two.max_lb_energy,
+                    th.max_lb_energy,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["family", "diam", "2-approx D'", "3/2-approx D'",
+             "2-approx max LB", "3/2-approx max LB"],
+            rows,
+            title="T5.3/T5.4: diameter approximations",
+        )
+    )
+    for r in rows:
+        true_d, two_est, th_est = r[1], r[2], r[3]
+        assert true_d / 2 <= two_est <= true_d
+        assert (2 * true_d) // 3 <= th_est <= true_d
+        assert th_est >= two_est - 1  # more BFS runs never hurt (mod leader draw)
+
+
+def test_energy_ordering(benchmark):
+    """2-approx << 3/2-approx << exact, in max per-device energy."""
+
+    def run():
+        g = topology.grid_graph(10, 10)
+        true_d = nx.diameter(g)
+        params = BFSParameters(beta=1 / 4, max_depth=1)
+        two = two_approx_diameter(
+            PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=2
+        )
+        th = three_halves_diameter(
+            PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=2
+        )
+        from repro.diameter import exact_diameter
+
+        exact_lbg = PhysicalLBGraph(g, seed=0)
+        exact = exact_diameter(exact_lbg, true_d + 2, seed=2)
+        return two, th, exact
+
+    two, th, exact = run_once(benchmark, run)
+    print(
+        f"\nT5.3/5.4 energy ordering (10x10 grid): "
+        f"2-approx={two.max_lb_energy}  3/2-approx={th.max_lb_energy}  "
+        f"exact={exact.max_lb_energy}"
+    )
+    assert two.max_lb_energy < th.max_lb_energy
+    # Exact runs n BFS with everyone listening: the per-BFS listening
+    # alone exceeds the 2-approx total.
+    assert exact.max_lb_energy > two.max_lb_energy

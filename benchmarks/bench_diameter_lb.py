@@ -1,0 +1,60 @@
+"""Experiment T5.1: the Omega(n) lower bound for (2-eps)-approx diameter.
+
+Prints, for an ``n`` sweep: the counting-argument minimum energy
+``(1 - 2f)(n-1)/4``, and the measured energy of the concrete
+pair-probing distinguisher (always correct) — both linear in ``n``,
+bracketing the true complexity from below and above.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.diameter import (
+    PairProbingProtocol,
+    failure_probability_bound,
+    hard_instance,
+    minimum_energy_bound,
+)
+
+from conftest import run_once
+
+SIZES = [16, 32, 64, 128]
+
+
+def test_theorem51_energy_scaling(benchmark):
+    def run():
+        rows = []
+        proto = PairProbingProtocol()
+        for n in SIZES:
+            inst = hard_instance(n, seed=n)
+            report = proto.run(inst)
+            assert report.correct
+            rows.append(
+                [
+                    n,
+                    round(minimum_energy_bound(n, 0.25), 1),
+                    report.max_slot_energy,
+                    round(failure_probability_bound(n, (n - 1) / 16), 3),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["n", "LB energy (f=1/4)", "probing energy (measured)",
+             "P(fail) at E=(n-1)/16"],
+            rows,
+            title="T5.1: K_n vs K_n-e — energy is Theta(n)",
+        )
+    )
+    # Linear scaling of both the bound and the measured distinguisher.
+    for (a, b) in zip(rows, rows[1:]):
+        assert b[1] / a[1] > 1.8  # bound ~ doubles with n
+        assert b[2] / a[2] > 1.7  # measured ~ doubles with n
+    # At energy (n-1)/16 (half the bound's slope), failure prob stays >= 1/4.
+    for r in rows:
+        assert r[3] >= 0.25 - 1e-9

@@ -1,0 +1,90 @@
+"""Experiment T5.2: the sparse (3/2-eps)-approx lower bound.
+
+Validates the set-disjointness construction over a ``k`` sweep —
+diameter dichotomy (2 iff disjoint), O(log n) arboricity, vertex count
+~ 2(k + log k) — and prints the reduction's implied energy bound
+``Omega(k / log^2 k)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.diameter import (
+    build_lower_bound_graph,
+    energy_lower_bound,
+    random_instance,
+    reduction_bits,
+)
+
+from conftest import run_once
+
+KS = [32, 128, 512]
+
+
+def test_theorem52_construction_sweep(benchmark):
+    def run():
+        rows = []
+        for k in KS:
+            for force, want in ((False, 2), (True, 3)):
+                inst = random_instance(k, force_intersection=force, seed=k)
+                if not inst.set_a or not inst.set_b:
+                    continue
+                lb = build_lower_bound_graph(inst)
+                rows.append(
+                    [
+                        k,
+                        "disjoint" if force is False else "intersecting",
+                        lb.n,
+                        lb.diameter(),
+                        want,
+                        lb.arboricity_bound(),
+                        round(energy_lower_bound(k), 1),
+                    ]
+                )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["k", "instance", "n", "diameter", "expected", "arboricity<=",
+             "energy LB ~k/log^2 k"],
+            rows,
+            title="T5.2: set-disjointness lower-bound graphs",
+        )
+    )
+    for r in rows:
+        assert r[3] == r[4]  # diameter dichotomy
+        assert r[5] <= 3 * math.log2(r[2]) + 3  # sparse
+
+    # The energy bound grows superlinearly in k/log^2 k fashion.
+    bounds = [r[6] for r in rows if r[1] == "disjoint"]
+    assert bounds[-1] > 4 * bounds[0]
+
+
+def test_reduction_bit_accounting(benchmark):
+    def run():
+        rows = []
+        for k in KS:
+            e = energy_lower_bound(k)
+            public = 2 * math.log2(k) + 2
+            slots = math.ceil(public * e)
+            cost = reduction_bits(k, slots)
+            rows.append([k, round(e, 1), slots, cost.total_bits])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["k", "energy at bound", "public listener slots", "protocol bits"],
+            rows,
+            title="T5.2: reduction bit accounting (bits >= k at the bound)",
+        )
+    )
+    for r in rows:
+        assert r[3] >= r[0]

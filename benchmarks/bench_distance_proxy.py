@@ -1,0 +1,79 @@
+"""Experiments L2.2, L2.3, R2.1: the cluster graph as a distance proxy.
+
+L2.2: ``dist_G* in [floor(beta d / 8 log n), ceil(beta d) C log n]`` for
+all pairs.  L2.3: for long distances the upper bound tightens to
+``C beta d``.  R2.1: those bounds are tight up to constants on paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    check_distance_proxy,
+    format_table,
+    remark_21_tightness,
+)
+from repro.radio import topology
+
+from conftest import run_once
+
+
+def test_lemma22_23_bounds(benchmark):
+    def run():
+        rows = []
+        for name, g in [
+            ("path-500", topology.path_graph(500)),
+            ("grid-22x22", topology.grid_graph(22, 22)),
+            ("geometric-250", topology.random_geometric(250, seed=4)),
+        ]:
+            report = check_distance_proxy(
+                g, beta=1 / 8, trials=4, pairs_per_trial=50, seed=7
+            )
+            rows.append(
+                [
+                    name,
+                    report.trials * report.pairs_per_trial,
+                    report.lower_violations,
+                    report.upper_violations_22,
+                    report.upper_violations_23,
+                    round(report.max_normalized_upper, 3),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["family", "pairs", "lower viol.", "L2.2 viol.", "L2.3 viol.",
+             "max dist_G*/(beta d)"],
+            rows,
+            title="L2.2/L2.3: distance-proxy bounds (beta=1/8)",
+        )
+    )
+    for r in rows:
+        assert r[2] == 0 and r[3] == 0
+
+
+def test_remark21_tightness(benchmark):
+    def run():
+        rows = []
+        for beta in (1 / 4, 1 / 8):
+            mean, worst = remark_21_tightness(600, beta=beta, trials=8, seed=9)
+            rows.append([f"1/{round(1/beta)}", round(mean, 3), round(worst, 3)])
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["beta", "mean dist_G*/(beta d)", "max"],
+            rows,
+            title="R2.1: end-to-end normalized cluster distance (600-path)",
+        )
+    )
+    for r in rows:
+        # Theta(1): bounded away from 0 and from growing.
+        assert 0.02 <= r[1] <= 5.0
+        assert r[2] <= 10.0

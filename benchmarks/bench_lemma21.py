@@ -1,0 +1,53 @@
+"""Experiment L2.1: the ball-intersection tail bound.
+
+Lemma 2.1: ``P(#clusters intersecting Ball(v, l) > j) <=
+(1 - e^{-2 l beta})^j``.  Prints empirical tail vs bound for a (l, j)
+sweep; the bound must dominate up to Monte-Carlo noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_lemma_21, format_table
+from repro.radio import topology
+
+from conftest import run_once
+
+
+def test_lemma21_tail(benchmark):
+    def run():
+        g = topology.grid_graph(20, 20)
+        reports = []
+        for radius in (1, 2, 4):
+            reports.append(
+                check_lemma_21(
+                    g,
+                    beta=1 / 4,
+                    radius=radius,
+                    j_values=[1, 2, 4, 8],
+                    trials=10,
+                    seed=radius,
+                )
+            )
+        return g, reports
+
+    g, reports = run_once(benchmark, run)
+    rows = []
+    n_samples = 10 * g.number_of_nodes()
+    slack = 3.0 / n_samples**0.5
+    for report in reports:
+        for p in report.points:
+            rows.append(
+                [report.radius, p.j, round(p.empirical, 4), round(p.bound, 4)]
+            )
+    print()
+    print(
+        format_table(
+            ["radius l", "j", "empirical P(>j)", "lemma bound"],
+            rows,
+            title="L2.1: ball-intersection tail (20x20 grid, beta=1/4)",
+        )
+    )
+    for report in reports:
+        assert report.max_violation() <= slack

@@ -1,0 +1,67 @@
+"""The headline experiment at a glance: BFS energy vs network depth.
+
+Compares trivial wavefront BFS (energy = D) against Recursive-BFS on
+paths of growing length, printing the decomposed energy readings and
+the Claims 1-2 instrumentation (how many stages devices stay awake).
+
+Run:  python examples/energy_scaling.py [--depths 128 256 512 1024]
+"""
+
+import argparse
+
+from repro import BFSParameters, PhysicalLBGraph, RecursiveBFS, trivial_bfs
+from repro.analysis import format_table, headline_exponent, predicted_energy
+from repro.radio import topology
+
+
+def run_one(n: int):
+    g = topology.path_graph(n)
+    depth = n - 1
+
+    triv = PhysicalLBGraph(g, seed=0)
+    trivial_bfs(triv, [0], depth)
+
+    rec = PhysicalLBGraph(g, seed=0)
+    params = BFSParameters(beta=1 / 16, max_depth=1)
+    rb = RecursiveBFS(params, seed=1)
+    labels = rb.compute(rec, [0], depth)
+    assert all(labels[v] == v for v in g)
+    s = rb.stats
+    return [
+        depth,
+        triv.ledger.max_lb(),
+        rec.ledger.max_lb(),
+        max(s.wavefront_lb.values()),
+        f"{s.max_awake_stages()}/{s.stage_count}",
+        s.max_special_updates(),
+    ]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--depths", type=int, nargs="+",
+                        default=[128, 256, 512, 1024])
+    args = parser.parse_args(argv)
+
+    rows = [run_one(n) for n in args.depths]
+    print(format_table(
+        ["D", "trivial maxE", "recursive maxE (total)",
+         "recursive maxE (wavefront)", "awake/total stages", "max special upd"],
+        rows,
+        title="Theorem 4.1 mechanism: devices sleep through most stages",
+    ))
+    print()
+    n = max(args.depths)
+    print("Theorem 4.1 prediction for comparison: energy ~ polylog(n) * "
+          f"2^sqrt(log D log log n); at n=D={n} the exponent is "
+          f"{headline_exponent(n, n):.1f} "
+          f"(2^exp = {2**headline_exponent(n, n):.0f}), i.e. predicted "
+          f"~{predicted_energy(n, n):.0f} LB units — sub-polynomial in D, "
+          "while the trivial baseline pays exactly D.")
+    print("The asymptotic crossover requires astronomically large D (see")
+    print("EXPERIMENTS.md); at laptop scale the mechanism shows up as the")
+    print("saturating 'awake stages' and 'wavefront' columns above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""The paper's motivating scenario: a sensor field in a National Park.
+
+Sensors are scattered uniformly at random (a unit-disc radio network).
+We (1) compute a BFS labeling from a base-station sensor with
+Recursive-BFS, (2) verify it distributedly, and (3) use it to broadcast
+a "forest fire" alert from a random sensor with O(1) Local-Broadcast
+participations per device — versus the Theta(D)-energy naive flood.
+
+Run:  python examples/sensor_field.py
+"""
+
+import math
+
+from repro import BFSParameters, PhysicalLBGraph, RecursiveBFS, verify_labeling
+from repro.primitives import flooding_broadcast, labeled_broadcast
+from repro.radio import topology
+from repro.rng import make_rng
+
+
+def main() -> None:
+    rng = make_rng(2026)
+    field = topology.random_geometric(400, seed=rng)
+    n = field.number_of_nodes()
+    print(f"sensor field: {n} devices, "
+          f"max degree {max(d for _, d in field.degree)}")
+
+    base_station = 0
+    params = BFSParameters.for_instance(n=n, depth_budget=n)
+    bfs = RecursiveBFS(params, seed=rng)
+    lbg = PhysicalLBGraph(field, seed=3)
+    labels = bfs.compute(lbg, [base_station], depth_budget=n)
+    depth = int(max(d for d in labels.values() if math.isfinite(d)))
+    print(f"BFS labeling computed: {depth + 1} layers; "
+          f"max energy {lbg.ledger.max_lb()} LB units")
+
+    check = verify_labeling(PhysicalLBGraph(field, seed=4), labels, {base_station})
+    print(f"labeling verified: {check.ok}")
+
+    # A fire is detected by a random sensor; alert everyone.
+    origin = int(rng.integers(n))
+    int_labels = {v: int(d) for v, d in labels.items()}
+
+    scheduled = PhysicalLBGraph(field, seed=5)
+    result = labeled_broadcast(scheduled, int_labels, origin, "FIRE at sector 7")
+    print(f"label-scheduled broadcast from sensor {origin}: "
+          f"{len(result.informed)}/{n} informed, "
+          f"max energy {scheduled.ledger.max_lb()} LB units, "
+          f"{result.rounds} rounds")
+
+    naive = PhysicalLBGraph(field, seed=6)
+    flood = flooding_broadcast(naive, origin, "FIRE at sector 7", max_rounds=2 * depth + 4)
+    print(f"naive flood:                          "
+          f"{len(flood.informed)}/{n} informed, "
+          f"max energy {naive.ledger.max_lb()} LB units, "
+          f"{flood.rounds} rounds")
+
+    saving = naive.ledger.max_lb() / max(1, scheduled.ledger.max_lb())
+    print(f"=> the BFS labeling cuts per-device broadcast energy {saving:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

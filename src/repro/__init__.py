@@ -1,0 +1,56 @@
+"""repro: reproduction of "The Energy Complexity of BFS in Radio Networks".
+
+Chang, Dani, Hayes, Pettie (PODC 2020, arXiv:2007.09816).
+
+Quickstart
+----------
+>>> from repro import PhysicalLBGraph, BFSParameters, RecursiveBFS
+>>> from repro.radio import topology
+>>> g = topology.grid_graph(12, 12)
+>>> lbg = PhysicalLBGraph(g, seed=0)
+>>> params = BFSParameters.for_instance(n=g.number_of_nodes(), depth_budget=22)
+>>> labels = RecursiveBFS(params, seed=1).compute(lbg, sources=[0], depth_budget=22)
+>>> labels[0]
+0.0
+
+The package layout mirrors the paper:
+
+- :mod:`repro.radio` — the RN[b] slot-level model (Section 1.1);
+- :mod:`repro.primitives` — Decay / Local-Broadcast and sweeps
+  (Lemma 2.4, Section 5.1);
+- :mod:`repro.clustering` — MPX clustering, cluster graphs, casts, and
+  the G* simulation (Sections 2-3);
+- :mod:`repro.core` — Recursive-BFS (Section 4);
+- :mod:`repro.diameter` — diameter approximations and lower bounds
+  (Section 5);
+- :mod:`repro.analysis` — complexity predictions and lemma validators.
+"""
+
+from .core import (
+    BFSLabeling,
+    BFSParameters,
+    RecursiveBFS,
+    ZSequence,
+    trivial_bfs,
+    verify_labeling,
+)
+from .primitives import LBCostModel, LBGraph, PhysicalLBGraph
+from .radio import CollisionModel, EnergyLedger, RadioNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BFSLabeling",
+    "BFSParameters",
+    "CollisionModel",
+    "EnergyLedger",
+    "LBCostModel",
+    "LBGraph",
+    "PhysicalLBGraph",
+    "RadioNetwork",
+    "RecursiveBFS",
+    "ZSequence",
+    "trivial_bfs",
+    "verify_labeling",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Complexity predictions and empirical lemma validation."""
+
+from .complexity import (
+    RecurrenceModel,
+    crossover_depth,
+    headline_exponent,
+    predicted_energy,
+    predicted_time,
+)
+from .lemma_checks import (
+    Lemma21Report,
+    ProxyCheckReport,
+    check_distance_proxy,
+    check_lemma_21,
+    remark_21_tightness,
+)
+from .reporting import format_series, format_table
+
+__all__ = [
+    "Lemma21Report",
+    "ProxyCheckReport",
+    "RecurrenceModel",
+    "check_distance_proxy",
+    "check_lemma_21",
+    "crossover_depth",
+    "format_series",
+    "format_table",
+    "headline_exponent",
+    "predicted_energy",
+    "predicted_time",
+    "remark_21_tightness",
+]

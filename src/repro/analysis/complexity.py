@@ -1,0 +1,125 @@
+"""Closed-form complexity predictions (paper Theorem 4.1, Section 4.3).
+
+The paper's cost recurrences, in Local-Broadcast units:
+
+    En_r(D')  = O~(1) * En_{r+1}(O~(beta D')) + O~(beta^{-1})   (r < L)
+    En_L(D')  = D'
+    Time_r(D') = O(D') + O~(beta^{-1}) * sum_i Time_{r+1}(Z[i])  (r < L)
+    Time_L(D') = D'
+
+with ``beta = 2^{-sqrt(log D0 log log n)}`` and
+``L = sqrt(log D0 / log log n)``, giving
+
+    En_0(D0)   = O~(1) * 2^{O(sqrt(log D0 log log n))}
+    Time_0(D0) = O~(D0) * 2^{O(sqrt(log D0 log log n))}.
+
+These evaluators expose the recurrences with explicit constants so the
+benchmarks can compare measured level-by-level costs against the
+predicted shape (the honest way to validate an asymptotic claim at
+laptop scale — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+def headline_exponent(n: int, depth_budget: int) -> float:
+    """``sqrt(log2 D0 * log2 log2 n)`` — the exponent of Theorem 4.1."""
+    if n < 2 or depth_budget < 1:
+        raise ValueError("need n >= 2 and depth_budget >= 1")
+    log_d = max(1.0, math.log2(depth_budget))
+    log_log_n = max(1.0, math.log2(max(2.0, math.log2(n))))
+    return math.sqrt(log_d * log_log_n)
+
+
+def predicted_energy(n: int, depth_budget: int, polylog_constant: float = 1.0,
+                     polylog_power: float = 3.0) -> float:
+    """Theorem 4.1 energy prediction ``O~(1) * 2^{O(sqrt(log D log log n))}``.
+
+    The ``O~(1)`` is modelled as ``polylog_constant * log2(n)^polylog_power``
+    (the per-level simulation overhead is ``Theta(log^3 n)`` slots).
+    """
+    polylog = polylog_constant * max(1.0, math.log2(max(2, n))) ** polylog_power
+    return polylog * 2.0 ** headline_exponent(n, depth_budget)
+
+
+def predicted_time(n: int, depth_budget: int, polylog_constant: float = 1.0,
+                   polylog_power: float = 3.0) -> float:
+    """Theorem 4.1 time prediction ``O~(D) * 2^{O(sqrt(log D log log n))}``."""
+    return depth_budget * predicted_energy(
+        n, depth_budget, polylog_constant, polylog_power
+    )
+
+
+@dataclass(frozen=True)
+class RecurrenceModel:
+    """Explicit-constant evaluation of the Section 4.3 recurrences.
+
+    ``sim_overhead`` is the per-level multiplicative cost of simulating
+    one LB on the cluster graph (paper: ``O~(1)``; measured in this
+    implementation as roughly ``2 |S_C| + 1``); ``local_cost`` the
+    additive per-level term (clustering plus wavefront work, paper
+    ``O~(beta^{-1})``); ``shrink`` the per-level depth reduction factor
+    (paper ``O~(beta)``).
+    """
+
+    beta: float
+    depth: int  # recursion depth L
+    sim_overhead: float
+    local_cost: float
+    shrink: float
+
+    def energy(self, depth_budget: float, level: int = 0) -> float:
+        """Evaluate ``En_level(depth_budget)``."""
+        if level >= self.depth:
+            return depth_budget
+        return (
+            self.sim_overhead * self.energy(self.shrink * depth_budget, level + 1)
+            + self.local_cost
+        )
+
+    def best_depth(self, depth_budget: float, max_levels: int = 12) -> int:
+        """The recursion depth minimizing predicted energy for this budget."""
+        best_l, best_e = 0, float(depth_budget)
+        for l in range(1, max_levels + 1):
+            model = RecurrenceModel(
+                beta=self.beta,
+                depth=l,
+                sim_overhead=self.sim_overhead,
+                local_cost=self.local_cost,
+                shrink=self.shrink,
+            )
+            e = model.energy(depth_budget)
+            if e < best_e:
+                best_l, best_e = l, e
+        return best_l
+
+
+def crossover_depth(n: int, sim_overhead: float, local_cost: float,
+                    beta: float, levels: int = 1) -> float:
+    """Smallest ``D`` at which the recursive algorithm beats trivial BFS.
+
+    Solves ``sim_overhead^levels * (beta * proxy)^levels * D + overheads < D``
+    numerically by scanning powers of two; returns ``inf`` when the
+    per-level factor ``sim_overhead * beta`` exceeds 1 (the regime where
+    recursion cannot pay off — the situation at small scale that
+    EXPERIMENTS.md discusses).
+    """
+    model = RecurrenceModel(
+        beta=beta,
+        depth=levels,
+        sim_overhead=sim_overhead,
+        local_cost=local_cost,
+        shrink=beta * sim_overhead,
+    )
+    if model.shrink * model.sim_overhead >= 1.0:
+        return math.inf
+    d = 2.0
+    while d < 2.0**60:
+        if model.energy(d) < d:
+            return d
+        d *= 2.0
+    return math.inf

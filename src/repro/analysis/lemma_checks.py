@@ -1,0 +1,170 @@
+"""Monte-Carlo validation of the clustering lemmas (paper Section 2).
+
+Empirical counterparts of:
+
+- **Lemma 2.1** — ``P(#clusters meeting Ball(v, l) > j) <=
+  (1 - e^{-2 l beta})^j``;
+- **Lemma 2.2** — ``dist_{G*} in [floor(beta d / (8 log n)),
+  ceil(beta d) C log n]`` for every pair, w.h.p.;
+- **Lemma 2.3** — upper bound ``C beta d`` for
+  ``d = Omega(beta^{-1} log^2 n)``;
+- **Remark 2.1** — families where the Lemma 2.3 bounds are tight up to
+  constants.
+
+Each check returns a small report object consumed by tests and by the
+benchmark harness that regenerates the corresponding experiment rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..clustering.cluster_graph import (
+    ClusterGraph,
+    ball_cluster_counts,
+    check_proxy_bounds,
+    sample_distance_pairs,
+)
+from ..clustering.mpx import mpx_clustering
+from ..rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class TailCheckPoint:
+    """One (j, empirical tail, lemma bound) triple of Lemma 2.1."""
+
+    j: int
+    empirical: float
+    bound: float
+
+    @property
+    def respected(self) -> bool:
+        # Allow Monte-Carlo noise: two-sided slack of 3 std errors is
+        # applied by the caller; here strict comparison.
+        return self.empirical <= self.bound
+
+
+@dataclass(frozen=True)
+class Lemma21Report:
+    """Empirical tail of the ball-intersection count vs the lemma bound."""
+
+    beta: float
+    radius: int
+    trials: int
+    points: Tuple[TailCheckPoint, ...]
+
+    def max_violation(self) -> float:
+        """Largest (empirical - bound) gap; <= ~3 stderr means respected."""
+        return max((p.empirical - p.bound for p in self.points), default=0.0)
+
+
+def check_lemma_21(
+    graph: nx.Graph,
+    beta: float,
+    radius: int,
+    j_values: Sequence[int],
+    trials: int = 20,
+    seed: SeedLike = None,
+    radius_multiplier: float = 4.0,
+) -> Lemma21Report:
+    """Estimate ``P(#clusters meeting Ball(v, radius) > j)`` empirically.
+
+    Per trial, one clustering is drawn and the ball-cluster count of
+    every vertex measured; the empirical tail aggregates over vertices
+    and trials (the lemma's bound holds per vertex, so this is a fair
+    comparison).
+    """
+    rng = make_rng(seed)
+    samples: List[int] = []
+    for _ in range(trials):
+        clustering = mpx_clustering(
+            graph, beta, seed=rng, radius_multiplier=radius_multiplier
+        )
+        counts = ball_cluster_counts(graph, clustering, radius)
+        samples.extend(counts.values())
+    total = len(samples)
+    points = []
+    for j in j_values:
+        empirical = sum(1 for c in samples if c > j) / total
+        bound = (1.0 - math.exp(-2.0 * radius * beta)) ** j
+        points.append(TailCheckPoint(j=j, empirical=empirical, bound=bound))
+    return Lemma21Report(
+        beta=beta, radius=radius, trials=trials, points=tuple(points)
+    )
+
+
+@dataclass(frozen=True)
+class ProxyCheckReport:
+    """Aggregated Lemma 2.2/2.3 check over several clusterings."""
+
+    beta: float
+    trials: int
+    pairs_per_trial: int
+    lower_violations: int
+    upper_violations_22: int
+    upper_violations_23: int
+    max_normalized_upper: float  # max dist_G*/(beta d) over long pairs
+
+
+def check_distance_proxy(
+    graph: nx.Graph,
+    beta: float,
+    trials: int = 5,
+    pairs_per_trial: int = 50,
+    seed: SeedLike = None,
+    upper_constant: float = 4.0,
+    radius_multiplier: float = 4.0,
+) -> ProxyCheckReport:
+    """Run the Lemma 2.2/2.3 inequality checks over random clusterings."""
+    rng = make_rng(seed)
+    lower = upper22 = upper23 = 0
+    max_norm = 0.0
+    for _ in range(trials):
+        clustering = mpx_clustering(
+            graph, beta, seed=rng, radius_multiplier=radius_multiplier
+        )
+        cg = ClusterGraph.build(graph, clustering)
+        samples = sample_distance_pairs(cg, pairs_per_trial, seed=rng)
+        report = check_proxy_bounds(cg, samples, upper_constant=upper_constant)
+        lower += report.lower_violations
+        upper22 += report.upper_violations_22
+        upper23 += report.upper_violations_23
+        max_norm = max(max_norm, report.max_normalized_upper)
+    return ProxyCheckReport(
+        beta=beta,
+        trials=trials,
+        pairs_per_trial=pairs_per_trial,
+        lower_violations=lower,
+        upper_violations_22=upper22,
+        upper_violations_23=upper23,
+        max_normalized_upper=max_norm,
+    )
+
+
+def remark_21_tightness(
+    path_length: int,
+    beta: float,
+    trials: int = 10,
+    seed: SeedLike = None,
+) -> Tuple[float, float]:
+    """Remark 2.1: on long paths ``dist_G* / (beta d)`` is Theta(1).
+
+    Returns ``(mean, max)`` of the normalized end-to-end cluster
+    distance over ``trials`` clusterings of a path — both should be
+    bounded constants (neither ~0 nor growing), witnessing tightness.
+    """
+    rng = make_rng(seed)
+    graph = nx.path_graph(path_length)
+    ratios = []
+    d = path_length - 1
+    for _ in range(trials):
+        clustering = mpx_clustering(graph, beta, seed=rng)
+        cg = ClusterGraph.build(graph, clustering)
+        x = cg.cluster_distance(0, path_length - 1)
+        ratios.append(x / (beta * d))
+    return float(np.mean(ratios)), float(np.max(ratios))

@@ -1,0 +1,116 @@
+"""Shared slot subsets for interference-free casts (paper Lemma 3.1).
+
+To let neighboring clusters run Up-cast / Down-cast concurrently, each
+cluster center ``C`` samples a subset ``S_C ⊆ [ell]`` with
+``ell = Theta(contention * log n)``, including each index independently
+with probability ``1/contention``, and disseminates it to all members.
+Property (2) of the paper then holds w.h.p.: for every vertex ``v``
+there is a step ``j in S_{Cl(v)}`` that belongs to *no* neighboring
+cluster's subset — so in step ``j`` vertex ``v`` hears its own
+cluster's transmission without interference.
+
+``contention`` is the Lemma 2.1 bound on the number of clusters
+intersecting a closed neighborhood: the smallest ``j`` with
+``(1 - e^{-2 beta})^j <= n^{-2}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+
+def contention_bound(beta: float, n: int) -> int:
+    """Lemma 2.1 w.h.p. bound on clusters meeting ``N(v) ∪ {v}``.
+
+    Smallest ``j`` such that ``(1 - e^{-2 beta})^j <= n^{-2}``, i.e.
+    ``j = ceil(2 ln n / -ln(1 - e^{-2 beta}))`` (at least 2).
+    """
+    if not (0.0 < beta <= 1.0):
+        raise ConfigurationError(f"beta must be in (0, 1], got {beta}")
+    if n < 2:
+        return 2
+    p = 1.0 - math.exp(-2.0 * beta)
+    if p <= 0.0:
+        return 2
+    return max(2, math.ceil(2.0 * math.log(n) / -math.log(p)))
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """Per-cluster slot subsets ``S_C ⊆ [ell]``."""
+
+    ell: int
+    contention: int
+    subsets: Dict[Hashable, FrozenSet[int]]
+
+    @classmethod
+    def sample(
+        cls,
+        clusters: Iterable[Hashable],
+        beta: float,
+        n: int,
+        seed: SeedLike = None,
+        slot_multiplier: float = 3.0,
+    ) -> "SlotAssignment":
+        """Sample ``S_C`` for every cluster.
+
+        ``ell = ceil(slot_multiplier * contention * ln n)``; every index
+        enters ``S_C`` independently with probability ``1/contention``.
+        An empty draw is patched with one uniform index so each cluster
+        can always cast (the paper's w.h.p. conditioning).
+        """
+        if slot_multiplier <= 0:
+            raise ConfigurationError("slot_multiplier must be positive")
+        rng = make_rng(seed)
+        cont = contention_bound(beta, n)
+        ell = max(2, math.ceil(slot_multiplier * cont * math.log(max(2, n))))
+        subsets: Dict[Hashable, FrozenSet[int]] = {}
+        for cluster in clusters:
+            mask = rng.random(ell) < (1.0 / cont)
+            chosen = frozenset(int(j) for j in mask.nonzero()[0])
+            if not chosen:
+                chosen = frozenset({int(rng.integers(ell))})
+            subsets[cluster] = chosen
+        return cls(ell=ell, contention=cont, subsets=subsets)
+
+    def subset(self, cluster: Hashable) -> FrozenSet[int]:
+        """The slot subset of one cluster."""
+        return self.subsets[cluster]
+
+    def mean_size(self) -> float:
+        """Average ``|S_C|`` (expected ``ell / contention = Theta(log n)``)."""
+        if not self.subsets:
+            return 0.0
+        return sum(len(s) for s in self.subsets.values()) / len(self.subsets)
+
+
+def good_slot_fraction(
+    assignment: SlotAssignment,
+    quotient: nx.Graph,
+) -> float:
+    """Fraction of clusters with a private slot vs all quotient neighbors.
+
+    Empirical check of property (2): a cluster ``C`` is *good* if some
+    ``j in S_C`` avoids every neighboring cluster's subset.  The lemma
+    guarantees this for all clusters w.h.p.
+    """
+    clusters = list(assignment.subsets)
+    if not clusters:
+        return 1.0
+    good = 0
+    for c in clusters:
+        own = assignment.subsets[c]
+        neighbor_union = set()
+        if c in quotient:
+            for other in quotient.neighbors(c):
+                neighbor_union |= assignment.subsets.get(other, frozenset())
+        if own - neighbor_union:
+            good += 1
+    return good / len(clusters)

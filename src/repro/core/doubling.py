@@ -1,0 +1,96 @@
+"""Unknown-depth BFS via geometric doubling (paper Section 4.3).
+
+Theorem 4.1's bounds are stated in terms of the (unknown) eccentricity
+``D``.  The paper: "Once we have a solution to [BFS to threshold
+``D0``], we can obtain bounds in terms of the (unknown) ``D`` parameter
+by testing every ``D0 = 2^k`` that is a power of 2, stopping at the
+first value that labels all of ``V(G)``."
+
+Termination detection uses the distributed verification sweep: after
+each attempt, vertices that remain unlabelled would flag themselves in
+the next round of the schedule; in this simulation the coordinator
+checks coverage directly (the flag aggregation is one Up-cast worth of
+energy, charged here as one LB round over the unlabelled set).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from ..errors import ConfigurationError, ProtocolFailure
+from ..primitives.lb_graph import LBGraph
+from ..rng import SeedLike, make_rng
+from .parameters import BFSParameters
+from .recursive_bfs import RecursiveBFS
+
+
+@dataclass(frozen=True)
+class DoublingResult:
+    """Outcome of the doubling schedule."""
+
+    labels: Dict[Hashable, float]
+    final_budget: int
+    attempts: List[int]
+    max_lb_energy: int
+    lb_rounds: int
+
+
+def compute_with_doubling(
+    lbg: LBGraph,
+    sources: Iterable[Hashable],
+    params_factory=None,
+    seed: SeedLike = None,
+    initial_budget: int = 4,
+    max_budget: Optional[int] = None,
+) -> DoublingResult:
+    """BFS without knowing ``D``: double the budget until all labelled.
+
+    ``params_factory(n, budget)`` builds the :class:`BFSParameters` for
+    each attempt (default: :meth:`BFSParameters.for_instance`).  Raises
+    :class:`ProtocolFailure` if ``max_budget`` (default ``2 * n``) is
+    reached without full coverage — which on a connected graph means an
+    internal failure rather than a too-small budget.
+    """
+    source_set = set(sources)
+    if not source_set:
+        raise ConfigurationError("doubling schedule requires sources")
+    if initial_budget < 1:
+        raise ConfigurationError("initial_budget must be >= 1")
+    rng = make_rng(seed)
+    n = lbg.vertex_count()
+    if max_budget is None:
+        max_budget = 2 * n
+    rounds_before = lbg.ledger.lb_rounds
+
+    if params_factory is None:
+        def params_factory(n_: int, budget_: int) -> BFSParameters:
+            return BFSParameters.for_instance(n=max(2, n_), depth_budget=budget_)
+
+    budget = initial_budget
+    attempts: List[int] = []
+    while True:
+        attempts.append(budget)
+        params = params_factory(n, budget)
+        bfs = RecursiveBFS(params, seed=rng)
+        labels = bfs.compute(lbg, source_set, budget)
+        unlabelled = [v for v, d in labels.items() if not math.isfinite(d)]
+        # Termination check: unlabelled vertices flag themselves (one
+        # LB round of energy for the flag sweep).
+        lbg.ledger.charge_lb([], unlabelled)
+        if not unlabelled:
+            return DoublingResult(
+                labels=labels,
+                final_budget=budget,
+                attempts=attempts,
+                max_lb_energy=lbg.ledger.max_lb(),
+                lb_rounds=lbg.ledger.lb_rounds - rounds_before,
+            )
+        if budget >= max_budget:
+            raise ProtocolFailure(
+                f"doubling schedule exhausted at budget {budget}: "
+                f"{len(unlabelled)} vertices unlabelled (disconnected graph "
+                "or internal failure)"
+            )
+        budget = min(2 * budget, max_budget)

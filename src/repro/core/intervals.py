@@ -1,0 +1,90 @@
+"""Per-cluster distance-estimate intervals (paper Invariant 4.1).
+
+Throughout Recursive-BFS every cluster ``C`` carries an interval
+``[L_i(C), U_i(C)]`` bracketing its distance to the current wavefront.
+Two kinds of updates maintain it:
+
+- **Automatic** (Step 8): the wavefront advanced exactly ``beta^{-1}``
+  hops, so both ends shrink by ``beta^{-1}``.  Free — no communication.
+- **Special** (Steps 1 and 7): a recursive BFS on the cluster graph
+  yields a fresh cluster-distance ``x`` which is converted through the
+  distance-proxy bounds into a new, typically much tighter, interval.
+
+The class optionally records the full history of one or more *watched*
+clusters — the data behind the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class EstimateEvent:
+    """One update in a watched cluster's history (Figure 3 material)."""
+
+    stage: int
+    kind: str  # "special" or "automatic"
+    lower: float
+    upper: float
+
+
+class ClusterEstimates:
+    """Mutable ``[L, U]`` interval store with optional history tracking."""
+
+    def __init__(self, watch: Optional[Iterable[Hashable]] = None) -> None:
+        self.lower: Dict[Hashable, float] = {}
+        self.upper: Dict[Hashable, float] = {}
+        self._watch: Set[Hashable] = set(watch) if watch is not None else set()
+        self.history: Dict[Hashable, List[EstimateEvent]] = {
+            c: [] for c in self._watch
+        }
+
+    # ------------------------------------------------------------------
+    def set_special(
+        self, cluster: Hashable, stage: int, lower: float, upper: float
+    ) -> None:
+        """Install a Special Update result (Steps 1 and 7)."""
+        self.lower[cluster] = lower
+        self.upper[cluster] = upper
+        if cluster in self._watch:
+            self.history[cluster].append(
+                EstimateEvent(stage=stage, kind="special", lower=lower, upper=upper)
+            )
+
+    def automatic(self, cluster: Hashable, stage: int, inv_beta: int) -> None:
+        """Apply an Automatic Update (Step 8): both ends drop ``beta^{-1}``."""
+        if cluster not in self.lower:
+            raise KeyError(f"no estimate for cluster {cluster!r}")
+        if math.isfinite(self.lower[cluster]):
+            self.lower[cluster] -= inv_beta
+        if math.isfinite(self.upper[cluster]):
+            self.upper[cluster] -= inv_beta
+        if cluster in self._watch:
+            self.history[cluster].append(
+                EstimateEvent(
+                    stage=stage,
+                    kind="automatic",
+                    lower=self.lower[cluster],
+                    upper=self.upper[cluster],
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def lower_of(self, cluster: Hashable) -> float:
+        """Current lower estimate (``inf`` when deactivated in Step 2)."""
+        return self.lower.get(cluster, math.inf)
+
+    def upper_of(self, cluster: Hashable) -> float:
+        """Current upper estimate."""
+        return self.upper.get(cluster, math.inf)
+
+    def brackets(self, cluster: Hashable, true_distance: float) -> bool:
+        """Invariant 4.1 check: does ``[L, U]`` contain ``true_distance``?"""
+        return self.lower_of(cluster) <= true_distance <= self.upper_of(cluster)
+
+    def watched(self) -> Set[Hashable]:
+        """Clusters whose history is recorded."""
+        return set(self._watch)

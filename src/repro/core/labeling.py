@@ -1,0 +1,64 @@
+"""Result types for BFS computations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Optional, Set
+
+from ..radio.energy import EnergyLedger
+
+
+@dataclass(frozen=True)
+class BFSLabeling:
+    """A computed BFS labeling together with its cost report.
+
+    ``labels[v]`` is ``dist(S, v)`` for settled vertices and
+    ``math.inf`` for vertices the algorithm determined to be farther
+    than the depth budget (or unreachable).
+    """
+
+    labels: Dict[Hashable, float]
+    sources: Set[Hashable]
+    depth_budget: int
+    lb_rounds: int
+    max_lb_energy: int
+    mean_lb_energy: float
+    total_lb_energy: int
+
+    @classmethod
+    def from_ledger(
+        cls,
+        labels: Mapping[Hashable, float],
+        sources,
+        depth_budget: int,
+        ledger: EnergyLedger,
+        rounds_before: int = 0,
+    ) -> "BFSLabeling":
+        """Package labels with the ledger's aggregate statistics."""
+        return cls(
+            labels=dict(labels),
+            sources=set(sources),
+            depth_budget=depth_budget,
+            lb_rounds=ledger.lb_rounds - rounds_before,
+            max_lb_energy=ledger.max_lb(),
+            mean_lb_energy=ledger.mean_lb(),
+            total_lb_energy=ledger.total_lb(),
+        )
+
+    # ------------------------------------------------------------------
+    def settled(self) -> Dict[Hashable, int]:
+        """Only the finite labels, as ints."""
+        return {v: int(d) for v, d in self.labels.items() if math.isfinite(d)}
+
+    def eccentricity(self) -> float:
+        """Maximum finite label (the ``D'`` of Theorem 5.3)."""
+        finite = [d for d in self.labels.values() if math.isfinite(d)]
+        return max(finite) if finite else 0.0
+
+    def coverage(self) -> float:
+        """Fraction of labelled vertices with a finite label."""
+        if not self.labels:
+            return 0.0
+        finite = sum(1 for d in self.labels.values() if math.isfinite(d))
+        return finite / len(self.labels)

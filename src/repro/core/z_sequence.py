@@ -1,0 +1,88 @@
+"""The Z-sequence guiding Special Updates (paper Section 4.1, Lemma 4.2).
+
+The ruler sequence ``Y[i] = max{2^j : 2^j | i}`` (1, 2, 1, 4, 1, 2, 1,
+8, ...) is scaled by ``alpha = 4`` and truncated at ``D*``:
+
+    Z[0] = D*
+    Z[i] = min{D*, alpha * Y[i]}        (i >= 1)
+    D*   = min{alpha * 2^j : alpha * 2^j >= w * beta * D}
+
+Lemma 4.2's structural properties (periodic reappearance of large
+values, the gap structure between equal values) are exposed here as
+checkable predicates used by the property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ConfigurationError
+
+
+def ruler_value(i: int) -> int:
+    """``Y[i]``: the largest power of two dividing ``i`` (``i >= 1``)."""
+    if i < 1:
+        raise ConfigurationError(f"Y is defined for i >= 1, got {i}")
+    return i & (-i)  # lowest set bit == largest power-of-2 divisor
+
+
+def z_cap(target: float, alpha: int = 4) -> int:
+    """``D* = min{alpha * 2^j >= target}`` (at least ``alpha``)."""
+    if alpha < 1:
+        raise ConfigurationError(f"alpha must be >= 1, got {alpha}")
+    value = alpha
+    while value < target:
+        value *= 2
+    return value
+
+
+@dataclass(frozen=True)
+class ZSequence:
+    """The truncated, scaled ruler sequence with ``Z[0] = D*``."""
+
+    d_star: int
+    alpha: int = 4
+
+    def __post_init__(self) -> None:
+        if self.alpha < 1:
+            raise ConfigurationError(f"alpha must be >= 1, got {self.alpha}")
+        if self.d_star < self.alpha:
+            raise ConfigurationError(
+                f"d_star must be >= alpha ({self.alpha}), got {self.d_star}"
+            )
+        # D* must be alpha * 2^j.
+        ratio = self.d_star / self.alpha
+        if 2 ** round(math.log2(ratio)) != ratio:
+            raise ConfigurationError(
+                f"d_star must equal alpha * 2^j; got {self.d_star} with alpha={self.alpha}"
+            )
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            raise ConfigurationError(f"Z is defined for i >= 0, got {i}")
+        if i == 0:
+            return self.d_star
+        return min(self.d_star, self.alpha * ruler_value(i))
+
+    def prefix(self, count: int) -> List[int]:
+        """The first ``count`` values ``Z[0..count-1]``."""
+        return [self[i] for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Lemma 4.2 predicates (used by property tests)
+    # ------------------------------------------------------------------
+    def next_at_least(self, i: int, b: int) -> int:
+        """Smallest ``j > i`` with ``Z[j] >= b`` (Lemma 4.2(1))."""
+        j = i + 1
+        while self[j] < b:
+            j += 1
+        return j
+
+    def next_strictly_larger_or_cap(self, i: int) -> int:
+        """Smallest ``j > i`` with ``Z[j] > Z[i]`` or ``Z[j] = D*`` (Lemma 4.2(2))."""
+        j = i + 1
+        while not (self[j] > self[i] or self[j] == self.d_star):
+            j += 1
+        return j

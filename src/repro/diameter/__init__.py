@@ -1,0 +1,44 @@
+"""Diameter approximation algorithms and lower bounds (paper Section 5)."""
+
+from .disjointness import (
+    DisjointnessInstance,
+    LowerBoundGraph,
+    ReductionCost,
+    build_lower_bound_graph,
+    energy_lower_bound,
+    random_instance,
+    reduction_bits,
+)
+from .exact import exact_diameter
+from .lower_bounds import (
+    HardInstance,
+    PairProbingProtocol,
+    ProbeReport,
+    failure_probability_bound,
+    good_pairs_bound,
+    hard_instance,
+    minimum_energy_bound,
+)
+from .three_halves import three_halves_diameter
+from .two_approx import DiameterEstimate, two_approx_diameter
+
+__all__ = [
+    "DiameterEstimate",
+    "DisjointnessInstance",
+    "HardInstance",
+    "LowerBoundGraph",
+    "PairProbingProtocol",
+    "ProbeReport",
+    "ReductionCost",
+    "build_lower_bound_graph",
+    "energy_lower_bound",
+    "exact_diameter",
+    "failure_probability_bound",
+    "good_pairs_bound",
+    "hard_instance",
+    "minimum_energy_bound",
+    "random_instance",
+    "reduction_bits",
+    "three_halves_diameter",
+    "two_approx_diameter",
+]

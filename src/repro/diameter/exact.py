@@ -1,0 +1,66 @@
+"""Exact diameter via all-sources BFS — the Omega(n)-energy strawman.
+
+Theorem 5.1 shows that *any* algorithm distinguishing ``diam = 1`` from
+``diam = 2`` needs ``Omega(n)`` energy, so up to polylog factors the
+obvious algorithm (BFS from every vertex, report the max eccentricity)
+is already optimal for exact/diameter-(2-eps) computation.  Provided as
+the baseline that the Section 5.1 approximations are compared against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Optional
+
+from ..core.parameters import BFSParameters
+from ..core.recursive_bfs import RecursiveBFS
+from ..core.simple_bfs import trivial_bfs
+from ..errors import ProtocolFailure
+from ..primitives.lb_graph import LBGraph
+from ..rng import SeedLike, make_rng
+from .two_approx import DiameterEstimate
+
+
+def exact_diameter(
+    lbg: LBGraph,
+    depth_budget: int,
+    params: Optional[BFSParameters] = None,
+    seed: SeedLike = None,
+    use_recursive: bool = False,
+) -> DiameterEstimate:
+    """Exact diameter: one BFS per vertex, maximum label wins.
+
+    ``use_recursive`` selects Recursive-BFS per source (lower energy per
+    BFS but ``n`` of them — the total is ``n^{1+o(1)}`` either way,
+    which is the point of the lower bound).
+    """
+    rng = make_rng(seed)
+    rounds_before = lbg.ledger.lb_rounds
+    vertices = sorted(lbg.vertices(), key=repr)
+    best = 0
+    if params is None and use_recursive:
+        params = BFSParameters.for_instance(
+            n=max(2, lbg.n_global), depth_budget=depth_budget
+        )
+    for source in vertices:
+        if use_recursive:
+            assert params is not None
+            labels = RecursiveBFS(params, seed=rng).compute(
+                lbg, [source], depth_budget
+            )
+        else:
+            labels = trivial_bfs(lbg, [source], depth_budget)
+        finite = [d for d in labels.values() if math.isfinite(d)]
+        if len(finite) != len(labels):
+            raise ProtocolFailure(
+                f"depth budget {depth_budget} too small from {source!r}"
+            )
+        best = max(best, int(max(finite)))
+    return DiameterEstimate(
+        estimate=best,
+        lower=best,
+        upper=best,
+        leader=vertices[0],
+        max_lb_energy=lbg.ledger.max_lb(),
+        lb_rounds=lbg.ledger.lb_rounds - rounds_before,
+    )

@@ -1,0 +1,78 @@
+"""2-approximation of Diameter in n^{o(1)} energy (paper Theorem 5.3).
+
+Algorithm: elect a leader ``v0``, BFS from ``v0``, then Find Maximum on
+the BFS labels.  The eccentricity ``D' = max_u dist(v0, u)`` satisfies
+``diam(G)/2 <= D' <= diam(G)``, i.e. reporting ``D'`` (or ``2 D'``)
+gives a 2-approximation.  With Recursive-BFS the energy is ``n^{o(1)}``;
+time is dominated by the ``O~(n)`` leader election.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+from ..core.parameters import BFSParameters
+from ..core.recursive_bfs import RecursiveBFS
+from ..errors import ProtocolFailure
+from ..primitives.lb_graph import LBGraph
+from ..primitives.leader_election import ChargedLeaderElection
+from ..primitives.sweeps import find_maximum
+from ..rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class DiameterEstimate:
+    """A diameter approximation with its certificate data."""
+
+    estimate: int  # the reported approximation D'
+    lower: int  # certified lower bound on diam(G)
+    upper: int  # certified upper bound on diam(G)
+    leader: Hashable
+    max_lb_energy: int
+    lb_rounds: int
+
+
+def two_approx_diameter(
+    lbg: LBGraph,
+    depth_budget: int,
+    params: Optional[BFSParameters] = None,
+    seed: SeedLike = None,
+) -> DiameterEstimate:
+    """Theorem 5.3: eccentricity of an elected leader.
+
+    ``depth_budget`` must be an upper bound on ``diam(G)`` (callers can
+    double it geometrically as in Theorem 4.1).  Returns ``D'`` with
+    ``diam/2 <= D' <= diam``.
+    """
+    rng = make_rng(seed)
+    rounds_before = lbg.ledger.lb_rounds
+    leader = ChargedLeaderElection().run(lbg, seed=rng).leader
+
+    if params is None:
+        params = BFSParameters.for_instance(
+            n=max(2, lbg.n_global), depth_budget=depth_budget
+        )
+    bfs = RecursiveBFS(params, seed=rng)
+    labels = bfs.compute(lbg, [leader], depth_budget)
+    finite = {v: int(d) for v, d in labels.items() if math.isfinite(d)}
+    if len(finite) != len(labels):
+        raise ProtocolFailure(
+            "depth budget too small: some vertices unlabelled; "
+            "double the budget and retry (Theorem 4.1 doubling schedule)"
+        )
+
+    key_bound = depth_budget + 1
+    result = find_maximum(lbg, finite, finite, key_bound=key_bound)
+    if result is None:
+        raise ProtocolFailure("Find Maximum returned no result")
+    ecc = result.key
+    return DiameterEstimate(
+        estimate=ecc,
+        lower=ecc,
+        upper=2 * ecc,
+        leader=leader,
+        max_lb_energy=lbg.ledger.max_lb(),
+        lb_rounds=lbg.ledger.lb_rounds - rounds_before,
+    )

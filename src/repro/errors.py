@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch everything from this package with one ``except`` clause while
+still being able to distinguish configuration mistakes from honest
+run-time protocol failures (which occur with the model's true small
+probability).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter combination is invalid (e.g. non-integer ``1/beta``)."""
+
+
+class MessageTooLargeError(ReproError):
+    """A device attempted to transmit a message exceeding the RN[b] limit."""
+
+
+class ProtocolFailure(ReproError):
+    """A randomized protocol failed its w.h.p. guarantee on this run.
+
+    The paper's algorithms are Monte Carlo with failure probability
+    ``1/poly(n)``; when a failure is *detected* (e.g. by the BFS
+    verification phase) the library raises this rather than returning a
+    silently incorrect answer.
+    """
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the simulator (a bug, not luck)."""

@@ -1,0 +1,52 @@
+"""Communication primitives over the radio substrate (paper Secs. 2, 5.1)."""
+
+from .broadcast import BroadcastResult, flooding_broadcast, labeled_broadcast
+from .decay import (
+    DecayParameters,
+    DecayReceiver,
+    DecaySender,
+    run_decay_local_broadcast,
+)
+from .decay_lb_graph import DecayLBGraph
+from .detection import DetectionReport, detect_with_cd, detect_without_cd
+from .lb_graph import LBGraph, PhysicalLBGraph
+from .leader_election import (
+    ChargedLeaderElection,
+    FloodingLeaderElection,
+    LeaderResult,
+)
+from .local_broadcast import LBCostModel
+from .sweeps import (
+    ExtremumResult,
+    find_maximum,
+    find_minimum,
+    sweep_down,
+    sweep_up_message,
+    sweep_up_or,
+)
+
+__all__ = [
+    "BroadcastResult",
+    "ChargedLeaderElection",
+    "DecayLBGraph",
+    "DetectionReport",
+    "DecayParameters",
+    "DecayReceiver",
+    "DecaySender",
+    "ExtremumResult",
+    "FloodingLeaderElection",
+    "LBCostModel",
+    "LBGraph",
+    "LeaderResult",
+    "PhysicalLBGraph",
+    "detect_with_cd",
+    "detect_without_cd",
+    "find_maximum",
+    "find_minimum",
+    "flooding_broadcast",
+    "labeled_broadcast",
+    "run_decay_local_broadcast",
+    "sweep_down",
+    "sweep_up_message",
+    "sweep_up_or",
+]

@@ -1,0 +1,88 @@
+"""Local-Broadcast cost model (Lemma 2.4) and ledger conversion.
+
+Lemma 2.4: Local-Broadcast runs in ``O(log Delta log 1/f)`` time and
+energy, where senders use ``O(log 1/f)`` energy, receivers that hear a
+message ``O(log Delta)`` in expectation, and receivers that hear
+nothing ``O(log Delta log 1/f)``.
+
+The accounted tier of this library counts LB participations;
+:class:`LBCostModel` converts those counts into slot estimates so that
+experiments can report both currencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Tuple
+
+from ..radio.energy import DeviceEnergy, EnergyLedger
+
+
+@dataclass(frozen=True)
+class LBCostModel:
+    """Slot costs of one Local-Broadcast call, per Lemma 2.4."""
+
+    max_degree: int
+    failure_probability: float
+
+    def __post_init__(self) -> None:
+        if self.max_degree < 0:
+            raise ValueError(f"max_degree must be >= 0, got {self.max_degree}")
+        if not (0.0 < self.failure_probability < 1.0):
+            raise ValueError(
+                f"failure_probability must be in (0, 1), got {self.failure_probability}"
+            )
+
+    @property
+    def log_delta(self) -> int:
+        """``ceil(log2 Delta)`` (at least 1)."""
+        return max(1, math.ceil(math.log2(max(2, self.max_degree))))
+
+    @property
+    def log_inv_f(self) -> int:
+        """``ceil(log2 1/f)`` (at least 1)."""
+        return max(1, math.ceil(math.log2(1.0 / self.failure_probability)))
+
+    @property
+    def window(self) -> int:
+        """Per-iteration slot window, matching ``DecayParameters``."""
+        return self.log_delta + 1
+
+    @property
+    def sender_slots(self) -> int:
+        """Slots a sender spends per LB call: ``O(log 1/f)``."""
+        return self.log_inv_f
+
+    @property
+    def receiver_slots(self) -> int:
+        """Worst-case slots a receiver spends: ``O(log Delta log 1/f)``."""
+        return self.window * self.log_inv_f
+
+    @property
+    def time_slots(self) -> int:
+        """Wall-clock slots of one LB call: ``O(log Delta log 1/f)``."""
+        return self.window * self.log_inv_f
+
+    # ------------------------------------------------------------------
+    def device_slot_estimate(self, counters: DeviceEnergy) -> int:
+        """Worst-case slot energy implied by a device's LB counters."""
+        return (
+            counters.lb_sender * self.sender_slots
+            + counters.lb_receiver * self.receiver_slots
+        )
+
+    def ledger_slot_estimates(self, ledger: EnergyLedger) -> Dict[Hashable, int]:
+        """Per-device slot estimates for a whole ledger."""
+        return {
+            v: self.device_slot_estimate(d) for v, d in ledger.devices().items()
+        }
+
+    def max_slot_estimate(self, ledger: EnergyLedger) -> int:
+        """Algorithm slot-energy estimate (max over devices)."""
+        estimates = self.ledger_slot_estimates(ledger)
+        return max(estimates.values(), default=0)
+
+    def total_time_estimate(self, ledger: EnergyLedger) -> int:
+        """Wall-clock slot estimate: LB rounds times per-round length."""
+        return ledger.lb_rounds * self.time_slots

@@ -1,0 +1,205 @@
+"""Layered BFS-tree sweeps: Find Minimum / Find Maximum (paper Sec. 5.1).
+
+Given a BFS labeling from an elected leader (``label(v) = dist(v0, v)``),
+these primitives move information up and down the layers with
+Local-Broadcasts, "layer by layer", so that each vertex participates in
+``O(1)`` LB calls per sweep and a binary search costs ``O(log K)``
+sweeps — the paper's ``O~(diam)`` time / ``O~(1)`` energy bounds.
+
+The paper uses these to implement:
+
+- ``Find Minimum`` / ``Find Maximum``: each vertex holds an integer
+  ``k_u in [0, K)`` and a message ``m_u``; elect a vertex attaining the
+  extremum and make ``m_{u*}`` known to everybody.
+- result dissemination (a downward sweep from the root).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Mapping, Optional, Set, Tuple
+
+from ..errors import ConfigurationError
+from .lb_graph import LBGraph
+
+
+def _layers(labels: Mapping[Hashable, int]) -> Dict[int, Set[Hashable]]:
+    """Group vertices by BFS layer, validating label sanity."""
+    layers: Dict[int, Set[Hashable]] = {}
+    for v, d in labels.items():
+        if d < 0:
+            raise ConfigurationError(f"negative BFS label {d} at vertex {v!r}")
+        layers.setdefault(d, set()).add(v)
+    if 0 not in layers:
+        raise ConfigurationError("BFS labeling has no root (layer 0)")
+    return layers
+
+
+def sweep_up_or(
+    lbg: LBGraph,
+    labels: Mapping[Hashable, int],
+    flagged: Set[Hashable],
+) -> bool:
+    """Aggregate a boolean OR to the root, layer by layer.
+
+    Every vertex in ``flagged`` raises a flag; the sweep propagates "some
+    descendant is flagged" upward.  Each vertex sends at most once and
+    listens at most once.  Returns the root's conclusion.
+    """
+    layers = _layers(labels)
+    depth = max(layers)
+    informed: Set[Hashable] = set(flagged)
+    for d in range(depth, 0, -1):
+        senders = {v: ("flag",) for v in layers.get(d, ()) if v in informed}
+        receivers = [v for v in layers.get(d - 1, ()) if v not in informed]
+        if not receivers:
+            lbg.ledger.advance_lb_rounds(1)
+            continue
+        heard = lbg.local_broadcast(senders, receivers)
+        informed.update(heard)
+    roots = layers[0]
+    return any(v in informed for v in roots)
+
+
+def sweep_down(
+    lbg: LBGraph,
+    labels: Mapping[Hashable, int],
+    payload: Any,
+) -> Set[Hashable]:
+    """Broadcast ``payload`` from the root down the layers.
+
+    Returns the set of vertices that received it (w.h.p. everyone,
+    since consecutive BFS layers are adjacent).  O(1) LB participations
+    per vertex, ``depth`` LB rounds.
+    """
+    layers = _layers(labels)
+    depth = max(layers)
+    have: Dict[Hashable, Any] = {v: payload for v in layers[0]}
+    for d in range(0, depth):
+        senders = {v: have[v] for v in layers.get(d, ()) if v in have}
+        receivers = [v for v in layers.get(d + 1, ())]
+        if not receivers:
+            lbg.ledger.advance_lb_rounds(1)
+            continue
+        heard = lbg.local_broadcast(senders, receivers)
+        have.update(heard)
+    return set(have)
+
+
+def sweep_up_message(
+    lbg: LBGraph,
+    labels: Mapping[Hashable, int],
+    holders: Mapping[Hashable, Any],
+) -> Optional[Any]:
+    """Deliver *one* of the holders' payloads to the root.
+
+    Ties between holders are broken arbitrarily (whichever message wins
+    each Local-Broadcast).  Returns the payload the root ends with, or
+    ``None`` if there are no holders.
+    """
+    if not holders:
+        return None
+    layers = _layers(labels)
+    depth = max(layers)
+    carrying: Dict[Hashable, Any] = dict(holders)
+    for d in range(depth, 0, -1):
+        senders = {v: carrying[v] for v in layers.get(d, ()) if v in carrying}
+        receivers = [v for v in layers.get(d - 1, ()) if v not in carrying]
+        if not receivers:
+            lbg.ledger.advance_lb_rounds(1)
+            continue
+        heard = lbg.local_broadcast(senders, receivers)
+        carrying.update(heard)
+    for root in layers[0]:
+        if root in carrying:
+            return carrying[root]
+    return None
+
+
+@dataclass(frozen=True)
+class ExtremumResult:
+    """Outcome of Find Minimum / Find Maximum."""
+
+    key: int
+    payload: Any
+    sweeps: int  # number of up/down sweeps used (for cost reporting)
+
+
+def find_minimum(
+    lbg: LBGraph,
+    labels: Mapping[Hashable, int],
+    keys: Mapping[Hashable, int],
+    payloads: Optional[Mapping[Hashable, Any]] = None,
+    key_bound: Optional[int] = None,
+) -> Optional[ExtremumResult]:
+    """Find Minimum (paper Section 5.1) via binary search over ``[0, K)``.
+
+    Each vertex ``u`` holds ``keys[u] in [0, K)`` and optionally a
+    payload.  Elects a vertex attaining the minimum key and returns the
+    minimum key together with one such vertex's payload, after
+    disseminating it to all vertices (a final downward sweep).
+
+    Energy: ``O(log K)`` LB participations per vertex.
+    Time: ``O(depth * log K)`` LB rounds.
+    Returns ``None`` when ``keys`` is empty.
+    """
+    if not keys:
+        return None
+    for v, k in keys.items():
+        if k < 0:
+            raise ConfigurationError(f"keys must be non-negative; {v!r} has {k}")
+    if key_bound is None:
+        key_bound = max(keys.values()) + 1
+    if any(k >= key_bound for k in keys.values()):
+        raise ConfigurationError("some key is >= key_bound")
+
+    payloads = payloads if payloads is not None else {v: v for v in keys}
+
+    lo, hi = 0, key_bound - 1
+    sweeps = 0
+    # Binary search: maintain the invariant that [lo, hi] contains the min.
+    while lo < hi:
+        mid = (lo + hi) // 2
+        flagged = {v for v, k in keys.items() if lo <= k <= mid}
+        present = sweep_up_or(lbg, labels, flagged)
+        sweeps += 1
+        announced = sweep_down(lbg, labels, ("search", lo, mid, present))
+        sweeps += 1
+        del announced  # everyone now knows the verdict; value unused here
+        if present:
+            hi = mid
+        else:
+            lo = mid + 1
+
+    winners = {v: (keys[v], payloads.get(v)) for v, k in keys.items() if k == lo}
+    if not winners:
+        return None
+    winning = sweep_up_message(lbg, labels, winners)
+    sweeps += 1
+    if winning is None:
+        return None
+    sweep_down(lbg, labels, ("result", winning))
+    sweeps += 1
+    return ExtremumResult(key=lo, payload=winning[1], sweeps=sweeps)
+
+
+def find_maximum(
+    lbg: LBGraph,
+    labels: Mapping[Hashable, int],
+    keys: Mapping[Hashable, int],
+    payloads: Optional[Mapping[Hashable, Any]] = None,
+    key_bound: Optional[int] = None,
+) -> Optional[ExtremumResult]:
+    """Find Maximum: mirror of :func:`find_minimum`."""
+    if not keys:
+        return None
+    if key_bound is None:
+        key_bound = max(keys.values()) + 1
+    flipped = {v: key_bound - 1 - k for v, k in keys.items()}
+    result = find_minimum(lbg, labels, flipped, payloads, key_bound)
+    if result is None:
+        return None
+    return ExtremumResult(
+        key=key_bound - 1 - result.key, payload=result.payload, sweeps=result.sweeps
+    )

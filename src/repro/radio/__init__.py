@@ -1,0 +1,35 @@
+"""Slot-level RN[b] radio network simulator (paper Section 1.1)."""
+
+from .channel import CollisionModel, Feedback, Reception
+from .device import Action, ActionKind, Device
+from .energy import DeviceEnergy, EnergyLedger
+from .message import (
+    Message,
+    MessageSizePolicy,
+    UNBOUNDED,
+    id_bits,
+    int_bits,
+    message_of_ints,
+)
+from .network import RadioNetwork
+from .trace import Event, EventTrace
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "CollisionModel",
+    "Device",
+    "DeviceEnergy",
+    "EnergyLedger",
+    "Event",
+    "EventTrace",
+    "Feedback",
+    "Message",
+    "MessageSizePolicy",
+    "RadioNetwork",
+    "Reception",
+    "UNBOUNDED",
+    "id_bits",
+    "int_bits",
+    "message_of_ints",
+]

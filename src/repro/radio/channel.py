@@ -1,0 +1,69 @@
+"""Channel arbitration rules for the radio network.
+
+The base model has no collision detection: a listener receives a
+message iff exactly one of its neighbors transmits; in every other case
+(silence, or two-plus transmitters) it receives *no feedback at all*
+and cannot tell the cases apart.
+
+The receiver-side collision-detection variant lets a listener
+distinguish silence from noise; the paper's lower bounds (Section 5)
+hold even under this stronger model, so both are provided.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .message import Message
+
+
+class CollisionModel(enum.Enum):
+    """Which feedback the channel gives a listener."""
+
+    #: No collision detection: silence and noise are indistinguishable.
+    NO_CD = "no_cd"
+    #: Receiver-side CD: listener distinguishes silence from collision.
+    RECEIVER_CD = "receiver_cd"
+
+
+class Feedback(enum.Enum):
+    """What a listening device perceives in one slot."""
+
+    SILENCE = "silence"
+    NOISE = "noise"  # >= 2 neighbors transmitted (only visible under RECEIVER_CD)
+    MESSAGE = "message"
+    NOTHING = "nothing"  # NO_CD: zero or >= 2 transmitters, indistinguishable
+
+
+@dataclass(frozen=True)
+class Reception:
+    """Outcome of one listening slot for one device."""
+
+    feedback: Feedback
+    message: Optional[Message] = None
+
+    @property
+    def received(self) -> bool:
+        """True iff an actual message was delivered."""
+        return self.feedback is Feedback.MESSAGE
+
+
+def resolve(
+    transmissions: "list[Message]", model: CollisionModel
+) -> Reception:
+    """Resolve the channel at one listener given its neighbors' transmissions.
+
+    ``transmissions`` are the messages sent this slot by the listener's
+    neighbors.  Exactly one transmitter → delivery; otherwise feedback
+    depends on the collision model.
+    """
+    count = len(transmissions)
+    if count == 1:
+        return Reception(Feedback.MESSAGE, transmissions[0])
+    if model is CollisionModel.RECEIVER_CD:
+        if count == 0:
+            return Reception(Feedback.SILENCE)
+        return Reception(Feedback.NOISE)
+    return Reception(Feedback.NOTHING)

@@ -1,0 +1,82 @@
+"""Device base class for slot-level protocols.
+
+A :class:`Device` is the per-vertex state machine of a slot-level radio
+protocol.  Each slot the simulator calls :meth:`Device.step` to obtain
+an action (idle / listen / transmit), resolves the channel, and then
+calls :meth:`Device.receive` on listeners with the channel feedback.
+
+Devices hold a *private* random stream (the model has no shared
+randomness) and never read global state: everything a device knows it
+learned from its own inputs and received messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+from .channel import Reception
+from .message import Message
+
+
+class ActionKind(enum.Enum):
+    """The three per-slot choices of the RN model."""
+
+    IDLE = "idle"
+    LISTEN = "listen"
+    TRANSMIT = "transmit"
+
+
+@dataclass(frozen=True)
+class Action:
+    """A device's choice for one slot."""
+
+    kind: ActionKind
+    message: Optional[Message] = None
+
+    @classmethod
+    def idle(cls) -> "Action":
+        """Sleep: costs nothing."""
+        return cls(ActionKind.IDLE)
+
+    @classmethod
+    def listen(cls) -> "Action":
+        """Listen: costs one energy unit."""
+        return cls(ActionKind.LISTEN)
+
+    @classmethod
+    def transmit(cls, message: Message) -> "Action":
+        """Transmit ``message``: costs one energy unit."""
+        if message is None:
+            raise ValueError("transmit requires a message")
+        return cls(ActionKind.TRANSMIT, message)
+
+
+class Device:
+    """Base class for protocol state machines.
+
+    Subclasses override :meth:`step` (choose this slot's action) and
+    :meth:`receive` (process channel feedback after a listening slot).
+    """
+
+    def __init__(self, vertex: Hashable, rng: np.random.Generator) -> None:
+        self.vertex = vertex
+        self.rng = rng
+        self.halted = False
+
+    def step(self, slot: int) -> Action:
+        """Return the device's action for time ``slot``.
+
+        Default: sleep forever.  Subclasses override.
+        """
+        return Action.idle()
+
+    def receive(self, slot: int, reception: Reception) -> None:
+        """Process channel feedback after listening at time ``slot``."""
+
+    def output(self) -> Any:
+        """The device's final output (protocol-specific)."""
+        return None

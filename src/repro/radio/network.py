@@ -1,0 +1,150 @@
+"""The synchronous slot-level radio network simulator.
+
+This is the substrate on which the slot-faithful tier of the library
+runs (the Decay protocol of Lemma 2.4, the slot-level Decay-BFS
+baseline, and the lower-bound probing experiments).  Semantics follow
+paper Section 1.1 exactly:
+
+- time is partitioned into discrete slots; devices agree on slot 0;
+- per slot each device idles, listens, or transmits;
+- a listener receives a message iff exactly one neighbor transmits;
+- energy = listening slots + transmitting slots; idling is free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..rng import SeedLike, make_rng, spawn_streams
+from .channel import CollisionModel, Reception, resolve
+from .device import Action, ActionKind, Device
+from .energy import EnergyLedger
+from .message import Message, MessageSizePolicy
+from .trace import EventTrace
+
+
+class RadioNetwork:
+    """Slot-level executor for a population of :class:`Device` objects.
+
+    Parameters
+    ----------
+    graph:
+        The (unknown-to-devices) communication topology.
+    collision_model:
+        ``NO_CD`` (default, the paper's weakest model) or ``RECEIVER_CD``.
+    size_policy:
+        RN[b] message size enforcement; defaults to unbounded.
+    ledger:
+        Optional shared :class:`EnergyLedger`; a fresh one is created if
+        omitted.
+    trace:
+        Optional :class:`EventTrace` collecting per-slot events.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        collision_model: CollisionModel = CollisionModel.NO_CD,
+        size_policy: Optional[MessageSizePolicy] = None,
+        ledger: Optional[EnergyLedger] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ConfigurationError("radio network requires at least one vertex")
+        self.graph = graph
+        self.collision_model = collision_model
+        self.size_policy = size_policy or MessageSizePolicy.unbounded()
+        self.ledger = ledger if ledger is not None else EnergyLedger()
+        self.trace = trace
+        self.slot = 0
+        self._adjacency: Dict[Hashable, List[Hashable]] = {
+            v: list(graph.neighbors(v)) for v in graph.nodes
+        }
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        devices: Mapping[Hashable, Device],
+        max_slots: int,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run the population for up to ``max_slots`` slots.
+
+        Stops early when every device has ``halted`` or when
+        ``stop_when()`` returns True (checked once per slot).  Returns
+        the number of slots executed.
+        """
+        missing = set(self.graph.nodes) - set(devices)
+        if missing:
+            raise ConfigurationError(
+                f"devices missing for {len(missing)} vertices (e.g. {next(iter(missing))!r})"
+            )
+        executed = 0
+        for _ in range(max_slots):
+            if all(d.halted for d in devices.values()):
+                break
+            if stop_when is not None and stop_when():
+                break
+            self.step(devices)
+            executed += 1
+        return executed
+
+    def step(self, devices: Mapping[Hashable, Device]) -> None:
+        """Execute one synchronous slot for all devices."""
+        transmissions: Dict[Hashable, Message] = {}
+        listeners: List[Hashable] = []
+
+        for vertex, device in devices.items():
+            if device.halted:
+                continue
+            action = device.step(self.slot)
+            if action.kind is ActionKind.IDLE:
+                continue
+            if action.kind is ActionKind.TRANSMIT:
+                message = action.message
+                if message is None:
+                    raise SimulationError(f"device {vertex!r} transmitted no message")
+                self.size_policy.check(message)
+                transmissions[vertex] = message
+                self.ledger.charge_transmit(vertex)
+                if self.trace is not None:
+                    self.trace.record(self.slot, "transmit", vertex, message.kind)
+            else:  # LISTEN
+                listeners.append(vertex)
+                self.ledger.charge_listen(vertex)
+
+        for vertex in listeners:
+            heard = [
+                transmissions[u] for u in self._adjacency[vertex] if u in transmissions
+            ]
+            reception = resolve(heard, self.collision_model)
+            devices[vertex].receive(self.slot, reception)
+            if self.trace is not None and reception.received:
+                assert reception.message is not None
+                self.trace.record(
+                    self.slot, "receive", vertex, reception.message.kind
+                )
+
+        self.slot += 1
+        self.ledger.advance_time(1)
+
+    # ------------------------------------------------------------------
+    def spawn_devices(
+        self,
+        factory: Callable[[Hashable, np.random.Generator], Device],
+        seed: SeedLike = None,
+    ) -> Dict[Hashable, Device]:
+        """Instantiate one device per vertex with independent RNG streams."""
+        rng = make_rng(seed)
+        vertices = list(self.graph.nodes)
+        streams = spawn_streams(rng, len(vertices))
+        return {v: factory(v, s) for v, s in zip(vertices, streams)}
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree of the topology (the Delta of Lemma 2.4)."""
+        return max((d for _, d in self.graph.degree), default=0)

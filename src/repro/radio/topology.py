@@ -1,0 +1,241 @@
+"""Topology generators used throughout the reproduction.
+
+These produce the graph families the paper's results are exercised on:
+
+- unit-disc / random geometric graphs (the sensor-field motivation and
+  the class on which Theorem 5.1 is proved);
+- paths, cycles, grids, trees (large-diameter families for the BFS
+  energy experiments — Theorem 4.1's interesting regime is large ``D``);
+- cliques and ``K_n - e`` (the Theorem 5.1 hard instances);
+- assorted dense/sparse families for lemma validation.
+
+All generators relabel vertices to ``0..n-1`` integers and guarantee a
+connected result (taking the giant component where necessary), since the
+paper's problems are defined on connected networks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, make_rng
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to contiguous integers 0..n-1 (stable order)."""
+    mapping = {v: i for i, v in enumerate(graph.nodes)}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def _giant_component(graph: nx.Graph) -> nx.Graph:
+    """Return the largest connected component, relabelled."""
+    if graph.number_of_nodes() == 0:
+        return graph
+    largest = max(nx.connected_components(graph), key=len)
+    return _relabel(graph.subgraph(largest).copy())
+
+
+def path_graph(n: int) -> nx.Graph:
+    """Path on ``n`` vertices — diameter ``n - 1`` (max-D stress case)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return nx.path_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """Cycle on ``n`` vertices — diameter ``floor(n/2)``."""
+    if n < 3:
+        raise ConfigurationError(f"n must be >= 3, got {n}")
+    return nx.cycle_graph(n)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """``rows x cols`` grid — diameter ``rows + cols - 2``."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be >= 1")
+    return _relabel(nx.grid_2d_graph(rows, cols))
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """``K_n`` — diameter 1 (the Theorem 5.1 'yes' instance)."""
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    return nx.complete_graph(n)
+
+
+def complete_minus_edge(n: int, edge: Optional[Tuple[int, int]] = None,
+                        seed: SeedLike = None) -> Tuple[nx.Graph, Tuple[int, int]]:
+    """``K_n - e`` — diameter 2 (the Theorem 5.1 'no' instance).
+
+    The removed edge is chosen uniformly at random unless given.
+    Returns ``(graph, removed_edge)``.
+    """
+    if n < 3:
+        raise ConfigurationError(f"n must be >= 3 for K_n - e to be connected, got {n}")
+    graph = nx.complete_graph(n)
+    if edge is None:
+        rng = make_rng(seed)
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n - 1))
+        if v >= u:
+            v += 1
+        edge = (min(u, v), max(u, v))
+    graph.remove_edge(*edge)
+    return graph, edge
+
+
+def random_geometric(n: int, radius: Optional[float] = None,
+                     seed: SeedLike = None) -> nx.Graph:
+    """Random geometric (unit-disc) graph on the unit square.
+
+    The sensor-network motivation of the paper's introduction: ``n``
+    devices scattered in a field, connected when within ``radius``.
+    Default radius is just above the connectivity threshold
+    ``sqrt(2 ln n / (pi n))``; the giant component is returned (and is
+    w.h.p. everything).
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    rng = make_rng(seed)
+    if radius is None:
+        radius = 1.3 * math.sqrt(2.0 * math.log(max(2, n)) / (math.pi * n))
+    positions = {i: (float(x), float(y)) for i, (x, y) in
+                 enumerate(rng.random(size=(n, 2)))}
+    graph = nx.random_geometric_graph(n, radius, pos=positions)
+    giant = _giant_component(graph)
+    return giant
+
+
+def random_tree(n: int, seed: SeedLike = None) -> nx.Graph:
+    """Uniform random labelled tree (via random Prüfer sequence)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if n <= 2:
+        return nx.path_graph(n)
+    rng = make_rng(seed)
+    prufer = [int(x) for x in rng.integers(0, n, size=n - 2)]
+    return nx.from_prufer_sequence(prufer)
+
+
+def erdos_renyi(n: int, p: Optional[float] = None, seed: SeedLike = None) -> nx.Graph:
+    """Connected Erdős–Rényi graph (giant component of ``G(n, p)``)."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    rng = make_rng(seed)
+    if p is None:
+        p = min(1.0, 2.0 * math.log(max(2, n)) / n)
+    graph = nx.fast_gnp_random_graph(n, p, seed=int(rng.integers(0, 2**31)))
+    return _giant_component(graph)
+
+
+def caterpillar(spine: int, legs_per_vertex: int = 2) -> nx.Graph:
+    """A caterpillar tree: path spine with pendant legs.
+
+    Large diameter with many low-degree leaves — a useful BFS stress
+    family where most devices should sleep almost always.
+    """
+    if spine < 1:
+        raise ConfigurationError(f"spine must be >= 1, got {spine}")
+    if legs_per_vertex < 0:
+        raise ConfigurationError("legs_per_vertex must be >= 0")
+    graph = nx.path_graph(spine)
+    next_id = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            graph.add_edge(v, next_id)
+            next_id += 1
+    return graph
+
+
+def barbell(clique_size: int, path_length: int) -> nx.Graph:
+    """Two cliques joined by a path — dense ends, long thin middle.
+
+    Exercises the MPX clustering on mixed density and gives BFS a
+    topology where contention (the ``C`` of Lemma 3.1) varies wildly.
+    """
+    if clique_size < 3:
+        raise ConfigurationError(f"clique_size must be >= 3, got {clique_size}")
+    if path_length < 0:
+        raise ConfigurationError("path_length must be >= 0")
+    return _relabel(nx.barbell_graph(clique_size, path_length))
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """Star with ``leaves`` leaves — the max-degree case for Lemma 2.4."""
+    if leaves < 1:
+        raise ConfigurationError(f"leaves must be >= 1, got {leaves}")
+    return nx.star_graph(leaves)
+
+
+def lollipop(clique_size: int, path_length: int) -> nx.Graph:
+    """Clique with a path tail — asymmetric density for diameter tests."""
+    if clique_size < 3:
+        raise ConfigurationError(f"clique_size must be >= 3, got {clique_size}")
+    return _relabel(nx.lollipop_graph(clique_size, path_length))
+
+
+def binary_tree(depth: int) -> nx.Graph:
+    """Complete binary tree of the given depth."""
+    if depth < 0:
+        raise ConfigurationError(f"depth must be >= 0, got {depth}")
+    return _relabel(nx.balanced_tree(2, depth))
+
+
+def arboricity_upper_bound(graph: nx.Graph) -> int:
+    """Cheap upper bound on arboricity: max over subgraph density.
+
+    Uses the degeneracy bound ``arboricity <= degeneracy`` which is
+    computable in linear time; enough to verify the ``O(log n)``
+    arboricity claim of the Theorem 5.2 construction.
+    """
+    if graph.number_of_nodes() == 0:
+        return 0
+    core = nx.core_number(graph)
+    return max(core.values())
+
+
+def hypercube(dimension: int) -> nx.Graph:
+    """The ``dimension``-cube: ``2^d`` vertices, diameter ``d``.
+
+    A log-diameter, log-degree family — the opposite regime from paths
+    for the BFS energy experiments.
+    """
+    if dimension < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {dimension}")
+    return _relabel(nx.hypercube_graph(dimension))
+
+
+def grid_3d(x: int, y: int, z: int) -> nx.Graph:
+    """A 3-dimensional grid — denser sensor-field geometry."""
+    if min(x, y, z) < 1:
+        raise ConfigurationError("3d grid dimensions must be >= 1")
+    return _relabel(nx.grid_graph(dim=[x, y, z]))
+
+
+def random_regular(n: int, degree: int = 3, seed: SeedLike = None) -> nx.Graph:
+    """A random ``degree``-regular graph (an expander w.h.p.).
+
+    Expanders have logarithmic diameter and no cluster structure to
+    exploit — a stress family for the MPX distance proxy.
+    """
+    if degree < 3:
+        raise ConfigurationError(f"degree must be >= 3, got {degree}")
+    if n <= degree or (n * degree) % 2 != 0:
+        raise ConfigurationError(
+            f"need n > degree and n*degree even, got n={n}, degree={degree}"
+        )
+    rng = make_rng(seed)
+    graph = nx.random_regular_graph(degree, n, seed=int(rng.integers(0, 2**31)))
+    return _giant_component(graph)
+
+
+def wheel(spokes: int) -> nx.Graph:
+    """A wheel: hub + cycle — diameter 2 with one max-degree vertex."""
+    if spokes < 3:
+        raise ConfigurationError(f"spokes must be >= 3, got {spokes}")
+    return _relabel(nx.wheel_graph(spokes + 1))

@@ -1,0 +1,64 @@
+"""Seeded randomness utilities.
+
+Every stochastic component of the library takes either an explicit
+:class:`numpy.random.Generator` or an integer seed.  This module
+centralizes the conversion and the derivation of independent per-device
+streams, so that whole-system runs are reproducible bit-for-bit from a
+single seed while devices remain statistically independent (the model
+has no shared randomness).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy`` Generator from a seed, generator, or ``None``.
+
+    Passing an existing Generator returns it unchanged (no copy), so a
+    caller can thread one stream through a whole experiment.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_streams(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used to give each simulated device its own private randomness, as
+    required by the model ("Devices can locally generate unbiased random
+    bits; there is no shared randomness").
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+def exponential(rng: np.random.Generator, beta: float) -> float:
+    """Sample ``Exponential(beta)`` — rate ``beta``, mean ``1/beta``.
+
+    This is the shift distribution of the Miller-Peng-Xu clustering
+    (paper Section 2): ``delta_v ~ Exponential(beta)``.
+    """
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    return float(rng.exponential(1.0 / beta))
+
+
+def geometric_decay_slot(rng: np.random.Generator, max_slot: int) -> int:
+    """Sample the Decay protocol's transmission slot.
+
+    Returns ``X in [1, max_slot]`` with ``P(X = t) >= 2^-t`` (Lemma 2.4):
+    a truncated geometric — the leftover mass is assigned to ``max_slot``.
+    """
+    if max_slot < 1:
+        raise ValueError(f"max_slot must be >= 1, got {max_slot}")
+    # Geometric with success prob 1/2, truncated at max_slot.
+    slot = int(rng.geometric(0.5))
+    return min(slot, max_slot)

@@ -1,0 +1,81 @@
+"""Tests for the Theorem 4.1 complexity predictions."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    RecurrenceModel,
+    crossover_depth,
+    headline_exponent,
+    predicted_energy,
+    predicted_time,
+)
+
+
+class TestHeadlineExponent:
+    def test_formula(self):
+        e = headline_exponent(n=2**16, depth_budget=2**9)
+        assert e == pytest.approx(math.sqrt(9 * 4))
+
+    def test_monotone(self):
+        assert headline_exponent(1024, 512) >= headline_exponent(1024, 64)
+        assert headline_exponent(2**20, 64) >= headline_exponent(2**4, 64)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            headline_exponent(1, 4)
+
+
+class TestPredictions:
+    def test_energy_subpolynomial(self):
+        """2^sqrt(log D log log n) = D^{o(1)}: energy/D -> 0 as D grows."""
+        n = 2**20
+        ratios = [
+            predicted_energy(n, 2**k) / 2**k for k in (10, 20, 40, 60)
+        ]
+        assert all(b < a for a, b in zip(ratios, ratios[1:]))
+
+    def test_time_is_d_times_energy(self):
+        assert predicted_time(1024, 128) == pytest.approx(
+            128 * predicted_energy(1024, 128)
+        )
+
+
+class TestRecurrenceModel:
+    def test_base_case(self):
+        m = RecurrenceModel(beta=1 / 8, depth=0, sim_overhead=2,
+                            local_cost=5, shrink=1 / 4)
+        assert m.energy(100) == 100
+
+    def test_one_level(self):
+        m = RecurrenceModel(beta=1 / 8, depth=1, sim_overhead=2,
+                            local_cost=5, shrink=1 / 4)
+        assert m.energy(100) == 2 * 25 + 5
+
+    def test_recursion_helps_when_shrink_beats_overhead(self):
+        m = RecurrenceModel(beta=1 / 64, depth=3, sim_overhead=2,
+                            local_cost=10, shrink=1 / 8)
+        assert m.energy(10**6) < 10**6
+
+    def test_best_depth_zero_when_overhead_dominates(self):
+        m = RecurrenceModel(beta=1 / 4, depth=1, sim_overhead=50,
+                            local_cost=100, shrink=0.9)
+        assert m.best_depth(1000) == 0
+
+    def test_best_depth_positive_at_scale(self):
+        m = RecurrenceModel(beta=1 / 64, depth=1, sim_overhead=4,
+                            local_cost=64, shrink=1 / 8)
+        assert m.best_depth(10**9) >= 1
+
+
+class TestCrossover:
+    def test_infinite_when_overhead_wins(self):
+        assert math.isinf(
+            crossover_depth(1024, sim_overhead=40, local_cost=100, beta=1 / 8)
+        )
+
+    def test_finite_when_shrink_wins(self):
+        d = crossover_depth(1024, sim_overhead=2, local_cost=50, beta=1 / 64)
+        assert math.isfinite(d)
+        assert d > 1

@@ -1,0 +1,75 @@
+"""Tests for the Monte-Carlo lemma validators."""
+
+import pytest
+
+from repro.analysis import (
+    check_distance_proxy,
+    check_lemma_21,
+    remark_21_tightness,
+)
+from repro.radio import topology
+
+
+class TestLemma21:
+    def test_tail_respected_on_grid(self):
+        """Lemma 2.1's tail bound holds empirically (with MC slack)."""
+        g = topology.grid_graph(14, 14)
+        report = check_lemma_21(
+            g, beta=1 / 4, radius=2, j_values=[2, 4, 6, 8], trials=8, seed=0
+        )
+        # Allow 3 standard errors of Monte-Carlo noise.
+        n_samples = 8 * g.number_of_nodes()
+        slack = 3.0 / (n_samples ** 0.5)
+        assert report.max_violation() <= slack
+
+    def test_tail_decreasing_in_j(self):
+        g = topology.grid_graph(10, 10)
+        report = check_lemma_21(
+            g, beta=1 / 2, radius=1, j_values=[1, 3, 5], trials=5, seed=1
+        )
+        empiricals = [p.empirical for p in report.points]
+        assert empiricals == sorted(empiricals, reverse=True)
+
+    def test_bounds_match_formula(self):
+        import math
+
+        g = topology.path_graph(50)
+        report = check_lemma_21(
+            g, beta=1 / 4, radius=2, j_values=[3], trials=2, seed=2
+        )
+        expected = (1.0 - math.exp(-2 * 2 * 0.25)) ** 3
+        assert report.points[0].bound == pytest.approx(expected)
+
+
+class TestDistanceProxy:
+    def test_no_violations_on_path(self):
+        g = topology.path_graph(400)
+        report = check_distance_proxy(
+            g, beta=1 / 8, trials=4, pairs_per_trial=40, seed=3
+        )
+        assert report.lower_violations == 0
+        assert report.upper_violations_22 == 0
+
+    def test_no_violations_on_geometric(self):
+        g = topology.random_geometric(200, seed=7)
+        report = check_distance_proxy(
+            g, beta=1 / 4, trials=3, pairs_per_trial=30, seed=4
+        )
+        assert report.lower_violations == 0
+        assert report.upper_violations_22 == 0
+
+    def test_normalized_upper_bounded(self):
+        """Lemma 2.3's constant: dist_G*/(beta d) stays small for long d."""
+        g = topology.path_graph(500)
+        report = check_distance_proxy(
+            g, beta=1 / 4, trials=4, pairs_per_trial=40, seed=5
+        )
+        assert report.max_normalized_upper <= 8.0
+
+
+class TestRemark21:
+    def test_tightness_on_paths(self):
+        """dist_G*/(beta d) is Theta(1) on long paths: bounded both ways."""
+        mean, worst = remark_21_tightness(600, beta=1 / 8, trials=6, seed=6)
+        assert 0.05 <= mean <= 4.0
+        assert worst <= 8.0

@@ -1,0 +1,36 @@
+"""Tests for the table/series formatters."""
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["longvalue"], ["x"]])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("longvalue")
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[3.14159]])
+        assert "3.142" in out
+
+    def test_integral_float_shown_as_int(self):
+        out = format_table(["v"], [[5.0]])
+        assert "5" in out.splitlines()[-1]
+        assert "5.0" not in out.splitlines()[-1]
+
+
+class TestFormatSeries:
+    def test_series_lines(self):
+        out = format_series("energy", [1, 2], [10.0, 20.5])
+        lines = out.splitlines()
+        assert lines[0] == "series: energy"
+        assert len(lines) == 3
+        assert "20.5" in lines[2]

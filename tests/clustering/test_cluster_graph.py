@@ -1,0 +1,101 @@
+"""Tests for the cluster graph as a distance proxy (Lemmas 2.1-2.3)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.clustering import (
+    ClusterGraph,
+    ball_cluster_counts,
+    check_proxy_bounds,
+    mpx_clustering,
+    sample_distance_pairs,
+)
+from repro.radio import topology
+
+
+@pytest.fixture
+def path_cg():
+    g = topology.path_graph(300)
+    c = mpx_clustering(g, 1 / 8, seed=0, radius_multiplier=2.0)
+    return ClusterGraph.build(g, c)
+
+
+class TestClusterGraphBasics:
+    def test_distances_match_networkx(self, path_cg):
+        assert path_cg.base_distance(0, 299) == 299
+        cu = path_cg.clustering.center_of[0]
+        cv = path_cg.clustering.center_of[299]
+        assert path_cg.cluster_distance(0, 299) == nx.shortest_path_length(
+            path_cg.quotient, cu, cv
+        )
+
+    def test_same_cluster_distance_zero(self, path_cg):
+        c = path_cg.clustering
+        cluster = next(iter(c.members))
+        members = sorted(c.members[cluster], key=repr)
+        if len(members) >= 2:
+            assert path_cg.cluster_distance(members[0], members[1]) == 0
+
+
+class TestDistanceProxy:
+    def test_lower_bound_lemma22(self, path_cg):
+        """dist_G* >= floor(beta d / (8 log n)) for all sampled pairs."""
+        samples = sample_distance_pairs(path_cg, 80, seed=1)
+        report = check_proxy_bounds(path_cg, samples)
+        assert report.lower_violations == 0
+
+    def test_upper_bound_lemma22(self, path_cg):
+        """dist_G* <= ceil(beta d) * C log n for all sampled pairs."""
+        samples = sample_distance_pairs(path_cg, 80, seed=2)
+        report = check_proxy_bounds(path_cg, samples)
+        assert report.upper_violations_22 == 0
+
+    def test_long_distance_proxy_lemma23(self):
+        """For long distances, dist_G* <= C beta d with small C."""
+        g = topology.path_graph(600)
+        violations = 0
+        for s in range(5):
+            c = mpx_clustering(g, 1 / 4, seed=s, radius_multiplier=2.0)
+            cg = ClusterGraph.build(g, c)
+            x = cg.cluster_distance(0, 599)
+            if x > 4.0 * (1 / 4) * 599:
+                violations += 1
+        assert violations == 0
+
+    def test_min_distance_filter(self, path_cg):
+        samples = sample_distance_pairs(path_cg, 30, seed=3, min_distance=50)
+        assert all(s.base_distance >= 50 for s in samples)
+
+    def test_report_ok_flag(self, path_cg):
+        samples = sample_distance_pairs(path_cg, 40, seed=4)
+        report = check_proxy_bounds(path_cg, samples)
+        assert report.ok == (
+            report.lower_violations == 0 and report.upper_violations_22 == 0
+        )
+
+
+class TestBallClusterCounts:
+    def test_radius_zero_is_one(self, grid8):
+        c = mpx_clustering(grid8, 1 / 4, seed=5)
+        counts = ball_cluster_counts(grid8, c, radius=0)
+        assert all(v == 1 for v in counts.values())
+
+    def test_monotone_in_radius(self, grid8):
+        c = mpx_clustering(grid8, 1 / 4, seed=6)
+        c0 = ball_cluster_counts(grid8, c, radius=1)
+        c1 = ball_cluster_counts(grid8, c, radius=3)
+        assert all(c1[v] >= c0[v] for v in grid8)
+
+    def test_bounded_by_cluster_count(self, grid8):
+        c = mpx_clustering(grid8, 1 / 4, seed=7)
+        counts = ball_cluster_counts(grid8, c, radius=100)
+        assert all(v == len(c.members) for v in counts.values())
+
+    def test_negative_radius_rejected(self, grid8):
+        from repro.errors import ConfigurationError
+
+        c = mpx_clustering(grid8, 1 / 4, seed=8)
+        with pytest.raises(ConfigurationError):
+            ball_cluster_counts(grid8, c, radius=-1)

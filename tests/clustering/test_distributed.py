@@ -1,0 +1,78 @@
+"""Tests for distributed MPX clustering (Lemma 2.5)."""
+
+import networkx as nx
+import pytest
+
+from repro.clustering import charged_mpx, distributed_mpx, mpx_clustering
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+class TestDistributedMPX:
+    def test_valid_partition(self, grid8):
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        c = distributed_mpx(lbg, 1 / 4, seed=1)
+        c.validate(grid8)
+
+    def test_all_vertices_clustered(self, geo120):
+        lbg = PhysicalLBGraph(geo120, seed=0)
+        c = distributed_mpx(lbg, 1 / 4, seed=2)
+        assert set(c.center_of) == set(geo120.nodes)
+
+    def test_energy_envelope_lemma25(self, grid8):
+        """Each vertex participates in <= T Local-Broadcasts."""
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        c = distributed_mpx(lbg, 1 / 4, seed=3)
+        horizon = c.shifts.params.horizon
+        assert lbg.ledger.max_lb() <= horizon
+        assert lbg.ledger.lb_rounds == horizon
+
+    def test_layers_consistent(self, grid8):
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        c = distributed_mpx(lbg, 1 / 4, seed=4)
+        for v in grid8:
+            if c.layer_of[v] > 0:
+                assert any(
+                    c.center_of[u] == c.center_of[v]
+                    and c.layer_of[u] == c.layer_of[v] - 1
+                    for u in grid8.neighbors(v)
+                )
+
+
+class TestChargedMPX:
+    def test_same_energy_envelope_as_distributed(self, grid8):
+        lbg_d = PhysicalLBGraph(grid8, seed=0)
+        cd = distributed_mpx(lbg_d, 1 / 4, seed=5)
+        lbg_c = PhysicalLBGraph(grid8, seed=0)
+        cc = charged_mpx(lbg_c, 1 / 4, seed=5)
+        # Same rounds; per-vertex totals equal the horizon in both.
+        assert lbg_c.ledger.lb_rounds == lbg_d.ledger.lb_rounds
+        horizon = cc.shifts.params.horizon
+        for v in grid8:
+            assert lbg_c.ledger.device(v).lb_participations == horizon
+
+    def test_valid_partition(self, geo120):
+        lbg = PhysicalLBGraph(geo120, seed=0)
+        c = charged_mpx(lbg, 1 / 4, seed=6)
+        c.validate(geo120)
+
+    def test_matches_centralized_distribution(self, grid8):
+        """charged_mpx delegates to the centralized reference."""
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        c1 = charged_mpx(lbg, 1 / 4, seed=7)
+        c2 = mpx_clustering(grid8, 1 / 4, seed=7)
+        assert c1.center_of == c2.center_of
+
+
+class TestStatisticalAgreement:
+    def test_cluster_count_similar(self):
+        """Distributed and centralized produce similar cluster counts."""
+        g = topology.grid_graph(14, 14)
+        counts_d, counts_c = [], []
+        for s in range(5):
+            lbg = PhysicalLBGraph(g, seed=s)
+            counts_d.append(len(distributed_mpx(lbg, 1 / 2, seed=s).members))
+            counts_c.append(len(mpx_clustering(g, 1 / 2, seed=1000 + s).members))
+        mean_d = sum(counts_d) / len(counts_d)
+        mean_c = sum(counts_c) / len(counts_c)
+        assert 0.5 * mean_c <= mean_d <= 2.0 * mean_c

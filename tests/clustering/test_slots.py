@@ -1,0 +1,80 @@
+"""Tests for shared slot subsets (Lemma 3.1 property (2))."""
+
+import networkx as nx
+import pytest
+
+from repro.clustering import (
+    SlotAssignment,
+    contention_bound,
+    good_slot_fraction,
+    mpx_clustering,
+)
+from repro.errors import ConfigurationError
+from repro.radio import topology
+
+
+class TestContentionBound:
+    def test_monotone_in_n(self):
+        assert contention_bound(1 / 4, 1000) >= contention_bound(1 / 4, 10)
+
+    def test_larger_for_smaller_beta(self):
+        # Smaller beta -> clusters arrive slower -> fewer clusters near v.
+        assert contention_bound(1 / 16, 1000) <= contention_bound(1 / 2, 1000) * 10
+
+    def test_minimum_two(self):
+        assert contention_bound(1 / 2, 2) >= 2
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            contention_bound(0.0, 10)
+
+
+class TestSlotAssignment:
+    def test_every_cluster_has_slots(self):
+        a = SlotAssignment.sample(range(20), beta=1 / 4, n=100, seed=0)
+        for c in range(20):
+            assert len(a.subset(c)) >= 1
+            assert all(0 <= j < a.ell for j in a.subset(c))
+
+    def test_mean_size_theta_log_n(self):
+        a = SlotAssignment.sample(range(200), beta=1 / 4, n=1000, seed=1)
+        import math
+
+        expected = a.ell / a.contention
+        assert 0.5 * expected <= a.mean_size() <= 2.0 * expected
+
+    def test_reproducible(self):
+        a = SlotAssignment.sample(range(10), 1 / 4, 64, seed=5)
+        b = SlotAssignment.sample(range(10), 1 / 4, 64, seed=5)
+        assert a.subsets == b.subsets
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ConfigurationError):
+            SlotAssignment.sample(range(3), 1 / 4, 10, slot_multiplier=0)
+
+
+class TestPropertyTwo:
+    def test_good_slot_fraction_high(self):
+        """Property (2): w.h.p. every cluster has a private slot."""
+        g = topology.grid_graph(16, 16)
+        total_good = 0.0
+        trials = 5
+        for s in range(trials):
+            c = mpx_clustering(g, 1 / 4, seed=s)
+            a = SlotAssignment.sample(
+                c.clusters(), 1 / 4, g.number_of_nodes(), seed=100 + s
+            )
+            q = c.quotient_graph(g)
+            total_good += good_slot_fraction(a, q)
+        assert total_good / trials >= 0.95
+
+    def test_isolated_cluster_always_good(self):
+        a = SlotAssignment.sample(["c1"], 1 / 4, 16, seed=0)
+        q = nx.Graph()
+        q.add_node("c1")
+        assert good_slot_fraction(a, q) == 1.0
+
+    def test_empty_assignment(self):
+        a = SlotAssignment.sample([], 1 / 4, 16, seed=0)
+        assert good_slot_fraction(a, nx.Graph()) == 1.0
+        assert a.mean_size() == 0.0

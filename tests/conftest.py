@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+@pytest.fixture
+def path50() -> nx.Graph:
+    """A 50-vertex path (diameter 49)."""
+    return topology.path_graph(50)
+
+
+@pytest.fixture
+def grid8() -> nx.Graph:
+    """An 8x8 grid (diameter 14)."""
+    return topology.grid_graph(8, 8)
+
+
+@pytest.fixture
+def geo120() -> nx.Graph:
+    """A ~120-vertex connected random geometric graph."""
+    return topology.random_geometric(120, seed=11)
+
+
+@pytest.fixture
+def star16() -> nx.Graph:
+    """A star with 16 leaves (max degree 16)."""
+    return topology.star_graph(16)
+
+
+@pytest.fixture
+def lbg_path50(path50) -> PhysicalLBGraph:
+    """Deterministic LBGraph over the 50-path."""
+    return PhysicalLBGraph(path50, seed=0)
+
+
+@pytest.fixture
+def lbg_grid8(grid8) -> PhysicalLBGraph:
+    """Deterministic LBGraph over the 8x8 grid."""
+    return PhysicalLBGraph(grid8, seed=0)

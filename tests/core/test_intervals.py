@@ -1,0 +1,78 @@
+"""Tests for per-cluster estimate intervals (Invariant 4.1 bookkeeping)."""
+
+import math
+
+import pytest
+
+from repro.core import ClusterEstimates
+
+
+class TestUpdates:
+    def test_special_sets_interval(self):
+        e = ClusterEstimates()
+        e.set_special("c", 0, 3.0, 20.0)
+        assert e.lower_of("c") == 3.0
+        assert e.upper_of("c") == 20.0
+
+    def test_automatic_shrinks_both(self):
+        e = ClusterEstimates()
+        e.set_special("c", 0, 10.0, 30.0)
+        e.automatic("c", 1, inv_beta=4)
+        assert e.lower_of("c") == 6.0
+        assert e.upper_of("c") == 26.0
+
+    def test_automatic_handles_infinity(self):
+        e = ClusterEstimates()
+        e.set_special("c", 0, math.inf, math.inf)
+        e.automatic("c", 1, inv_beta=4)
+        assert math.isinf(e.lower_of("c"))
+
+    def test_automatic_without_estimate_raises(self):
+        e = ClusterEstimates()
+        with pytest.raises(KeyError):
+            e.automatic("missing", 0, 4)
+
+    def test_unknown_cluster_defaults_to_inf(self):
+        e = ClusterEstimates()
+        assert math.isinf(e.lower_of("nope"))
+
+
+class TestInvariant:
+    def test_brackets(self):
+        e = ClusterEstimates()
+        e.set_special("c", 0, 2.0, 10.0)
+        assert e.brackets("c", 5.0)
+        assert e.brackets("c", 2.0)
+        assert e.brackets("c", 10.0)
+        assert not e.brackets("c", 1.0)
+        assert not e.brackets("c", 11.0)
+
+    def test_brackets_preserved_by_automatic(self):
+        """If [L, U] brackets d, then after both drop by 1/beta it
+        brackets d - 1/beta — the Automatic Update soundness."""
+        e = ClusterEstimates()
+        e.set_special("c", 0, 4.0, 12.0)
+        true_d = 8.0
+        assert e.brackets("c", true_d)
+        e.automatic("c", 1, inv_beta=4)
+        assert e.brackets("c", true_d - 4)
+
+
+class TestHistory:
+    def test_watched_cluster_records(self):
+        e = ClusterEstimates(watch=["c"])
+        e.set_special("c", 0, 1.0, 5.0)
+        e.automatic("c", 1, 2)
+        events = e.history["c"]
+        assert [ev.kind for ev in events] == ["special", "automatic"]
+        assert events[0].stage == 0
+        assert events[1].lower == -1.0
+
+    def test_unwatched_not_recorded(self):
+        e = ClusterEstimates(watch=["a"])
+        e.set_special("b", 0, 1.0, 2.0)
+        assert "b" not in e.history
+
+    def test_watched_set(self):
+        e = ClusterEstimates(watch=["x", "y"])
+        assert e.watched() == {"x", "y"}

@@ -1,0 +1,48 @@
+"""Tests for the BFSLabeling result type."""
+
+import math
+
+from repro.core import BFSLabeling
+from repro.radio import EnergyLedger
+
+
+def _make(labels):
+    ledger = EnergyLedger()
+    ledger.charge_lb(["a"], ["b"])
+    return BFSLabeling.from_ledger(labels, {0}, 10, ledger)
+
+
+class TestBFSLabeling:
+    def test_settled_filters_infinite(self):
+        lab = _make({0: 0.0, 1: 1.0, 2: math.inf})
+        assert lab.settled() == {0: 0, 1: 1}
+
+    def test_eccentricity(self):
+        lab = _make({0: 0.0, 1: 7.0, 2: 3.0})
+        assert lab.eccentricity() == 7.0
+
+    def test_eccentricity_all_inf(self):
+        lab = _make({0: math.inf})
+        assert lab.eccentricity() == 0.0
+
+    def test_coverage(self):
+        lab = _make({0: 0.0, 1: 1.0, 2: math.inf, 3: math.inf})
+        assert lab.coverage() == 0.5
+
+    def test_coverage_empty(self):
+        lab = _make({})
+        assert lab.coverage() == 0.0
+
+    def test_ledger_stats_captured(self):
+        lab = _make({0: 0.0})
+        assert lab.max_lb_energy == 1
+        assert lab.lb_rounds == 1
+        assert lab.total_lb_energy == 2
+
+    def test_rounds_baseline_subtracted(self):
+        ledger = EnergyLedger()
+        ledger.advance_lb_rounds(5)
+        before = ledger.lb_rounds
+        ledger.charge_lb(["a"], [])
+        lab = BFSLabeling.from_ledger({0: 0.0}, {0}, 3, ledger, rounds_before=before)
+        assert lab.lb_rounds == 1

@@ -1,0 +1,95 @@
+"""Tests for BFSParameters: proxy conversions and instance selection."""
+
+import math
+
+import pytest
+
+from repro.core import BFSParameters
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_integer_inv_beta_required(self):
+        with pytest.raises(ConfigurationError):
+            BFSParameters(beta=0.3, max_depth=1)
+
+    def test_beta_range(self):
+        with pytest.raises(ConfigurationError):
+            BFSParameters(beta=1.0, max_depth=1)
+        with pytest.raises(ConfigurationError):
+            BFSParameters(beta=0.0, max_depth=1)
+
+    def test_depth_positive(self):
+        with pytest.raises(ConfigurationError):
+            BFSParameters(beta=1 / 4, max_depth=0)
+
+    def test_inv_beta(self):
+        assert BFSParameters(beta=1 / 8, max_depth=1).inv_beta == 8
+
+
+class TestProxyConversions:
+    def test_lower_bound_sound_under_affine_bound(self):
+        """If x <= mult*beta*d + add (the proxy guarantee), then
+        lower_from_proxy(x) <= d — the soundness the algorithm needs."""
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        for d in (1, 5, 10, 50, 200, 1000):
+            x_max = p.proxy_mult * p.beta * d + p.proxy_add
+            assert p.lower_from_proxy(x_max) <= d + 1e-9
+
+    def test_proxy_depth_covers_affine_bound(self):
+        """proxy_depth(d) >= mult*beta*d + add: the search reaches every
+        cluster the proxy guarantee can place within distance d."""
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        for d in (1, 5, 10, 50, 200, 1000):
+            assert p.proxy_depth(d) >= p.proxy_mult * p.beta * d + p.proxy_add
+
+    def test_lower_bound_monotone(self):
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        values = [p.lower_from_proxy(x) for x in range(0, 100, 5)]
+        assert values == sorted(values)
+
+    def test_lower_bound_nonnegative(self):
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        assert p.lower_from_proxy(0) == 0.0
+
+    def test_lower_inf(self):
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        assert math.isinf(p.lower_from_proxy(math.inf))
+
+    def test_upper_bound_formula(self):
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        horizon = 10
+        assert p.upper_from_proxy(0, horizon) == 21  # one cluster: <= 2H+1
+        assert p.upper_from_proxy(3, horizon) == 4 * 21 + 3
+
+    def test_d_star_is_z_cap_form(self):
+        p = BFSParameters(beta=1 / 8, max_depth=1, alpha=4)
+        d_star = p.d_star(100)
+        assert d_star >= p.proxy_depth(100)
+        # alpha * 2^j form
+        ratio = d_star / 4
+        assert 2 ** round(math.log2(ratio)) == ratio
+
+
+class TestForInstance:
+    def test_paper_formula_shapes(self):
+        p = BFSParameters.for_instance(n=1024, depth_budget=256)
+        assert p.inv_beta >= 2
+        assert p.max_depth >= 1
+        # beta = 2^{-sqrt(log D log log n)}: log D = 8, log log n = ~3.3
+        # -> exponent ~ 5, inv_beta ~ 32 but clamped sanely.
+        assert p.inv_beta <= 256
+
+    def test_small_instance(self):
+        p = BFSParameters.for_instance(n=16, depth_budget=4)
+        assert p.inv_beta >= 2
+
+    def test_overrides(self):
+        p = BFSParameters.for_instance(n=100, depth_budget=50, max_depth=3)
+        assert p.max_depth == 3
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            BFSParameters.for_instance(n=1, depth_budget=10)
+        with pytest.raises(ConfigurationError):
+            BFSParameters.for_instance(n=10, depth_budget=0)

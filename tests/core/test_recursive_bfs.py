@@ -1,0 +1,234 @@
+"""Tests for Recursive-BFS — correctness against ground truth, the
+efficiency claims (Claims 1 and 2), and the algorithm's bookkeeping."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core import BFSParameters, RecursiveBFS, verify_labeling
+from repro.errors import ConfigurationError
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+def _truth(g, sources, budget):
+    truth = nx.multi_source_dijkstra_path_length(g, list(sources))
+    return {
+        v: (float(truth[v]) if v in truth and truth[v] <= budget else math.inf)
+        for v in g
+    }
+
+
+def _assert_correct(g, sources, budget, params, seed=0, graph_seed=0):
+    lbg = PhysicalLBGraph(g, seed=graph_seed)
+    rb = RecursiveBFS(params, seed=seed)
+    labels = rb.compute(lbg, sources, budget)
+    expected = _truth(g, sources, budget)
+    mismatches = {v for v in g if labels.get(v) != expected[v]}
+    assert not mismatches, f"{len(mismatches)} wrong labels, e.g. {sorted(mismatches, key=repr)[:5]}"
+    return lbg, rb, labels
+
+
+class TestCorrectness:
+    def test_path(self):
+        g = topology.path_graph(120)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        _assert_correct(g, [0], 119, p)
+
+    def test_path_middle_source(self):
+        g = topology.path_graph(121)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        _assert_correct(g, [60], 60, p)
+
+    def test_grid(self):
+        g = topology.grid_graph(14, 14)
+        p = BFSParameters(beta=1 / 4, max_depth=1)
+        _assert_correct(g, [0], 26, p)
+
+    def test_geometric(self):
+        g = topology.random_geometric(250, seed=2)
+        p = BFSParameters(beta=1 / 4, max_depth=1)
+        _assert_correct(g, [0], g.number_of_nodes(), p)
+
+    def test_tree(self):
+        g = topology.random_tree(200, seed=3)
+        p = BFSParameters(beta=1 / 4, max_depth=1)
+        _assert_correct(g, [0], 200, p)
+
+    def test_caterpillar(self):
+        g = topology.caterpillar(80, 2)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        _assert_correct(g, [0], 100, p)
+
+    def test_cycle(self):
+        g = topology.cycle_graph(150)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        _assert_correct(g, [0], 75, p)
+
+    def test_multi_source(self):
+        g = topology.path_graph(100)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        _assert_correct(g, [0, 99], 50, p)
+
+    def test_depth_budget_truncates(self):
+        g = topology.path_graph(100)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        lbg, rb, labels = _assert_correct(g, [0], 40, p)
+        assert math.isinf(labels[80])
+        assert labels[40] == 40
+
+    def test_depth_two_recursion(self):
+        g = topology.path_graph(300)
+        p = BFSParameters(beta=1 / 8, max_depth=2)
+        _assert_correct(g, [0], 299, p)
+
+    def test_many_seeds(self):
+        """Monte-Carlo robustness across clustering draws."""
+        g = topology.path_graph(150)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        for seed in range(8):
+            _assert_correct(g, [0], 149, p, seed=seed)
+
+    def test_active_set_restriction(self):
+        g = topology.path_graph(60)
+        lbg = PhysicalLBGraph(g, seed=0)
+        p = BFSParameters(beta=1 / 4, max_depth=1)
+        rb = RecursiveBFS(p, seed=0)
+        labels = rb.compute(lbg, [0], 59, active=set(range(30)))
+        assert labels[29] == 29
+        assert 45 not in labels
+
+    def test_verifier_accepts_output(self):
+        g = topology.grid_graph(10, 10)
+        p = BFSParameters(beta=1 / 4, max_depth=1)
+        lbg, rb, labels = _assert_correct(g, [0], 18, p)
+        report = verify_labeling(PhysicalLBGraph(g, seed=5), labels, {0})
+        assert report.ok, report.violations[:3]
+
+
+class TestEfficiencyClaims:
+    def test_claim1_awake_stages_sublinear(self):
+        """Claim 1: vertices are awake for far fewer stages than exist."""
+        g = topology.path_graph(1200)
+        p = BFSParameters(beta=1 / 16, max_depth=1)
+        lbg, rb, labels = _assert_correct(g, [0], 1199, p)
+        stats = rb.stats
+        assert stats.stage_count >= 70
+        assert stats.max_awake_stages() < 0.6 * stats.stage_count
+
+    def test_claim2_special_updates_sublinear(self):
+        """Claim 2: clusters join far fewer Special Updates than stages."""
+        g = topology.path_graph(1200)
+        p = BFSParameters(beta=1 / 16, max_depth=1)
+        lbg, rb, labels = _assert_correct(g, [0], 1199, p)
+        stats = rb.stats
+        assert stats.max_special_updates() < 0.8 * stats.stage_count
+
+    def test_wavefront_energy_saturates(self):
+        """Per-vertex Step-5 work stays far below the trivial D bound."""
+        g = topology.path_graph(1200)
+        p = BFSParameters(beta=1 / 16, max_depth=1)
+        lbg, rb, labels = _assert_correct(g, [0], 1199, p)
+        max_wavefront = max(rb.stats.wavefront_lb.values())
+        assert max_wavefront < 1199 / 2
+
+    def test_recursion_happens(self):
+        g = topology.path_graph(200)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        lbg, rb, labels = _assert_correct(g, [0], 199, p)
+        assert rb.stats.recursive_calls.get(1, 0) > 1  # init + special updates
+
+
+class TestBookkeeping:
+    def test_cluster_graph_cached(self):
+        """G* is computed once per graph, reused across calls."""
+        g = topology.path_graph(100)
+        lbg = PhysicalLBGraph(g, seed=0)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        rb = RecursiveBFS(p, seed=0)
+        rb.compute(lbg, [0], 99)
+        levels_after_first = len(rb._levels)
+        rb.compute(lbg, [50], 99)
+        assert len(rb._levels) == levels_after_first
+
+    def test_no_sources_rejected(self):
+        g = topology.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        rb = RecursiveBFS(BFSParameters(beta=1 / 4, max_depth=1))
+        with pytest.raises(ConfigurationError):
+            rb.compute(lbg, [], 5)
+
+    def test_stray_active_rejected(self):
+        g = topology.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        rb = RecursiveBFS(BFSParameters(beta=1 / 4, max_depth=1))
+        with pytest.raises(ConfigurationError):
+            rb.compute(lbg, [0], 5, active=[0, 999])
+
+    def test_compute_labeling_report(self):
+        g = topology.path_graph(80)
+        lbg = PhysicalLBGraph(g, seed=0)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        rb = RecursiveBFS(p, seed=0)
+        labeling = rb.compute_labeling(lbg, [0], 79)
+        assert labeling.labels[79] == 79
+        assert labeling.max_lb_energy == lbg.ledger.max_lb()
+        assert labeling.eccentricity() == 79
+        assert labeling.coverage() == 1.0
+
+    def test_stage_observer_called(self):
+        g = topology.path_graph(100)
+        lbg = PhysicalLBGraph(g, seed=0)
+        seen = []
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        rb = RecursiveBFS(
+            p, seed=0, stage_observer=lambda lvl, st, est, wf: seen.append(st)
+        )
+        rb.compute(lbg, [0], 99)
+        assert seen  # at least one stage observed
+        assert seen == sorted(seen)
+
+    def test_watch_clusters_history(self):
+        g = topology.path_graph(150)
+        lbg = PhysicalLBGraph(g, seed=0)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        # First run to learn the clustering, then watch one cluster.
+        rb_probe = RecursiveBFS(p, seed=4)
+        rb_probe.compute(lbg, [0], 149)
+        some_cluster = next(iter(rb_probe._levels.values()))[1].clustering.center_of[140]
+        lbg2 = PhysicalLBGraph(g, seed=0)
+        rb = RecursiveBFS(p, seed=4, watch_clusters=[some_cluster])
+        rb.compute(lbg2, [0], 149)
+        assert rb.last_estimates is not None
+        history = rb.last_estimates.history[some_cluster]
+        assert any(ev.kind == "special" for ev in history)
+
+
+class TestEstimateSoundness:
+    def test_estimates_bracket_true_distance(self):
+        """Invariant 4.1 spot check via the stage observer."""
+        g = topology.path_graph(300)
+        lbg = PhysicalLBGraph(g, seed=0)
+        p = BFSParameters(beta=1 / 8, max_depth=1)
+        violations = []
+        rb_holder = {}
+
+        def observer(level, stage, estimates, wavefront):
+            rb = rb_holder["rb"]
+            clustering = next(iter(rb._levels.values()))[1].clustering
+            dist_from_front = nx.multi_source_dijkstra_path_length(
+                g, list(wavefront)
+            )
+            for c, members in clustering.members.items():
+                lower = estimates.lower_of(c)
+                if math.isinf(lower):
+                    continue
+                true_d = min(dist_from_front.get(v, math.inf) for v in members)
+                if math.isfinite(true_d) and lower > true_d + 1e-9:
+                    violations.append((stage, c, lower, true_d))
+
+        rb = RecursiveBFS(p, seed=1, stage_observer=observer)
+        rb_holder["rb"] = rb
+        rb.compute(lbg, [0], 299)
+        assert not violations, violations[:3]

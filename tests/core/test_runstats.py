@@ -1,0 +1,43 @@
+"""Tests for the RunStats instrumentation of Recursive-BFS."""
+
+from repro.core import RunStats
+
+
+class TestRunStats:
+    def test_defaults_empty(self):
+        s = RunStats()
+        assert s.max_awake_stages() == 0
+        assert s.max_special_updates() == 0
+        assert s.awake_stages == {}
+        assert s.recursive_calls == {}
+
+    def test_max_awake(self):
+        s = RunStats()
+        s.awake_stages = {"a": 3, "b": 7}
+        assert s.max_awake_stages() == 7
+
+    def test_max_special(self):
+        s = RunStats()
+        s.special_updates = {"c1": 2, "c2": 9}
+        assert s.max_special_updates() == 9
+
+    def test_populated_by_run(self):
+        import networkx as nx
+
+        from repro.core import BFSParameters, RecursiveBFS
+        from repro.primitives import PhysicalLBGraph
+        from repro.radio import topology
+
+        g = topology.path_graph(120)
+        lbg = PhysicalLBGraph(g, seed=0)
+        rb = RecursiveBFS(BFSParameters(beta=1 / 8, max_depth=1), seed=1)
+        rb.compute(lbg, [0], 119)
+        s = rb.stats
+        assert s.stage_count == 15  # ceil(119 / 8)
+        assert s.recursive_calls[0] == 1
+        assert s.recursive_calls[1] >= 1
+        assert s.awake_stages
+        assert s.wavefront_lb
+        # Every awake vertex did some wavefront LB work.
+        for v, stages in s.awake_stages.items():
+            assert s.wavefront_lb.get(v, 0) >= 1 or stages >= 1

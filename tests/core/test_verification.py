@@ -1,0 +1,75 @@
+"""Tests for distributed BFS-labeling verification."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core import trivial_bfs, verify_labeling
+from repro.errors import ConfigurationError
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+def _correct_labels(g, source=0):
+    return {
+        v: float(d)
+        for v, d in nx.single_source_shortest_path_length(g, source).items()
+    }
+
+
+class TestAccepts:
+    def test_correct_labeling_accepted(self, grid8):
+        labels = _correct_labels(grid8)
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        assert verify_labeling(lbg, labels, {0}).ok
+
+    def test_truncated_labeling_accepted(self, path50):
+        """Labels cut at a budget (inf beyond) still verify."""
+        lbg = PhysicalLBGraph(path50, seed=0)
+        labels = trivial_bfs(PhysicalLBGraph(path50, seed=1), [0], 20)
+        assert verify_labeling(lbg, labels, {0}).ok
+
+
+class TestRejects:
+    def test_wrong_source_label(self, grid8):
+        labels = _correct_labels(grid8)
+        labels[0] = 1.0
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        assert not verify_labeling(lbg, labels, {0}).ok
+
+    def test_extra_zero(self, grid8):
+        labels = _correct_labels(grid8)
+        labels[5] = 0.0
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        assert not verify_labeling(lbg, labels, {0}).ok
+
+    def test_orphan_layer(self, path50):
+        """A label with no (d-1)-neighbor is caught."""
+        labels = _correct_labels(path50)
+        labels[30] = 35.0  # no neighbor labelled 34
+        lbg = PhysicalLBGraph(path50, seed=0)
+        report = verify_labeling(lbg, labels, {0})
+        assert not report.ok
+
+    def test_too_small_label_neighbor(self, path50):
+        """A vertex with a much closer neighbor is caught."""
+        labels = _correct_labels(path50)
+        labels[25] = 40.0  # neighbors 24, 26 are labelled 24 and 26
+        lbg = PhysicalLBGraph(path50, seed=0)
+        report = verify_labeling(lbg, labels, {0})
+        assert not report.ok
+
+    def test_empty_sources_rejected(self, grid8):
+        lbg = PhysicalLBGraph(grid8, seed=0)
+        with pytest.raises(ConfigurationError):
+            verify_labeling(lbg, _correct_labels(grid8), set())
+
+
+class TestEnergy:
+    def test_constant_participations_per_vertex(self, path50):
+        """Verification is polylog-energy: O(1) LBs per vertex here."""
+        labels = _correct_labels(path50)
+        lbg = PhysicalLBGraph(path50, seed=0)
+        verify_labeling(lbg, labels, {0})
+        assert lbg.ledger.max_lb() <= 5

@@ -1,0 +1,101 @@
+"""Tests for the Z-sequence (Lemma 4.2)."""
+
+import pytest
+
+from repro.core import ZSequence, ruler_value, z_cap
+from repro.errors import ConfigurationError
+
+
+class TestRulerValue:
+    def test_paper_prefix(self):
+        expected = [1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1, 16]
+        assert [ruler_value(i) for i in range(1, 17)] == expected
+
+    def test_powers_of_two(self):
+        for k in range(10):
+            assert ruler_value(2**k) == 2**k
+
+    def test_odd_is_one(self):
+        for i in range(1, 100, 2):
+            assert ruler_value(i) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ruler_value(0)
+
+
+class TestZCap:
+    def test_cap_form(self):
+        assert z_cap(1) == 4
+        assert z_cap(4) == 4
+        assert z_cap(5) == 8
+        assert z_cap(100) == 128
+
+    def test_alpha_scaling(self):
+        assert z_cap(5, alpha=2) == 8
+        assert z_cap(3, alpha=3) == 3
+
+
+class TestZSequence:
+    def test_paper_definition(self):
+        z = ZSequence(d_star=32, alpha=4)
+        assert z[0] == 32
+        # Z[i] = min(32, 4 * Y[i])
+        expected = [4, 8, 4, 16, 4, 8, 4, 32, 4, 8, 4, 16, 4, 8, 4, 32]
+        assert z.prefix(17)[1:] == expected
+
+    def test_truncation_at_d_star(self):
+        z = ZSequence(d_star=8, alpha=4)
+        assert max(z.prefix(64)) == 8
+
+    def test_invalid_d_star(self):
+        with pytest.raises(ConfigurationError):
+            ZSequence(d_star=3, alpha=4)  # < alpha
+        with pytest.raises(ConfigurationError):
+            ZSequence(d_star=12, alpha=4)  # not alpha * 2^j
+
+    def test_negative_index(self):
+        z = ZSequence(d_star=16)
+        with pytest.raises(ConfigurationError):
+            z[-1]
+
+
+class TestLemma42:
+    def test_part1_gap_bound(self):
+        """Lemma 4.2(1): next index with Z[j] >= b is within b/alpha."""
+        z = ZSequence(d_star=256, alpha=4)
+        for i in range(1, 100):
+            for b in (4, 8, 16, 32):
+                j = z.next_at_least(i, b)
+                assert j - i <= b / 4
+
+    def test_part1_exact_period(self):
+        """When 2b <= Z[i] (the precondition as used in Lemma 4.3's
+        proof, where Z[i] >= 2x), the next index with Z >= b has Z == b
+        exactly and arrives after b/alpha steps."""
+        z = ZSequence(d_star=256, alpha=4)
+        for i in range(1, 80):
+            for b in (4, 8, 16, 32, 64):
+                if 2 * b <= z[i]:
+                    j = z.next_at_least(i, b)
+                    assert z[j] == b
+                    assert j - i == z[j] // 4
+
+    def test_part2_structure(self):
+        """Lemma 4.2(2): gap to next-larger is Z[i]/alpha, with small middles."""
+        z = ZSequence(d_star=256, alpha=4)
+        for i in range(1, 120):
+            j = z.next_strictly_larger_or_cap(i)
+            assert j - i == z[i] // 4
+            for k in range(i + 1, j):
+                assert z[k] <= z[i] // 2
+
+    def test_values_periodic(self):
+        """Values >= alpha*2^l appear with period 2^l."""
+        z = ZSequence(d_star=128, alpha=4)
+        seq = z.prefix(129)[1:]
+        for l in range(4):
+            period = 2**l
+            hits = [i for i, v in enumerate(seq, start=1) if v >= 4 * period]
+            gaps = {b - a for a, b in zip(hits, hits[1:])}
+            assert gaps == {period}

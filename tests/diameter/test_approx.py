@@ -1,0 +1,116 @@
+"""Tests for the diameter approximation algorithms (Theorems 5.3, 5.4)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core import BFSParameters
+from repro.diameter import (
+    exact_diameter,
+    three_halves_diameter,
+    two_approx_diameter,
+)
+from repro.errors import ProtocolFailure
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+def _params(g):
+    return BFSParameters(beta=1 / 4, max_depth=1)
+
+
+class TestTwoApprox:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: topology.path_graph(60),
+            lambda: topology.grid_graph(8, 10),
+            lambda: topology.random_geometric(120, seed=4),
+            lambda: topology.random_tree(80, seed=5),
+        ],
+    )
+    def test_ratio_window(self, maker):
+        g = maker()
+        true_d = nx.diameter(g)
+        lbg = PhysicalLBGraph(g, seed=0)
+        est = two_approx_diameter(lbg, true_d + 2, params=_params(g), seed=1)
+        assert true_d / 2 <= est.estimate <= true_d
+        assert est.lower <= true_d <= est.upper
+
+    def test_insufficient_budget_raises(self):
+        g = topology.path_graph(40)
+        lbg = PhysicalLBGraph(g, seed=0)
+        with pytest.raises(ProtocolFailure):
+            two_approx_diameter(lbg, 5, params=_params(g), seed=1)
+
+    def test_energy_well_below_n(self):
+        """The point of Theorem 5.3: energy ~ n^{o(1)}, not Omega(n)."""
+        g = topology.grid_graph(12, 12)
+        lbg = PhysicalLBGraph(g, seed=0)
+        est = two_approx_diameter(lbg, 24, params=_params(g), seed=1)
+        # One BFS + sweeps; far below the Omega(n)=144 exact-diameter bound
+        # in wavefront terms. (Simulation overhead counted separately in
+        # EXPERIMENTS.md; here we check the estimate comes with a report.)
+        assert est.max_lb_energy > 0
+        assert est.lb_rounds > 0
+
+
+class TestThreeHalves:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: topology.path_graph(50),
+            lambda: topology.grid_graph(7, 9),
+            lambda: topology.random_geometric(100, seed=6),
+            lambda: topology.cycle_graph(60),
+        ],
+    )
+    def test_ratio_window(self, maker):
+        g = maker()
+        true_d = nx.diameter(g)
+        lbg = PhysicalLBGraph(g, seed=0)
+        est = three_halves_diameter(lbg, true_d + 2, params=_params(g), seed=2)
+        assert (2 * true_d) // 3 <= est.estimate <= true_d
+
+    def test_at_least_as_good_as_two_approx(self):
+        """3/2-approx never reports less than the 2-approx eccentricity
+        from the same leader-BFS (it takes a max over more BFS runs)."""
+        g = topology.grid_graph(6, 12)
+        true_d = nx.diameter(g)
+        a = two_approx_diameter(
+            PhysicalLBGraph(g, seed=0), true_d + 2, params=_params(g), seed=3
+        )
+        b = three_halves_diameter(
+            PhysicalLBGraph(g, seed=0), true_d + 2, params=_params(g), seed=3
+        )
+        assert b.estimate >= a.estimate - 1  # allow leader-draw slack
+
+    def test_sample_scale(self):
+        g = topology.grid_graph(6, 6)
+        lbg = PhysicalLBGraph(g, seed=0)
+        est = three_halves_diameter(
+            lbg, 12, params=_params(g), seed=4, sample_scale=2.0
+        )
+        assert est.estimate <= 10
+
+
+class TestExact:
+    def test_exact_value(self):
+        g = topology.grid_graph(5, 8)
+        lbg = PhysicalLBGraph(g, seed=0)
+        est = exact_diameter(lbg, 15, seed=5)
+        assert est.estimate == nx.diameter(g)
+
+    def test_energy_omega_n(self):
+        """Exact diameter pays ~n BFS runs: energy scales with n."""
+        g = topology.path_graph(30)
+        lbg = PhysicalLBGraph(g, seed=0)
+        exact_diameter(lbg, 30, seed=6)
+        assert lbg.ledger.max_lb() >= 30  # n rounds of listening at least
+
+    def test_budget_too_small(self):
+        g = topology.path_graph(20)
+        lbg = PhysicalLBGraph(g, seed=0)
+        with pytest.raises(ProtocolFailure):
+            exact_diameter(lbg, 3, seed=7)

@@ -1,0 +1,117 @@
+"""Tests for the Theorem 5.2 set-disjointness construction."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.diameter import (
+    DisjointnessInstance,
+    build_lower_bound_graph,
+    energy_lower_bound,
+    random_instance,
+    reduction_bits,
+)
+from repro.errors import ConfigurationError
+
+
+class TestInstances:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DisjointnessInstance(k=12, set_a=frozenset(), set_b=frozenset())
+        with pytest.raises(ConfigurationError):
+            DisjointnessInstance(k=8, set_a=frozenset({9}), set_b=frozenset())
+
+    def test_bits(self):
+        inst = DisjointnessInstance(k=64, set_a=frozenset({1}), set_b=frozenset({2}))
+        assert inst.bits == 6
+
+    def test_disjoint_flag(self):
+        a = DisjointnessInstance(k=8, set_a=frozenset({1}), set_b=frozenset({2}))
+        b = DisjointnessInstance(k=8, set_a=frozenset({1}), set_b=frozenset({1}))
+        assert a.disjoint and not b.disjoint
+
+    def test_random_force_intersection(self):
+        inst = random_instance(32, force_intersection=True, seed=0)
+        assert not inst.disjoint
+
+    def test_random_force_disjoint(self):
+        for s in range(5):
+            inst = random_instance(32, force_intersection=False, seed=s)
+            assert inst.disjoint
+
+
+class TestConstruction:
+    def test_diameter_dichotomy(self):
+        """The heart of Theorem 5.2: diam = 2 iff disjoint, else 3."""
+        for s in range(6):
+            for force in (True, False):
+                inst = random_instance(32, force_intersection=force, seed=s)
+                if not inst.set_a or not inst.set_b:
+                    continue
+                lb = build_lower_bound_graph(inst)
+                assert lb.diameter() == lb.expected_diameter()
+
+    def test_va_vb_distance_two_iff_different(self):
+        inst = DisjointnessInstance(
+            k=16, set_a=frozenset({3, 5}), set_b=frozenset({5, 9})
+        )
+        lb = build_lower_bound_graph(inst)
+        # a=3 vs b=9 differ -> distance 2; a=5 vs b=5 equal -> distance 3.
+        g = lb.graph
+        assert nx.shortest_path_length(g, "u0", "v1") == 2  # 3 vs 9
+        a_index = sorted(inst.set_a).index(5)
+        b_index = sorted(inst.set_b).index(5)
+        assert nx.shortest_path_length(g, f"u{a_index}", f"v{b_index}") == 3
+
+    def test_hubs_cover_everything_else(self):
+        inst = random_instance(32, force_intersection=True, seed=1)
+        lb = build_lower_bound_graph(inst)
+        g = lb.graph
+        for s in g.nodes:
+            for t in g.nodes:
+                if s in lb.v_a and t in lb.v_b:
+                    continue
+                if t in lb.v_a and s in lb.v_b:
+                    continue
+                if s != t:
+                    assert nx.shortest_path_length(g, s, t) <= 2
+
+    def test_sparse_arboricity(self):
+        """Arboricity (degeneracy bound) stays O(log n)."""
+        for k in (16, 64, 256):
+            inst = random_instance(k, force_intersection=True, seed=2)
+            lb = build_lower_bound_graph(inst)
+            log_n = math.log2(max(2, lb.n))
+            assert lb.arboricity_bound() <= 3 * log_n + 3
+
+    def test_vertex_count(self):
+        """n = |S_A| + |S_B| + 2 l + 2 <= 2(k + log k + 1)."""
+        inst = random_instance(64, seed=3)
+        lb = build_lower_bound_graph(inst)
+        expected = len(inst.set_a) + len(inst.set_b) + 2 * inst.bits + 2
+        assert lb.n == expected
+        assert lb.n <= 2 * (64 + 6 + 1)
+
+
+class TestReduction:
+    def test_bits_formula(self):
+        cost = reduction_bits(k=64, public_listener_slots=100)
+        assert cost.bits_per_report == 3 * 6
+        assert cost.total_bits == 2 * 100 * 18
+
+    def test_energy_lower_bound_shape(self):
+        """E = Omega(k / log^2 k): the normalized bound grows ~linearly."""
+        e_small = energy_lower_bound(2**8)
+        e_big = energy_lower_bound(2**12)
+        assert e_big > 6 * e_small
+
+    def test_energy_bound_consistent_with_bits(self):
+        """An algorithm at exactly the bound's energy communicates >= k bits."""
+        k = 256
+        e = energy_lower_bound(k)
+        log_k = math.log2(k)
+        public = 2 * log_k + 2
+        slots = public * e
+        cost = reduction_bits(k, math.ceil(slots))
+        assert cost.total_bits >= k

@@ -1,0 +1,30 @@
+"""Tests for the exact-diameter baseline's recursive-BFS mode."""
+
+import networkx as nx
+import pytest
+
+from repro.core import BFSParameters
+from repro.diameter import exact_diameter
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+class TestExactWithRecursiveBFS:
+    def test_same_answer_as_trivial(self):
+        g = topology.grid_graph(5, 6)
+        true_d = nx.diameter(g)
+        params = BFSParameters(beta=1 / 4, max_depth=1)
+        triv = exact_diameter(PhysicalLBGraph(g, seed=0), true_d + 2, seed=1)
+        rec = exact_diameter(
+            PhysicalLBGraph(g, seed=0),
+            true_d + 2,
+            params=params,
+            seed=1,
+            use_recursive=True,
+        )
+        assert triv.estimate == rec.estimate == true_d
+
+    def test_bounds_are_exact(self):
+        g = topology.cycle_graph(20)
+        est = exact_diameter(PhysicalLBGraph(g, seed=0), 12, seed=2)
+        assert est.lower == est.upper == est.estimate == 10

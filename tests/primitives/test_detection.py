@@ -1,0 +1,68 @@
+"""Tests for neighbor-activity detection (paper footnote 2)."""
+
+import pytest
+
+from repro.primitives import detect_with_cd, detect_without_cd
+from repro.radio import CollisionModel, RadioNetwork, topology
+
+
+class TestDetectWithCD:
+    def test_noise_certifies(self):
+        """Under CD, even pure collisions (2+ senders) are detected."""
+        g = topology.star_graph(4)
+        net = RadioNetwork(g, collision_model=CollisionModel.RECEIVER_CD)
+        report = detect_with_cd(net, active=[1, 2, 3, 4], probers=[0], seed=0)
+        assert report.detected == {0}
+        assert report.slots_used == 1
+
+    def test_single_sender_detected(self):
+        g = topology.path_graph(3)
+        net = RadioNetwork(g, collision_model=CollisionModel.RECEIVER_CD)
+        report = detect_with_cd(net, active=[0], probers=[1, 2], seed=0)
+        assert report.detected == {1}  # 2 is not adjacent to 0
+
+    def test_silence_not_detected(self):
+        g = topology.path_graph(3)
+        net = RadioNetwork(g, collision_model=CollisionModel.RECEIVER_CD)
+        report = detect_with_cd(net, active=[], probers=[0, 1, 2], seed=0)
+        assert report.detected == set()
+
+    def test_requires_cd_network(self):
+        g = topology.path_graph(2)
+        net = RadioNetwork(g, collision_model=CollisionModel.NO_CD)
+        with pytest.raises(ValueError):
+            detect_with_cd(net, [0], [1])
+
+
+class TestDetectWithoutCD:
+    def test_collision_resolved_by_decay(self):
+        """Without CD, 4 simultaneous senders need Decay back-off; the
+        hub still detects w.h.p. — footnote 2's polylog workaround."""
+        g = topology.star_graph(4)
+        wins = 0
+        for s in range(20):
+            net = RadioNetwork(g)
+            report = detect_without_cd(
+                net, active=[1, 2, 3, 4], probers=[0],
+                failure_probability=1 / 64, seed=s,
+            )
+            wins += int(0 in report.detected)
+        assert wins >= 18
+
+    def test_no_active_no_detection(self):
+        g = topology.path_graph(4)
+        net = RadioNetwork(g)
+        report = detect_without_cd(net, active=[], probers=[0, 1], seed=0)
+        assert report.detected == set()
+
+    def test_costs_more_slots_than_cd(self):
+        """The polylog gap between the models, measured."""
+        g = topology.star_graph(8)
+        net_cd = RadioNetwork(g, collision_model=CollisionModel.RECEIVER_CD)
+        cd = detect_with_cd(net_cd, active=list(range(1, 9)), probers=[0], seed=1)
+        net_nocd = RadioNetwork(g)
+        nocd = detect_without_cd(
+            net_nocd, active=list(range(1, 9)), probers=[0],
+            failure_probability=1 / 256, seed=1,
+        )
+        assert cd.slots_used < nocd.slots_used

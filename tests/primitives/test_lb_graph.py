@@ -1,0 +1,123 @@
+"""Tests for the LBGraph abstraction and PhysicalLBGraph."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.primitives import PhysicalLBGraph
+from repro.radio import EnergyLedger
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalLBGraph(nx.Graph())
+
+    def test_vertices_and_degree(self):
+        g = nx.star_graph(5)
+        lbg = PhysicalLBGraph(g)
+        assert lbg.vertices() == set(range(6))
+        assert lbg.degree_bound() == 5
+        assert lbg.vertex_count() == 6
+
+    def test_n_global_defaults_to_size(self):
+        g = nx.path_graph(7)
+        assert PhysicalLBGraph(g).n_global == 7
+        assert PhysicalLBGraph(g, n_global=100).n_global == 100
+
+    def test_shared_ledger(self):
+        g = nx.path_graph(3)
+        ledger = EnergyLedger()
+        lbg = PhysicalLBGraph(g, ledger=ledger)
+        assert lbg.ledger is ledger
+
+    def test_as_nx_graph(self):
+        g = nx.path_graph(3)
+        assert PhysicalLBGraph(g).as_nx_graph() is g
+
+
+class TestLocalBroadcast:
+    def test_basic_delivery(self):
+        g = nx.path_graph(3)
+        lbg = PhysicalLBGraph(g, seed=0)
+        out = lbg.local_broadcast({0: "m"}, [1, 2])
+        assert out == {1: "m"}  # 2 is not adjacent to 0
+
+    def test_receiver_with_multiple_senders_hears_one(self):
+        g = nx.star_graph(4)
+        lbg = PhysicalLBGraph(g, seed=0)
+        out = lbg.local_broadcast({1: "a", 2: "b", 3: "c"}, [0])
+        assert out[0] in {"a", "b", "c"}
+
+    def test_disjointness_enforced(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g)
+        with pytest.raises(ConfigurationError):
+            lbg.local_broadcast({0: "m"}, [0, 1])
+
+    def test_unknown_vertex_rejected(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g)
+        with pytest.raises(ConfigurationError):
+            lbg.local_broadcast({99: "m"}, [0])
+
+    def test_empty_senders_ok(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g)
+        out = lbg.local_broadcast({}, [0, 1])
+        assert out == {}
+        assert lbg.ledger.lb_rounds == 1
+
+
+class TestEnergyCharging:
+    def test_participants_charged_one_unit(self):
+        g = nx.path_graph(3)
+        lbg = PhysicalLBGraph(g, seed=0)
+        lbg.local_broadcast({0: "m"}, [1])
+        assert lbg.ledger.device(0).lb_sender == 1
+        assert lbg.ledger.device(1).lb_receiver == 1
+        assert lbg.ledger.device(2).lb_participations == 0
+
+    def test_rounds_advance(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g, seed=0)
+        for _ in range(5):
+            lbg.local_broadcast({0: "m"}, [1])
+        assert lbg.ledger.lb_rounds == 5
+
+    def test_charge_virtual_hits_ledger(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g)
+        lbg.charge_virtual(0, sender=2, receiver=3)
+        assert lbg.ledger.device(0).lb_participations == 5
+
+    def test_advance_rounds(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g)
+        lbg.advance_rounds(7)
+        assert lbg.ledger.lb_rounds == 7
+
+
+class TestFailureInjection:
+    def test_zero_failure_always_delivers(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g, failure_probability=0.0, seed=0)
+        for _ in range(20):
+            assert lbg.local_broadcast({0: "m"}, [1]) == {1: "m"}
+
+    def test_high_failure_sometimes_drops(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g, failure_probability=0.9, seed=0)
+        outcomes = [bool(lbg.local_broadcast({0: "m"}, [1])) for _ in range(50)]
+        assert not all(outcomes)
+
+    def test_invalid_failure_prob(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalLBGraph(nx.path_graph(2), failure_probability=1.0)
+
+    def test_delivery_is_seed_deterministic(self):
+        g = nx.star_graph(5)
+        a = PhysicalLBGraph(g, seed=42)
+        b = PhysicalLBGraph(g, seed=42)
+        msg = {i: f"m{i}" for i in range(1, 6)}
+        assert a.local_broadcast(msg, [0]) == b.local_broadcast(msg, [0])

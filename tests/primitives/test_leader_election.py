@@ -1,0 +1,78 @@
+"""Tests for leader election primitives."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.primitives import (
+    ChargedLeaderElection,
+    FloodingLeaderElection,
+    PhysicalLBGraph,
+)
+
+
+class TestChargedLeaderElection:
+    def test_elects_a_vertex(self):
+        g = nx.path_graph(10)
+        lbg = PhysicalLBGraph(g, seed=0)
+        res = ChargedLeaderElection().run(lbg, seed=1)
+        assert res.leader in lbg.vertices()
+
+    def test_deterministic_given_seed(self):
+        g = nx.path_graph(10)
+        a = ChargedLeaderElection().run(PhysicalLBGraph(g, seed=0), seed=7)
+        b = ChargedLeaderElection().run(PhysicalLBGraph(g, seed=0), seed=7)
+        assert a.leader == b.leader
+
+    def test_energy_envelope_charged(self):
+        """Every vertex pays the cited O~(1) (= log^2 n) participations."""
+        g = nx.path_graph(16)
+        lbg = PhysicalLBGraph(g, seed=0)
+        ChargedLeaderElection().run(lbg, seed=1)
+        energies = {v: lbg.ledger.device(v).lb_participations for v in g}
+        assert all(e == 16 for e in energies.values())  # log2(16)^2
+
+    def test_time_envelope(self):
+        g = nx.path_graph(16)
+        lbg = PhysicalLBGraph(g, seed=0)
+        res = ChargedLeaderElection().run(lbg, seed=1)
+        assert res.rounds == 16 * 4  # n log n
+        assert lbg.ledger.lb_rounds == res.rounds
+
+    def test_custom_envelope(self):
+        g = nx.path_graph(4)
+        lbg = PhysicalLBGraph(g, seed=0)
+        ChargedLeaderElection(energy_units=3, time_rounds=10).run(lbg, seed=0)
+        assert lbg.ledger.device(0).lb_participations == 3
+        assert lbg.ledger.lb_rounds == 10
+
+
+class TestFloodingLeaderElection:
+    def test_agreement_on_max_rank(self):
+        """With enough rounds, the flooded max is the elected leader."""
+        g = nx.path_graph(12)
+        lbg = PhysicalLBGraph(g, seed=3)
+        res = FloodingLeaderElection(rounds=80).run(lbg, seed=5)
+        assert res.leader in lbg.vertices()
+
+    def test_consistency_across_protocols(self):
+        """Both protocols elect *some* leader all vertices could agree on.
+
+        (They need not pick the same one — different rank draws.)
+        """
+        g = nx.cycle_graph(8)
+        lead1 = ChargedLeaderElection().run(PhysicalLBGraph(g, seed=0), seed=1).leader
+        lead2 = FloodingLeaderElection(rounds=60).run(
+            PhysicalLBGraph(g, seed=0), seed=1
+        ).leader
+        assert lead1 in g and lead2 in g
+
+    def test_energy_linear_in_rounds(self):
+        g = nx.path_graph(6)
+        lbg = PhysicalLBGraph(g, seed=0)
+        FloodingLeaderElection(rounds=30).run(lbg, seed=2)
+        assert lbg.ledger.max_lb() <= 30
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ConfigurationError):
+            FloodingLeaderElection(rounds=0)

@@ -1,0 +1,147 @@
+"""Tests for Find Minimum / Find Maximum layer sweeps (Section 5.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.primitives import (
+    PhysicalLBGraph,
+    find_maximum,
+    find_minimum,
+    sweep_down,
+    sweep_up_message,
+    sweep_up_or,
+)
+
+
+def _tree_labels(g, root=0):
+    return nx.single_source_shortest_path_length(g, root)
+
+
+@pytest.fixture
+def lbg_and_labels():
+    g = nx.balanced_tree(2, 4)  # 31 vertices
+    return PhysicalLBGraph(g, seed=0), _tree_labels(g)
+
+
+class TestSweepUpOr:
+    def test_flag_reaches_root(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        leaf = max(labels, key=lambda v: labels[v])
+        assert sweep_up_or(lbg, labels, {leaf}) is True
+
+    def test_no_flags_no_signal(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        assert sweep_up_or(lbg, labels, set()) is False
+
+    def test_root_flag_detected(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        assert sweep_up_or(lbg, labels, {0}) is True
+
+    def test_energy_constant_per_vertex(self, lbg_and_labels):
+        """Each vertex participates in O(1) LBs per sweep."""
+        lbg, labels = lbg_and_labels
+        leaf = max(labels, key=lambda v: labels[v])
+        sweep_up_or(lbg, labels, {leaf})
+        assert lbg.ledger.max_lb() <= 3
+
+
+class TestSweepDown:
+    def test_everyone_informed(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        informed = sweep_down(lbg, labels, "news")
+        assert informed == set(labels)
+
+    def test_energy_constant_per_vertex(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        sweep_down(lbg, labels, "x")
+        assert lbg.ledger.max_lb() <= 3
+
+
+class TestSweepUpMessage:
+    def test_single_holder_delivers(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        leaf = max(labels, key=lambda v: labels[v])
+        assert sweep_up_message(lbg, labels, {leaf: "payload"}) == "payload"
+
+    def test_no_holders_none(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        assert sweep_up_message(lbg, labels, {}) is None
+
+    def test_multiple_holders_one_wins(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        holders = {v: f"p{v}" for v, d in labels.items() if d == 4}
+        result = sweep_up_message(lbg, labels, holders)
+        assert result in set(holders.values())
+
+
+class TestFindMinimum:
+    def test_finds_global_min(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        keys = {v: 10 + v for v in labels}
+        res = find_minimum(lbg, labels, keys, key_bound=100)
+        assert res.key == 10
+
+    def test_payload_of_winner(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        keys = {v: 5 for v in labels}
+        keys[17] = 1
+        res = find_minimum(
+            lbg, labels, keys, payloads={v: f"v{v}" for v in labels}, key_bound=10
+        )
+        assert res.key == 1
+        assert res.payload == "v17"
+
+    def test_empty_keys(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        assert find_minimum(lbg, labels, {}) is None
+
+    def test_energy_logarithmic(self, lbg_and_labels):
+        """O(log K) sweeps, O(1) participations each."""
+        lbg, labels = lbg_and_labels
+        keys = {v: v for v in labels}
+        find_minimum(lbg, labels, keys, key_bound=32)
+        # <= (2 sweeps per bisection * 5 bisections + 2 final) * 3
+        assert lbg.ledger.max_lb() <= 40
+
+    def test_negative_key_rejected(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        with pytest.raises(ConfigurationError):
+            find_minimum(lbg, labels, {0: -1})
+
+    def test_key_above_bound_rejected(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        with pytest.raises(ConfigurationError):
+            find_minimum(lbg, labels, {v: 5 for v in labels}, key_bound=5)
+
+
+class TestFindMaximum:
+    def test_finds_global_max(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        keys = {v: v for v in labels}
+        res = find_maximum(lbg, labels, keys, key_bound=31)
+        assert res.key == 30
+
+    def test_max_with_ties(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        keys = {v: min(v, 7) for v in labels}
+        res = find_maximum(lbg, labels, keys, key_bound=8)
+        assert res.key == 7
+
+    def test_empty(self, lbg_and_labels):
+        lbg, labels = lbg_and_labels
+        assert find_maximum(lbg, labels, {}) is None
+
+
+class TestLabelValidation:
+    def test_rootless_labels_rejected(self):
+        g = nx.path_graph(3)
+        lbg = PhysicalLBGraph(g, seed=0)
+        with pytest.raises(ConfigurationError):
+            sweep_down(lbg, {0: 1, 1: 2, 2: 3}, "x")
+
+    def test_negative_label_rejected(self):
+        g = nx.path_graph(2)
+        lbg = PhysicalLBGraph(g, seed=0)
+        with pytest.raises(ConfigurationError):
+            sweep_down(lbg, {0: 0, 1: -1}, "x")

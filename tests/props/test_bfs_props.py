@@ -1,0 +1,79 @@
+"""Property-based end-to-end tests: Recursive-BFS equals ground truth."""
+
+import math
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BFSParameters, RecursiveBFS, trivial_bfs
+from repro.primitives import PhysicalLBGraph
+from repro.radio import topology
+
+
+graph_strategy = st.one_of(
+    st.integers(min_value=8, max_value=80).map(topology.path_graph),
+    st.integers(min_value=4, max_value=12).map(lambda n: topology.grid_graph(n, n)),
+    st.integers(min_value=10, max_value=60).map(
+        lambda n: topology.random_tree(n, seed=3 * n)
+    ),
+    st.integers(min_value=10, max_value=60).map(lambda n: topology.cycle_graph(n)),
+)
+
+
+@given(graph=graph_strategy, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_recursive_bfs_matches_networkx(graph, seed):
+    budget = graph.number_of_nodes()
+    lbg = PhysicalLBGraph(graph, seed=seed)
+    params = BFSParameters(beta=1 / 4, max_depth=1)
+    labels = RecursiveBFS(params, seed=seed).compute(lbg, [0], budget)
+    truth = nx.single_source_shortest_path_length(graph, 0)
+    for v in graph:
+        assert labels[v] == truth[v]
+
+
+@given(graph=graph_strategy, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_trivial_bfs_matches_networkx(graph, seed):
+    budget = graph.number_of_nodes()
+    lbg = PhysicalLBGraph(graph, seed=seed)
+    labels = trivial_bfs(lbg, [0], budget)
+    truth = nx.single_source_shortest_path_length(graph, 0)
+    for v in graph:
+        assert labels[v] == truth[v]
+
+
+@given(
+    graph=graph_strategy,
+    seed=st.integers(min_value=0, max_value=2**12),
+    budget_fraction=st.floats(min_value=0.2, max_value=1.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_budget_truncation_sound(graph, seed, budget_fraction):
+    """Labels <= budget are exact; labels beyond are inf — never wrong."""
+    n = graph.number_of_nodes()
+    budget = max(1, int(budget_fraction * n))
+    lbg = PhysicalLBGraph(graph, seed=seed)
+    params = BFSParameters(beta=1 / 4, max_depth=1)
+    labels = RecursiveBFS(params, seed=seed).compute(lbg, [0], budget)
+    truth = nx.single_source_shortest_path_length(graph, 0)
+    for v in graph:
+        if truth[v] <= budget:
+            assert labels[v] == truth[v]
+        else:
+            assert math.isinf(labels[v])
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=10, deadline=None)
+def test_labels_form_valid_bfs_tree(seed):
+    """Structural invariant: every label-d vertex has a label-(d-1) neighbor."""
+    graph = topology.random_geometric(120, seed=seed % 7)
+    lbg = PhysicalLBGraph(graph, seed=seed)
+    params = BFSParameters(beta=1 / 4, max_depth=1)
+    labels = RecursiveBFS(params, seed=seed).compute(
+        lbg, [0], graph.number_of_nodes()
+    )
+    for v, d in labels.items():
+        if math.isfinite(d) and d > 0:
+            assert any(labels[u] == d - 1 for u in graph.neighbors(v))

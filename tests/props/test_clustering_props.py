@@ -1,0 +1,66 @@
+"""Property-based tests for MPX clustering invariants."""
+
+import math
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import mpx_clustering
+from repro.radio import topology
+
+
+graph_strategy = st.one_of(
+    st.integers(min_value=5, max_value=60).map(topology.path_graph),
+    st.integers(min_value=5, max_value=30).map(lambda n: topology.grid_graph(3, n)),
+    st.integers(min_value=5, max_value=40).map(
+        lambda n: topology.random_tree(n, seed=n)
+    ),
+    st.integers(min_value=5, max_value=40).map(lambda n: topology.cycle_graph(n + 2)),
+)
+
+
+@given(
+    graph=graph_strategy,
+    inv_beta=st.sampled_from([2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_partition_invariants(graph, inv_beta, seed):
+    """Every clustering is a connected-cluster partition with BFS layers."""
+    clustering = mpx_clustering(graph, 1.0 / inv_beta, seed=seed)
+    clustering.validate(graph)
+    # Partition
+    assert set(clustering.center_of) == set(graph.nodes)
+    total = sum(len(m) for m in clustering.members.values())
+    assert total == graph.number_of_nodes()
+    # Radius bound
+    assert clustering.max_layer <= clustering.shifts.params.horizon
+
+
+@given(
+    graph=graph_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_quotient_connectivity(graph, seed):
+    """Connected base graph -> connected quotient graph."""
+    clustering = mpx_clustering(graph, 1 / 4, seed=seed)
+    quotient = clustering.quotient_graph(graph)
+    assert nx.is_connected(quotient)
+
+
+@given(
+    graph=graph_strategy,
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=25, deadline=None)
+def test_quotient_distance_never_exceeds_base(graph, seed):
+    """dist_G*(Cl(u), Cl(v)) <= dist_G(u, v) always (clusters only merge)."""
+    clustering = mpx_clustering(graph, 1 / 2, seed=seed)
+    quotient = clustering.quotient_graph(graph)
+    nodes = sorted(graph.nodes)
+    u, v = nodes[0], nodes[-1]
+    base_d = nx.shortest_path_length(graph, u, v)
+    cu, cv = clustering.center_of[u], clustering.center_of[v]
+    cluster_d = nx.shortest_path_length(quotient, cu, cv)
+    assert cluster_d <= base_d

@@ -1,0 +1,79 @@
+"""Property-based tests for EnergyLedger invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.radio import EnergyLedger
+
+
+charge_op = st.one_of(
+    st.tuples(st.just("tx"), st.integers(0, 9), st.integers(1, 5)),
+    st.tuples(st.just("rx"), st.integers(0, 9), st.integers(1, 5)),
+    st.tuples(st.just("lb"), st.integers(0, 9), st.integers(0, 9)),
+    st.tuples(st.just("part"), st.integers(0, 9), st.integers(0, 5)),
+)
+
+
+def _apply(ledger, op):
+    kind, a, b = op
+    if kind == "tx":
+        ledger.charge_transmit(a, b)
+    elif kind == "rx":
+        ledger.charge_listen(a, b)
+    elif kind == "lb":
+        ledger.charge_lb([a], [b] if b != a else [])
+    else:
+        ledger.charge_participation(a, sender=b, receiver=b)
+
+
+@given(ops=st.lists(charge_op, max_size=60))
+@settings(max_examples=60)
+def test_max_bounded_by_total(ops):
+    ledger = EnergyLedger()
+    for op in ops:
+        _apply(ledger, op)
+    assert ledger.max_slots() <= ledger.total_slots()
+    assert ledger.max_lb() <= ledger.total_lb()
+
+
+@given(ops=st.lists(charge_op, max_size=60))
+@settings(max_examples=60)
+def test_counters_are_monotone(ops):
+    """Charging never decreases any aggregate."""
+    ledger = EnergyLedger()
+    prev_total_slots = prev_total_lb = prev_rounds = 0
+    for op in ops:
+        _apply(ledger, op)
+        assert ledger.total_slots() >= prev_total_slots
+        assert ledger.total_lb() >= prev_total_lb
+        assert ledger.lb_rounds >= prev_rounds
+        prev_total_slots = ledger.total_slots()
+        prev_total_lb = ledger.total_lb()
+        prev_rounds = ledger.lb_rounds
+
+
+@given(ops=st.lists(charge_op, max_size=40))
+@settings(max_examples=40)
+def test_snapshot_consistent_with_counters(ops):
+    ledger = EnergyLedger()
+    for op in ops:
+        _apply(ledger, op)
+    snap = ledger.snapshot()
+    for v, (tx, rx, lb_s, lb_r) in snap.items():
+        d = ledger.device(v)
+        assert (tx, rx) == (d.transmit_slots, d.listen_slots)
+        assert (lb_s, lb_r) == (d.lb_sender, d.lb_receiver)
+        assert d.slots == tx + rx
+        assert d.lb_participations == lb_s + lb_r
+
+
+@given(
+    rounds=st.lists(st.integers(1, 10), min_size=1, max_size=10),
+)
+@settings(max_examples=30)
+def test_advance_rounds_only_moves_clock(rounds):
+    ledger = EnergyLedger()
+    for r in rounds:
+        ledger.advance_lb_rounds(r)
+    assert ledger.lb_rounds == sum(rounds)
+    assert ledger.total_lb() == 0
+    assert ledger.total_slots() == 0

@@ -1,0 +1,69 @@
+"""Property-based tests for the Find Minimum/Maximum sweeps."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives import PhysicalLBGraph, find_maximum, find_minimum
+from repro.radio import topology
+
+
+def _grid_labels(g, root=0):
+    return nx.single_source_shortest_path_length(g, root)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=63), min_size=25, max_size=25),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_find_minimum_is_minimum(keys, seed):
+    g = topology.grid_graph(5, 5)
+    labels = _grid_labels(g)
+    lbg = PhysicalLBGraph(g, seed=seed)
+    key_map = {v: keys[v] for v in g}
+    result = find_minimum(lbg, labels, key_map, key_bound=64)
+    assert result is not None
+    assert result.key == min(keys)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=63), min_size=25, max_size=25),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_find_maximum_is_maximum(keys, seed):
+    g = topology.grid_graph(5, 5)
+    labels = _grid_labels(g)
+    lbg = PhysicalLBGraph(g, seed=seed)
+    key_map = {v: keys[v] for v in g}
+    result = find_maximum(lbg, labels, key_map, key_bound=64)
+    assert result is not None
+    assert result.key == max(keys)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=31), min_size=25, max_size=25),
+    seed=st.integers(min_value=0, max_value=2**12),
+)
+@settings(max_examples=20, deadline=None)
+def test_winner_payload_attains_key(keys, seed):
+    """The returned payload belongs to a vertex attaining the extremum."""
+    g = topology.grid_graph(5, 5)
+    labels = _grid_labels(g)
+    lbg = PhysicalLBGraph(g, seed=seed)
+    key_map = {v: keys[v] for v in g}
+    payloads = {v: v for v in g}
+    result = find_minimum(lbg, labels, key_map, payloads, key_bound=32)
+    assert key_map[result.payload] == min(keys)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_energy_budget_logarithmic(seed):
+    """Per-vertex energy stays O(log K) regardless of key layout."""
+    g = topology.grid_graph(5, 5)
+    labels = _grid_labels(g)
+    lbg = PhysicalLBGraph(g, seed=seed)
+    key_map = {v: (v * 7) % 64 for v in g}
+    find_minimum(lbg, labels, key_map, key_bound=64)
+    assert lbg.ledger.max_lb() <= 8 * 6 + 10  # ~ (sweeps per bisection) log K

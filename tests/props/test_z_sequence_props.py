@@ -1,0 +1,59 @@
+"""Property-based tests for the Z-sequence (Lemma 4.2 invariants)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ZSequence, ruler_value, z_cap
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_ruler_divides(i):
+    y = ruler_value(i)
+    assert i % y == 0
+    assert y & (y - 1) == 0  # power of two
+
+
+@given(st.integers(min_value=1, max_value=10**6))
+def test_ruler_is_maximal_power(i):
+    y = ruler_value(i)
+    assert (i // y) % 2 == 1  # no larger power of two divides i
+
+
+@given(st.floats(min_value=0.1, max_value=10**7, allow_nan=False))
+def test_z_cap_dominates_target(target):
+    d = z_cap(target)
+    assert d >= target
+    assert d >= 4
+    # d/4 is a power of two
+    ratio = d // 4
+    assert ratio & (ratio - 1) == 0
+
+
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=1, max_value=300),
+)
+def test_z_values_in_range(j, i):
+    z = ZSequence(d_star=4 * 2**j)
+    v = z[i]
+    assert 4 <= v <= z.d_star
+    assert v % 4 == 0 or v == z.d_star
+
+
+@given(st.integers(min_value=1, max_value=200))
+@settings(max_examples=50)
+def test_lemma_42_part2_property(i):
+    z = ZSequence(d_star=256)
+    j = z.next_strictly_larger_or_cap(i)
+    assert j - i == z[i] // 4
+    for k in range(i + 1, j):
+        assert z[k] <= z[i] // 2
+
+
+@given(st.integers(min_value=1, max_value=100), st.sampled_from([4, 8, 16, 32]))
+@settings(max_examples=50)
+def test_lemma_42_part1_property(i, b):
+    z = ZSequence(d_star=128)
+    j = z.next_at_least(i, b)
+    assert j - i <= b // 4
+    if 2 * b <= z[i]:
+        assert z[j] == b

@@ -1,0 +1,49 @@
+"""Tests for channel arbitration: the RN model's delivery rule."""
+
+from repro.radio import CollisionModel, Feedback, Message
+from repro.radio.channel import resolve
+
+
+def _msg(sender):
+    return Message(sender=sender, payload="m", bits=1)
+
+
+class TestNoCD:
+    def test_single_transmitter_delivers(self):
+        r = resolve([_msg(1)], CollisionModel.NO_CD)
+        assert r.received
+        assert r.message.sender == 1
+
+    def test_silence_gives_nothing(self):
+        r = resolve([], CollisionModel.NO_CD)
+        assert r.feedback is Feedback.NOTHING
+        assert not r.received
+
+    def test_collision_gives_nothing(self):
+        r = resolve([_msg(1), _msg(2)], CollisionModel.NO_CD)
+        assert r.feedback is Feedback.NOTHING
+        assert r.message is None
+
+    def test_silence_and_collision_indistinguishable(self):
+        silent = resolve([], CollisionModel.NO_CD)
+        noisy = resolve([_msg(1), _msg(2), _msg(3)], CollisionModel.NO_CD)
+        assert silent.feedback == noisy.feedback
+
+
+class TestReceiverCD:
+    def test_single_transmitter_delivers(self):
+        r = resolve([_msg(1)], CollisionModel.RECEIVER_CD)
+        assert r.received
+
+    def test_silence_detected(self):
+        r = resolve([], CollisionModel.RECEIVER_CD)
+        assert r.feedback is Feedback.SILENCE
+
+    def test_noise_detected(self):
+        r = resolve([_msg(1), _msg(2)], CollisionModel.RECEIVER_CD)
+        assert r.feedback is Feedback.NOISE
+
+    def test_silence_and_noise_differ(self):
+        silent = resolve([], CollisionModel.RECEIVER_CD)
+        noisy = resolve([_msg(1), _msg(2)], CollisionModel.RECEIVER_CD)
+        assert silent.feedback != noisy.feedback

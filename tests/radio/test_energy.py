@@ -1,0 +1,91 @@
+"""Tests for the EnergyLedger: the paper's cost measure."""
+
+import pytest
+
+from repro.radio import EnergyLedger
+
+
+class TestSlotCharging:
+    def test_transmit_and_listen(self):
+        ledger = EnergyLedger()
+        ledger.charge_transmit("a")
+        ledger.charge_listen("a", 2)
+        assert ledger.device("a").slots == 3
+        assert ledger.device("a").transmit_slots == 1
+        assert ledger.device("a").listen_slots == 2
+
+    def test_sleep_is_free(self):
+        ledger = EnergyLedger()
+        ledger.advance_time(100)
+        assert ledger.time_slots == 100
+        assert ledger.max_slots() == 0
+
+    def test_max_is_over_devices(self):
+        ledger = EnergyLedger()
+        ledger.charge_listen("a", 5)
+        ledger.charge_listen("b", 9)
+        assert ledger.max_slots() == 9
+        assert ledger.total_slots() == 14
+
+
+class TestLBCharging:
+    def test_charge_lb_counts_participants(self):
+        ledger = EnergyLedger()
+        ledger.charge_lb(["s1", "s2"], ["r1"])
+        assert ledger.device("s1").lb_sender == 1
+        assert ledger.device("r1").lb_receiver == 1
+        assert ledger.lb_rounds == 1
+        assert ledger.max_lb() == 1
+
+    def test_charge_participation_direct(self):
+        ledger = EnergyLedger()
+        ledger.charge_participation("v", sender=3, receiver=4)
+        assert ledger.device("v").lb_participations == 7
+        assert ledger.lb_rounds == 0  # direct charges do not advance time
+
+    def test_advance_lb_rounds_no_energy(self):
+        ledger = EnergyLedger()
+        ledger.advance_lb_rounds(10)
+        assert ledger.lb_rounds == 10
+        assert ledger.total_lb() == 0
+
+    def test_mean_lb(self):
+        ledger = EnergyLedger()
+        ledger.charge_lb(["a"], ["b", "c"])
+        assert ledger.mean_lb() == pytest.approx(1.0)
+
+
+class TestPhases:
+    def test_phase_accounting(self):
+        ledger = EnergyLedger()
+        ledger.push_phase("clustering")
+        ledger.charge_lb([], ["a"])
+        ledger.charge_lb([], ["a"])
+        ledger.pop_phase()
+        ledger.push_phase("wavefront")
+        ledger.charge_lb(["a"], [])
+        ledger.pop_phase()
+        phases = ledger.phase_lb_rounds()
+        assert phases["clustering"] == 2
+        assert phases["wavefront"] == 1
+
+    def test_pop_without_push_raises(self):
+        ledger = EnergyLedger()
+        with pytest.raises(RuntimeError):
+            ledger.pop_phase()
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip(self):
+        ledger = EnergyLedger()
+        ledger.charge_transmit("x")
+        snap = ledger.snapshot()
+        assert snap["x"] == (1, 0, 0, 0)
+
+    def test_lb_to_slot_estimate(self):
+        ledger = EnergyLedger()
+        sender_cost, receiver_cost = ledger.lb_to_slot_estimate(
+            max_degree=16, failure_probability=1 / 1024
+        )
+        assert sender_cost == pytest.approx(10.0)
+        assert receiver_cost == pytest.approx(40.0)

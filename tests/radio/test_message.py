@@ -1,0 +1,80 @@
+"""Tests for repro.radio.message: RN[b] size accounting."""
+
+import math
+
+import pytest
+
+from repro.errors import MessageTooLargeError
+from repro.radio import Message, MessageSizePolicy, id_bits, int_bits, message_of_ints
+
+
+class TestIntBits:
+    def test_small_values(self):
+        assert int_bits(0) == 1
+        assert int_bits(1) == 1
+        assert int_bits(2) == 2
+        assert int_bits(3) == 2
+        assert int_bits(4) == 3
+
+    def test_powers_of_two(self):
+        for k in range(1, 20):
+            assert int_bits(2**k) == k + 1
+            assert int_bits(2**k - 1) == k
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_bits(-1)
+
+
+class TestIdBits:
+    def test_id_space(self):
+        assert id_bits(2) == 1
+        assert id_bits(256) == 8
+        assert id_bits(1000) == 10
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            id_bits(0)
+
+
+class TestMessage:
+    def test_construction(self):
+        m = Message(sender=3, payload=("x", 1), bits=12, kind="test")
+        assert m.sender == 3
+        assert m.bits == 12
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=0, bits=-1)
+
+    def test_message_of_ints_size(self):
+        m = message_of_ints(0, 5, 200)
+        # 5 -> 3 bits + 1, 200 -> 8 bits + 1 = 13
+        assert m.bits == (3 + 1) + (8 + 1)
+        assert m.payload == (5, 200)
+
+    def test_frozen(self):
+        m = message_of_ints(0, 1)
+        with pytest.raises(Exception):
+            m.bits = 99  # type: ignore[misc]
+
+
+class TestMessageSizePolicy:
+    def test_unbounded_allows_everything(self):
+        policy = MessageSizePolicy.unbounded()
+        policy.check(Message(sender=0, bits=10**9))  # no raise
+
+    def test_logarithmic_limit(self):
+        policy = MessageSizePolicy.logarithmic(n=1024, multiplier=4)
+        assert policy.limit_bits == 4 * 10
+        policy.check(Message(sender=0, bits=40))
+        with pytest.raises(MessageTooLargeError):
+            policy.check(Message(sender=0, bits=41))
+
+    def test_logarithmic_tiny_n(self):
+        policy = MessageSizePolicy.logarithmic(n=1, multiplier=4)
+        assert policy.limit_bits == 4
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            MessageSizePolicy(0)

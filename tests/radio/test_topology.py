@@ -1,0 +1,116 @@
+"""Tests for topology generators."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio import topology
+
+
+class TestBasicFamilies:
+    def test_path(self):
+        g = topology.path_graph(10)
+        assert g.number_of_nodes() == 10
+        assert nx.diameter(g) == 9
+
+    def test_cycle(self):
+        g = topology.cycle_graph(10)
+        assert nx.diameter(g) == 5
+
+    def test_grid_dimensions(self):
+        g = topology.grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert nx.diameter(g) == 5
+        assert set(g.nodes) == set(range(12))  # relabelled to ints
+
+    def test_complete(self):
+        g = topology.complete_graph(6)
+        assert nx.diameter(g) == 1
+
+    def test_star(self):
+        g = topology.star_graph(7)
+        assert max(d for _, d in g.degree) == 7
+
+    def test_binary_tree(self):
+        g = topology.binary_tree(4)
+        assert g.number_of_nodes() == 2**5 - 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            topology.path_graph(0)
+        with pytest.raises(ConfigurationError):
+            topology.cycle_graph(2)
+        with pytest.raises(ConfigurationError):
+            topology.grid_graph(0, 5)
+
+
+class TestCompleteMinusEdge:
+    def test_diameter_two(self):
+        g, e = topology.complete_minus_edge(8, seed=0)
+        assert nx.diameter(g) == 2
+        assert not g.has_edge(*e)
+
+    def test_specified_edge(self):
+        g, e = topology.complete_minus_edge(5, edge=(1, 3))
+        assert e == (1, 3)
+        assert not g.has_edge(1, 3)
+
+    def test_random_edge_valid(self):
+        for s in range(5):
+            g, (u, v) = topology.complete_minus_edge(6, seed=s)
+            assert u != v
+            assert 0 <= u < 6 and 0 <= v < 6
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            topology.complete_minus_edge(2)
+
+
+class TestRandomFamilies:
+    def test_geometric_connected(self):
+        g = topology.random_geometric(150, seed=0)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() > 100  # giant component keeps most
+
+    def test_geometric_reproducible(self):
+        g1 = topology.random_geometric(80, seed=5)
+        g2 = topology.random_geometric(80, seed=5)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_tree_is_tree(self):
+        g = topology.random_tree(60, seed=1)
+        assert nx.is_tree(g)
+        assert g.number_of_nodes() == 60
+
+    def test_erdos_renyi_connected(self):
+        g = topology.erdos_renyi(100, seed=2)
+        assert nx.is_connected(g)
+
+
+class TestStructuredFamilies:
+    def test_caterpillar(self):
+        g = topology.caterpillar(10, 3)
+        assert g.number_of_nodes() == 10 + 30
+        assert nx.is_tree(g)
+
+    def test_barbell(self):
+        g = topology.barbell(5, 6)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 16
+
+    def test_lollipop(self):
+        g = topology.lollipop(5, 10)
+        assert nx.is_connected(g)
+
+
+class TestArboricity:
+    def test_tree_arboricity_one(self):
+        g = topology.random_tree(50, seed=3)
+        assert topology.arboricity_upper_bound(g) == 1
+
+    def test_clique_arboricity(self):
+        g = topology.complete_graph(10)
+        assert topology.arboricity_upper_bound(g) == 9
+
+    def test_empty(self):
+        assert topology.arboricity_upper_bound(nx.Graph()) == 0

@@ -1,0 +1,85 @@
+"""Tests for the extended topology families."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio import topology
+
+
+class TestHypercube:
+    def test_shape(self):
+        g = topology.hypercube(6)
+        assert g.number_of_nodes() == 64
+        assert nx.diameter(g) == 6
+        assert all(d == 6 for _, d in g.degree)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            topology.hypercube(0)
+
+
+class TestGrid3D:
+    def test_shape(self):
+        g = topology.grid_3d(3, 4, 5)
+        assert g.number_of_nodes() == 60
+        assert nx.diameter(g) == 2 + 3 + 4
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            topology.grid_3d(0, 2, 2)
+
+
+class TestRandomRegular:
+    def test_regularity(self):
+        g = topology.random_regular(60, 4, seed=0)
+        assert all(d == 4 for _, d in g.degree)
+        assert nx.is_connected(g)
+
+    def test_small_diameter(self):
+        """Expanders have O(log n) diameter."""
+        g = topology.random_regular(200, 3, seed=1)
+        assert nx.diameter(g) <= 16
+
+    def test_parity_validation(self):
+        with pytest.raises(ConfigurationError):
+            topology.random_regular(9, 3)  # odd n * odd degree
+        with pytest.raises(ConfigurationError):
+            topology.random_regular(4, 5)  # n <= degree
+
+
+class TestWheel:
+    def test_shape(self):
+        g = topology.wheel(10)
+        assert g.number_of_nodes() == 11
+        assert nx.diameter(g) == 2
+        assert max(d for _, d in g.degree) == 10
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            topology.wheel(2)
+
+
+class TestBFSOnNewFamilies:
+    """Recursive-BFS stays correct on the new families."""
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: topology.hypercube(7),
+            lambda: topology.grid_3d(4, 4, 6),
+            lambda: topology.random_regular(120, 3, seed=2),
+        ],
+    )
+    def test_recursive_bfs_correct(self, maker):
+        from repro.core import BFSParameters, RecursiveBFS
+        from repro.primitives import PhysicalLBGraph
+
+        g = maker()
+        truth = nx.single_source_shortest_path_length(g, 0)
+        lbg = PhysicalLBGraph(g, seed=0)
+        params = BFSParameters(beta=1 / 2, max_depth=1)
+        labels = RecursiveBFS(params, seed=3).compute(
+            lbg, [0], g.number_of_nodes()
+        )
+        assert all(labels[v] == truth[v] for v in g)

@@ -1,0 +1,84 @@
+"""Tests for seeded randomness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import exponential, geometric_decay_slot, make_rng, spawn_streams
+
+
+class TestMakeRng:
+    def test_from_int(self):
+        a, b = make_rng(7), make_rng(7)
+        assert a.random() == b.random()
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_fresh(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        streams = spawn_streams(make_rng(0), 5)
+        assert len(streams) == 5
+
+    def test_independence(self):
+        streams = spawn_streams(make_rng(0), 3)
+        draws = [s.random() for s in streams]
+        assert len(set(draws)) == 3
+
+    def test_reproducible(self):
+        a = [s.random() for s in spawn_streams(make_rng(9), 4)]
+        b = [s.random() for s in spawn_streams(make_rng(9), 4)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(make_rng(0), -1)
+
+    def test_zero_count(self):
+        assert spawn_streams(make_rng(0), 0) == []
+
+
+class TestExponential:
+    def test_mean(self):
+        rng = make_rng(3)
+        draws = [exponential(rng, beta=0.5) for _ in range(4000)]
+        assert 1.8 < float(np.mean(draws)) < 2.2  # mean 1/beta = 2
+
+    def test_positive(self):
+        rng = make_rng(4)
+        assert all(exponential(rng, 1.0) >= 0 for _ in range(100))
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            exponential(make_rng(0), 0.0)
+
+
+class TestGeometricDecaySlot:
+    def test_range(self):
+        rng = make_rng(5)
+        for _ in range(200):
+            slot = geometric_decay_slot(rng, 6)
+            assert 1 <= slot <= 6
+
+    def test_distribution_lower_bound(self):
+        """Lemma 2.4 needs P(X = t) >= 2^-t; check t = 1, 2 empirically."""
+        rng = make_rng(6)
+        draws = [geometric_decay_slot(rng, 8) for _ in range(8000)]
+        for t in (1, 2, 3):
+            freq = sum(1 for d in draws if d == t) / len(draws)
+            assert freq >= 2.0**-t - 0.03
+
+    def test_truncation_mass(self):
+        """Leftover geometric mass lands on the last slot."""
+        rng = make_rng(7)
+        draws = [geometric_decay_slot(rng, 2) for _ in range(4000)]
+        freq2 = sum(1 for d in draws if d == 2) / len(draws)
+        assert freq2 >= 0.45  # 1 - P(1) = 1/2
+
+    def test_invalid_max_slot(self):
+        with pytest.raises(ValueError):
+            geometric_decay_slot(make_rng(0), 0)
