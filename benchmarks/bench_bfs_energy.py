@@ -16,16 +16,31 @@ grow sub-linearly in D while the trivial column grows linearly.
 
 from __future__ import annotations
 
+import json
+import math
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.analysis import format_table
-from repro.core import BFSParameters, RecursiveBFS, trivial_bfs
+from repro.core import BFSParameters, RecursiveBFS, decay_bfs, trivial_bfs
 from repro.primitives import PhysicalLBGraph
-from repro.radio import topology
+from repro.radio import make_network, topology
 
-from conftest import run_once
+try:
+    from conftest import run_once
+except ImportError:  # imported outside the benchmarks dir (smoke tests)
+    def run_once(benchmark, fn):
+        return fn()
 
 DEPTHS = [128, 256, 512, 1024]
+
+#: Size, hop budget, and Decay target for the engine-tier comparison.
+ENGINE_BENCH_N = 5000
+ENGINE_BENCH_DEPTH = 3
+ENGINE_BENCH_F = 1e-3
+ENGINE_BENCH_RESULTS = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
 def _run_pair(n):
@@ -110,3 +125,91 @@ def test_recurrence_shape(benchmark):
           f"recursive calls per level: {calls}")
     assert d_star < 511
     assert calls[1] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Engine-tier comparison: reference vs vectorized slot execution
+# ---------------------------------------------------------------------------
+
+def _engine_graph(n, seed=0):
+    """A dense-ish sensor field: the regime where per-listener neighbor
+    scans dominate the reference engine's slot cost."""
+    radius = 4.0 * math.sqrt(2.0 * math.log(max(2, n)) / (math.pi * n))
+    return topology.random_geometric(n, radius=radius, seed=seed)
+
+
+def _engine_run(graph, engine, depth=ENGINE_BENCH_DEPTH,
+                failure_probability=ENGINE_BENCH_F, seed=0):
+    """Run slot-level Decay-BFS on one engine; report slot throughput."""
+    net = make_network(graph, engine=engine)
+    start = time.perf_counter()
+    decay_bfs(net, 0, depth, failure_probability=failure_probability,
+              seed=seed)
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "n": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "slots": net.slot,
+        "seconds": round(elapsed, 4),
+        "slots_per_second": round(net.slot / elapsed, 1),
+        "max_slot_energy": net.ledger.max_slots(),
+    }
+
+
+def engine_comparison(n=ENGINE_BENCH_N, depth=ENGINE_BENCH_DEPTH,
+                      failure_probability=ENGINE_BENCH_F, seed=0):
+    """Both engines on the identical instance and seed; returns the
+    per-engine rows plus the fast/reference slot-throughput ratio."""
+    graph = _engine_graph(n, seed=seed)
+    rows = [
+        _engine_run(graph, engine, depth=depth,
+                    failure_probability=failure_probability, seed=seed)
+        for engine in ("reference", "fast")
+    ]
+    reference, fast = rows
+    assert fast["slots"] == reference["slots"], "engines diverged"
+    speedup = fast["slots_per_second"] / reference["slots_per_second"]
+    return {
+        "benchmark": "slot-throughput: decay_bfs on random geometric field",
+        "n": reference["n"],
+        "depth_budget": depth,
+        "failure_probability": failure_probability,
+        "seed": seed,
+        "engines": rows,
+        "speedup": round(speedup, 2),
+    }
+
+
+def test_engine_throughput(benchmark):
+    """Tentpole target: >= 5x slot throughput at n=5000.
+
+    The committed record lives in ``BENCH_engine.json``; regenerate it
+    deliberately with ``python benchmarks/bench_bfs_energy.py`` rather
+    than as a test side effect, so stray runs can't dirty the tree.
+    """
+    result = run_once(benchmark, engine_comparison)
+    print()
+    print(format_table(
+        list(result["engines"][0].keys()),
+        [list(r.values()) for r in result["engines"]],
+        title=f"Engine tiers (n={result['n']}, speedup {result['speedup']}x)",
+    ))
+    assert result["speedup"] >= 5.0
+
+
+def smoke(n=64):
+    """Tiny single-seed pass over every benchmark entry point in this
+    module, so the scripts cannot silently rot (pytest-collectable via
+    ``tests/test_benchmark_smoke.py``)."""
+    pair = _run_pair(n)
+    assert pair["trivial"] == pair["D"]
+    comparison = engine_comparison(n=n, depth=2)
+    assert comparison["engines"][0]["slots"] > 0
+    return {"pair": pair, "engines": comparison}
+
+
+if __name__ == "__main__":  # standalone: regenerate BENCH_engine.json
+    outcome = engine_comparison()
+    ENGINE_BENCH_RESULTS.write_text(json.dumps(outcome, indent=2) + "\n")
+    print(json.dumps(outcome, indent=2))

@@ -2,7 +2,8 @@
 
 Lemma 2.4: time/energy ``O(log Delta log 1/f)``; senders ``O(log 1/f)``;
 success probability ``>= 1 - f`` per receiver with a sending neighbor.
-Sweeps the degree ``Delta`` (stars) and target ``f``.
+Sweeps the degree ``Delta`` (stars) and target ``f`` on both slot
+engines — the primitive's statistics must be engine-independent.
 """
 
 from __future__ import annotations
@@ -11,55 +12,72 @@ import pytest
 
 from repro.analysis import format_table
 from repro.primitives import DecayParameters, run_decay_local_broadcast
-from repro.radio import RadioNetwork, message_of_ints, topology
+from repro.radio import make_network, message_of_ints, topology
 
-from conftest import run_once
+try:
+    from conftest import run_once
+except ImportError:  # imported outside the benchmarks dir (smoke tests)
+    def run_once(benchmark, fn):
+        return fn()
 
 
-def test_decay_scaling(benchmark):
-    def run():
-        rows = []
-        for delta in (4, 16, 64):
-            for f in (1 / 16, 1 / 256):
-                g = topology.star_graph(delta)
-                params = DecayParameters.for_network(delta, f)
-                wins = 0
-                sender_energy = 0
-                trials = 25
-                for s in range(trials):
-                    net = RadioNetwork(g)
-                    messages = {
-                        leaf: message_of_ints(leaf, leaf)
-                        for leaf in range(1, delta + 1)
-                    }
-                    out = run_decay_local_broadcast(
-                        net, messages, [0], failure_probability=f, seed=s
-                    )
-                    wins += int(0 in out)
-                    sender_energy = max(
-                        sender_energy, net.ledger.device(1).transmit_slots
-                    )
-                rows.append(
-                    [
-                        delta,
-                        f"1/{round(1/f)}",
-                        params.total_slots,
-                        sender_energy,
-                        f"{wins}/{trials}",
-                    ]
+def decay_rows(deltas=(4, 16, 64), fs=(1 / 16, 1 / 256), trials=25,
+               engine="reference"):
+    """One table row per (Delta, f): slots, sender energy, hit rate."""
+    rows = []
+    for delta in deltas:
+        for f in fs:
+            g = topology.star_graph(delta)
+            params = DecayParameters.for_network(delta, f)
+            wins = 0
+            sender_energy = 0
+            for s in range(trials):
+                net = make_network(g, engine=engine)
+                messages = {
+                    leaf: message_of_ints(leaf, leaf)
+                    for leaf in range(1, delta + 1)
+                }
+                out = run_decay_local_broadcast(
+                    net, messages, [0], failure_probability=f, seed=s
                 )
-        return rows
+                wins += int(0 in out)
+                sender_energy = max(
+                    sender_energy, net.ledger.device(1).transmit_slots
+                )
+            rows.append(
+                [
+                    delta,
+                    f"1/{round(1/f)}",
+                    params.total_slots,
+                    sender_energy,
+                    f"{wins}/{trials}",
+                ]
+            )
+    return rows
 
-    rows = run_once(benchmark, run)
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_decay_scaling(benchmark, engine):
+    rows = run_once(benchmark, lambda: decay_rows(engine=engine))
     print()
     print(
         format_table(
             ["Delta", "f", "slots (O(logD log1/f))", "max sender slots", "successes"],
             rows,
-            title="L2.4: Decay Local-Broadcast (star graphs, hub receiver)",
+            title=f"L2.4: Decay Local-Broadcast (star graphs, {engine} engine)",
         )
     )
     for r in rows:
         wins, trials = map(int, r[4].split("/"))
         assert wins >= trials - 3  # success prob >= 1 - f, f <= 1/16
         assert r[3] <= DecayParameters.for_network(r[0], 1 / 256).iterations
+
+
+def smoke():
+    """Tiny single-seed pass on both engines; identical stats expected."""
+    per_engine = [
+        decay_rows(deltas=(4,), fs=(1 / 16,), trials=2, engine=engine)
+        for engine in ("reference", "fast")
+    ]
+    assert per_engine[0] == per_engine[1]
+    return per_engine[0]

@@ -56,6 +56,37 @@ class ClusterLBGraph(LBGraph):
         self._quotient = clustering.quotient_graph(parent.as_nx_graph())
         self._clusters: Set[Hashable] = set(clustering.members)
 
+    @classmethod
+    def from_graph(
+        cls,
+        graph: nx.Graph,
+        clustering: Clustering,
+        slots: SlotAssignment,
+        cast_mode: CastMode = CastMode.FAST,
+        seed: SeedLike = None,
+        engine: str = "reference",
+        failure_probability: float = 1e-3,
+        lb_seed: SeedLike = None,
+    ) -> "ClusterLBGraph":
+        """Build the full slot-level stack on a chosen engine backend.
+
+        Convenience constructor threading the ``engine`` selection
+        (``"reference"``/``"fast"``) down to the physical layer: the
+        graph is wrapped in a slot-level network via
+        :func:`~repro.radio.engine.make_network`, exposed as a
+        :class:`~repro.primitives.decay_lb_graph.DecayLBGraph` parent,
+        and the cluster simulation is stacked on top.  The underlying
+        network is reachable as ``result.parent.network``.
+        """
+        from ..primitives.decay_lb_graph import DecayLBGraph
+        from ..radio.engine import make_network
+
+        network = make_network(graph, engine=engine)
+        parent = DecayLBGraph(
+            network, failure_probability=failure_probability, seed=lb_seed
+        )
+        return cls(parent, clustering, slots, cast_mode=cast_mode, seed=seed)
+
     # ------------------------------------------------------------------
     @property
     def ledger(self) -> EnergyLedger:

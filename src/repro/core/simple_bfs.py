@@ -17,13 +17,15 @@ Two baselines bracket the paper's contribution:
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Iterable, Optional, Set
+from typing import Dict, Hashable, Iterable, Optional, Set, Union
+
+import networkx as nx
 
 from ..errors import ConfigurationError
 from ..primitives.decay import run_decay_local_broadcast
 from ..primitives.lb_graph import LBGraph
+from ..radio.engine import Engine, coerce_network
 from ..radio.message import message_of_ints
-from ..radio.network import RadioNetwork
 from ..rng import SeedLike, make_rng
 
 
@@ -71,18 +73,24 @@ def trivial_bfs(
 
 
 def decay_bfs(
-    network: RadioNetwork,
+    network: Union[nx.Graph, Engine],
     source: Hashable,
     depth_budget: int,
     failure_probability: float = 1e-3,
     seed: SeedLike = None,
+    engine: Optional[str] = None,
 ) -> Dict[Hashable, float]:
     """Slot-level layered BFS via repeated Decay (Bar-Yehuda et al.).
 
     Each frontier advance is one real Decay Local-Broadcast on the slot
     simulator; total time is ``O(D log Delta log 1/f)`` slots and every
     device's slot energy accumulates on the network's ledger.
+
+    ``network`` may be an already-constructed slot engine, or a bare
+    ``networkx`` graph with an ``engine`` name
+    (``"reference"``/``"fast"``) naming the backend to build.
     """
+    network = coerce_network(network, engine)
     if source not in network.graph:
         raise ConfigurationError(f"source {source!r} not in network")
     rng = make_rng(seed)

@@ -23,14 +23,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Set
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Union
 
+import networkx as nx
 import numpy as np
 
 from ..radio.channel import Reception
 from ..radio.device import Action, Device
+from ..radio.engine import Engine, coerce_network
 from ..radio.message import Message
-from ..radio.network import RadioNetwork
 from ..rng import geometric_decay_slot
 
 
@@ -83,17 +84,17 @@ class DecaySender(Device):
         self.message = message
         self.params = params
         self.start_slot = start_slot
+        self._end_slot = start_slot + params.total_slots
         self._slots: Set[int] = set()
         for it in range(params.iterations):
             offset = geometric_decay_slot(rng, params.window) - 1
             self._slots.add(it * params.window + offset)
 
     def step(self, slot: int) -> Action:
-        local = slot - self.start_slot
-        if local >= self.params.total_slots:
+        if slot >= self._end_slot:
             self.halted = True
             return Action.idle()
-        if local in self._slots:
+        if slot - self.start_slot in self._slots:
             return Action.transmit(self.message)
         return Action.idle()
 
@@ -111,11 +112,11 @@ class DecayReceiver(Device):
         super().__init__(vertex, rng)
         self.params = params
         self.start_slot = start_slot
+        self._end_slot = start_slot + params.total_slots
         self.received: Optional[Message] = None
 
     def step(self, slot: int) -> Action:
-        local = slot - self.start_slot
-        if local >= self.params.total_slots or self.received is not None:
+        if slot >= self._end_slot or self.received is not None:
             self.halted = True
             return Action.idle()
         return Action.listen()
@@ -137,17 +138,24 @@ class _SleepingDevice(Device):
 
 
 def run_decay_local_broadcast(
-    network: RadioNetwork,
+    network: Union[nx.Graph, Engine],
     messages: Mapping[Hashable, Message],
     receivers: Iterable[Hashable],
     failure_probability: float = 1e-3,
     seed=None,
+    engine: Optional[str] = None,
 ) -> Dict[Hashable, Message]:
     """Execute one slot-level Local-Broadcast on ``network``.
+
+    ``network`` may be an already-constructed slot engine, or a bare
+    ``networkx`` graph together with an ``engine`` name
+    (``"reference"``/``"fast"``) — the engine is then built via
+    :func:`~repro.radio.engine.make_network`.
 
     Returns ``{receiver: message}`` for every receiver that heard one.
     Senders and receivers must be disjoint; all other vertices sleep.
     """
+    network = coerce_network(network, engine)
     receiver_set = set(receivers)
     sender_set = set(messages)
     overlap = sender_set & receiver_set

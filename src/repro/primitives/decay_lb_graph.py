@@ -15,14 +15,14 @@ Intended for small instances: each LB call costs
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Set
+from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Set, Union
 
 import networkx as nx
 
 from ..errors import ConfigurationError
 from ..radio.energy import EnergyLedger
+from ..radio.engine import Engine, coerce_network
 from ..radio.message import Message, id_bits
-from ..radio.network import RadioNetwork
 from ..rng import SeedLike, make_rng
 from .decay import run_decay_local_broadcast
 from .lb_graph import LBGraph
@@ -34,7 +34,9 @@ class DecayLBGraph(LBGraph):
     Parameters
     ----------
     network:
-        The slot-level radio network to run on.  Its ledger accumulates
+        The slot-level radio network to run on — any
+        :class:`~repro.radio.engine.Engine`, or a bare ``networkx``
+        graph together with an ``engine`` name.  Its ledger accumulates
         true slot energy; this wrapper additionally tracks LB-unit
         participations on the same ledger so both currencies are
         available for one run.
@@ -44,15 +46,20 @@ class DecayLBGraph(LBGraph):
         Callable estimating the encoded size of a payload; defaults to
         a conservative ``4 * ceil(log2 n)`` per message, the RN[O(log n)]
         envelope all this library's payloads fit in.
+    engine:
+        Backend name (``"reference"``/``"fast"``) used when ``network``
+        is a bare graph; rejected otherwise.
     """
 
     def __init__(
         self,
-        network: RadioNetwork,
+        network: Union[nx.Graph, Engine],
         failure_probability: float = 1e-3,
         seed: SeedLike = None,
         payload_bits=None,
+        engine: Optional[str] = None,
     ) -> None:
+        network = coerce_network(network, engine)
         self.network = network
         self.failure_probability = failure_probability
         self.rng = make_rng(seed)

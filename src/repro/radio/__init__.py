@@ -1,8 +1,31 @@
-"""Slot-level RN[b] radio network simulator (paper Section 1.1)."""
+"""Slot-level RN[b] radio network simulator (paper Section 1.1).
+
+The simulator ships **two interchangeable engine tiers** behind the
+shared :class:`Engine` protocol:
+
+- ``"reference"`` (:class:`RadioNetwork`) — a direct per-device Python
+  transcription of the model; the semantic ground truth, best for
+  auditing protocol behavior and for small instances;
+- ``"fast"`` (:class:`FastRadioNetwork`) — a vectorized batch engine:
+  the topology is compiled once into a CSR adjacency matrix and each
+  slot's channel is arbitrated for all listeners with a single sparse
+  product, with batched energy charging.  Use it for large or dense
+  instances.
+
+Select by name with :func:`make_network`; the two engines are
+bit-for-bit equivalent under identical seeds (slot counts, energy
+ledgers, and event traces — enforced by the differential suite in
+``tests/radio/test_engine_equivalence.py``).  :mod:`repro.radio.topology`
+additionally exposes a named scenario registry
+(``topology.scenario(name, n, seed)``) so experiments can sweep diverse
+graph families by name.
+"""
 
 from .channel import CollisionModel, Feedback, Reception
 from .device import Action, ActionKind, Device
 from .energy import DeviceEnergy, EnergyLedger
+from .engine import ENGINES, Engine, available_engines, make_network
+from .fast_engine import FastRadioNetwork
 from .message import (
     Message,
     MessageSizePolicy,
@@ -11,7 +34,7 @@ from .message import (
     int_bits,
     message_of_ints,
 )
-from .network import RadioNetwork
+from .network import RadioNetwork, SlotEngineBase
 from .trace import Event, EventTrace
 
 __all__ = [
@@ -20,16 +43,22 @@ __all__ = [
     "CollisionModel",
     "Device",
     "DeviceEnergy",
+    "ENGINES",
+    "Engine",
     "EnergyLedger",
     "Event",
     "EventTrace",
+    "FastRadioNetwork",
     "Feedback",
     "Message",
     "MessageSizePolicy",
     "RadioNetwork",
     "Reception",
+    "SlotEngineBase",
     "UNBOUNDED",
+    "available_engines",
     "id_bits",
     "int_bits",
+    "make_network",
     "message_of_ints",
 ]

@@ -13,7 +13,7 @@ hold even under this stronger model, so both are provided.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from .message import Message
@@ -39,15 +39,21 @@ class Feedback(enum.Enum):
 
 @dataclass(frozen=True)
 class Reception:
-    """Outcome of one listening slot for one device."""
+    """Outcome of one listening slot for one device.
+
+    ``received`` (True iff an actual message was delivered) is derived
+    once at construction: devices poll it on every listening slot, so it
+    is a plain attribute rather than a property.
+    """
 
     feedback: Feedback
     message: Optional[Message] = None
+    received: bool = field(init=False)
 
-    @property
-    def received(self) -> bool:
-        """True iff an actual message was delivered."""
-        return self.feedback is Feedback.MESSAGE
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "received", self.feedback is Feedback.MESSAGE
+        )
 
 
 def resolve(

@@ -40,12 +40,12 @@ class Action:
     @classmethod
     def idle(cls) -> "Action":
         """Sleep: costs nothing."""
-        return cls(ActionKind.IDLE)
+        return _IDLE
 
     @classmethod
     def listen(cls) -> "Action":
         """Listen: costs one energy unit."""
-        return cls(ActionKind.LISTEN)
+        return _LISTEN
 
     @classmethod
     def transmit(cls, message: Message) -> "Action":
@@ -53,6 +53,12 @@ class Action:
         if message is None:
             raise ValueError("transmit requires a message")
         return cls(ActionKind.TRANSMIT, message)
+
+
+# Idle/listen carry no payload, so one frozen instance each serves every
+# device and slot — devices issue millions of these on large runs.
+_IDLE = Action(ActionKind.IDLE)
+_LISTEN = Action(ActionKind.LISTEN)
 
 
 class Device:

@@ -66,6 +66,23 @@ class EnergyLedger:
         """Charge ``slots`` listening slots to ``device``."""
         self._devices[device].listen_slots += slots
 
+    def charge_slot_batch(
+        self,
+        transmitters: Iterable[Hashable],
+        listeners: Iterable[Hashable],
+    ) -> None:
+        """Charge one slot to every transmitter and listener at once.
+
+        Equivalent to one :meth:`charge_transmit` per transmitter plus
+        one :meth:`charge_listen` per listener; the batch form is used
+        by the vectorized engine so each slot touches the ledger once.
+        """
+        devices = self._devices
+        for v in transmitters:
+            devices[v].transmit_slots += 1
+        for v in listeners:
+            devices[v].listen_slots += 1
+
     def charge_lb(self, senders: Iterable[Hashable], receivers: Iterable[Hashable]) -> None:
         """Charge one Local-Broadcast participation to each participant.
 

@@ -1,0 +1,132 @@
+"""Engine selection: one protocol, two interchangeable slot executors.
+
+Every slot-level consumer in the library (the Decay primitives,
+``DecayLBGraph``, the slot-level BFS baselines, the benchmarks) is
+written against the :class:`Engine` protocol, so any protocol can run
+on either backend unchanged:
+
+- ``"reference"`` — :class:`~repro.radio.network.RadioNetwork`, the
+  per-device Python transcription of paper Section 1.1; the semantic
+  ground truth.
+- ``"fast"`` — :class:`~repro.radio.fast_engine.FastRadioNetwork`, the
+  vectorized engine resolving each slot's channel with one sparse
+  product over a CSR adjacency matrix.
+
+The two are bit-for-bit equivalent under identical seeds (enforced by
+``tests/radio/test_engine_equivalence.py``); pick ``"fast"`` for large
+or dense instances and ``"reference"`` when auditing semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Optional, Protocol, Tuple, Union, runtime_checkable
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike
+from .channel import CollisionModel
+from .device import Device
+from .message import MessageSizePolicy
+from .energy import EnergyLedger
+from .fast_engine import FastRadioNetwork
+from .network import RadioNetwork, SlotEngineBase
+from .trace import EventTrace
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Structural interface of a slot-level executor.
+
+    Both engines satisfy this protocol; code that accepts an ``Engine``
+    works with either (and with any future backend that implements it).
+    """
+
+    graph: nx.Graph
+    collision_model: "CollisionModel"
+    size_policy: "MessageSizePolicy"
+    ledger: EnergyLedger
+    trace: Optional[EventTrace]
+    slot: int
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree of the topology (the Delta of Lemma 2.4)."""
+        ...
+
+    def run(
+        self,
+        devices: Mapping[Hashable, Device],
+        max_slots: int,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> int:
+        """Run the population for up to ``max_slots`` slots."""
+        ...
+
+    def step(self, devices: Mapping[Hashable, Device]) -> None:
+        """Execute one synchronous slot."""
+        ...
+
+    def spawn_devices(
+        self,
+        factory: Callable[[Hashable, np.random.Generator], Device],
+        seed: SeedLike = None,
+    ) -> Dict[Hashable, Device]:
+        """Instantiate one device per vertex with independent streams."""
+        ...
+
+
+#: Registry of selectable engines, keyed by their public name.
+ENGINES: Dict[str, type] = {
+    RadioNetwork.name: RadioNetwork,
+    FastRadioNetwork.name: FastRadioNetwork,
+}
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names accepted by :func:`make_network`'s ``engine`` argument."""
+    return tuple(sorted(ENGINES))
+
+
+def make_network(
+    graph: nx.Graph,
+    engine: str = "reference",
+    **kwargs,
+) -> SlotEngineBase:
+    """Construct a slot-level network on the named engine.
+
+    ``kwargs`` are forwarded to the engine constructor
+    (``collision_model``, ``size_policy``, ``ledger``, ``trace``).
+    Raises :class:`~repro.errors.ConfigurationError` for unknown engine
+    names.
+    """
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; available: {', '.join(available_engines())}"
+        ) from None
+    return cls(graph, **kwargs)
+
+
+def coerce_network(
+    network: "Union[nx.Graph, Engine]",
+    engine: Optional[str] = None,
+) -> "Engine":
+    """Accept either a bare graph or an already-built engine.
+
+    The standard entry-point plumbing for slot-level consumers: a bare
+    ``networkx`` graph is wrapped via :func:`make_network` on the named
+    backend (default ``"reference"``); an existing engine passes
+    through unchanged, in which case supplying ``engine=`` is rejected
+    as contradictory.
+    """
+    if isinstance(network, nx.Graph):
+        return make_network(network, engine=engine or "reference")
+    if engine is not None:
+        raise ConfigurationError(
+            "engine= selects a backend for a bare graph; "
+            "got an already-constructed network as well"
+        )
+    return network

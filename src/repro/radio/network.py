@@ -9,11 +9,26 @@ paper Section 1.1 exactly:
 - per slot each device idles, listens, or transmits;
 - a listener receives a message iff exactly one neighbor transmits;
 - energy = listening slots + transmitting slots; idling is free.
+
+Two interchangeable executors implement these semantics:
+
+- :class:`RadioNetwork` (this module) — the reference engine: a direct
+  per-device Python transcription of the model, optimized for
+  readability and used as the semantic ground truth;
+- :class:`~repro.radio.fast_engine.FastRadioNetwork` — the vectorized
+  engine: identical slot-for-slot behavior, with channel arbitration
+  computed for all listeners at once through a CSR adjacency matrix.
+
+Both derive from :class:`SlotEngineBase`, which owns the slot loop,
+device validation, and device spawning, so the engines can only differ
+in *how* one slot is resolved — never in what a slot means.  The
+differential test suite (``tests/radio/test_engine_equivalence.py``)
+asserts bit-for-bit agreement between them.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Set
 
 import networkx as nx
 import numpy as np
@@ -27,8 +42,13 @@ from .message import Message, MessageSizePolicy
 from .trace import EventTrace
 
 
-class RadioNetwork:
-    """Slot-level executor for a population of :class:`Device` objects.
+class SlotEngineBase:
+    """Shared slot-loop driver for both engine tiers.
+
+    Owns everything that must be *identical* across engines — the run
+    loop, halting/early-stop logic, device-mapping validation, and
+    device spawning — leaving only :meth:`step` (how one synchronous
+    slot is resolved) to the concrete engine.
 
     Parameters
     ----------
@@ -45,6 +65,9 @@ class RadioNetwork:
         Optional :class:`EventTrace` collecting per-slot events.
     """
 
+    #: Engine-registry name; concrete engines override.
+    name: str = "abstract"
+
     def __init__(
         self,
         graph: nx.Graph,
@@ -55,15 +78,18 @@ class RadioNetwork:
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ConfigurationError("radio network requires at least one vertex")
+        if graph.is_directed():
+            raise ConfigurationError(
+                "radio network topologies must be undirected (the RN model "
+                "has symmetric links); got a directed graph"
+            )
         self.graph = graph
         self.collision_model = collision_model
         self.size_policy = size_policy or MessageSizePolicy.unbounded()
         self.ledger = ledger if ledger is not None else EnergyLedger()
         self.trace = trace
         self.slot = 0
-        self._adjacency: Dict[Hashable, List[Hashable]] = {
-            v: list(graph.neighbors(v)) for v in graph.nodes
-        }
+        self._node_set: Set[Hashable] = set(graph.nodes)
 
     # ------------------------------------------------------------------
     def run(
@@ -74,14 +100,25 @@ class RadioNetwork:
     ) -> int:
         """Run the population for up to ``max_slots`` slots.
 
+        The device mapping must cover the vertex set exactly: a missing
+        device would silently never act, and a device keyed by a vertex
+        absent from the graph could never transmit to or hear anyone —
+        both are configuration bugs and rejected up front.
+
         Stops early when every device has ``halted`` or when
         ``stop_when()`` returns True (checked once per slot).  Returns
         the number of slots executed.
         """
-        missing = set(self.graph.nodes) - set(devices)
+        missing = self._node_set - set(devices)
         if missing:
             raise ConfigurationError(
                 f"devices missing for {len(missing)} vertices (e.g. {next(iter(missing))!r})"
+            )
+        extra = set(devices) - self._node_set
+        if extra:
+            raise ConfigurationError(
+                f"devices supplied for {len(extra)} vertices absent from the "
+                f"graph (e.g. {next(iter(extra))!r})"
             )
         executed = 0
         for _ in range(max_slots):
@@ -92,6 +129,53 @@ class RadioNetwork:
             self.step(devices)
             executed += 1
         return executed
+
+    def step(self, devices: Mapping[Hashable, Device]) -> None:
+        """Execute one synchronous slot for all devices."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def spawn_devices(
+        self,
+        factory: Callable[[Hashable, np.random.Generator], Device],
+        seed: SeedLike = None,
+    ) -> Dict[Hashable, Device]:
+        """Instantiate one device per vertex with independent RNG streams."""
+        rng = make_rng(seed)
+        vertices = list(self.graph.nodes)
+        streams = spawn_streams(rng, len(vertices))
+        return {v: factory(v, s) for v, s in zip(vertices, streams)}
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree of the topology (the Delta of Lemma 2.4)."""
+        return max((d for _, d in self.graph.degree), default=0)
+
+
+class RadioNetwork(SlotEngineBase):
+    """Reference slot-level executor for a population of :class:`Device`.
+
+    The direct transcription of the paper's model: one Python loop
+    collects actions, a second resolves the channel at each listener by
+    scanning its neighbor list.  Use
+    :class:`~repro.radio.fast_engine.FastRadioNetwork` (or
+    ``make_network(graph, engine="fast")``) for large instances.
+    """
+
+    name = "reference"
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        collision_model: CollisionModel = CollisionModel.NO_CD,
+        size_policy: Optional[MessageSizePolicy] = None,
+        ledger: Optional[EnergyLedger] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        super().__init__(graph, collision_model, size_policy, ledger, trace)
+        self._adjacency: Dict[Hashable, List[Hashable]] = {
+            v: list(graph.neighbors(v)) for v in graph.nodes
+        }
 
     def step(self, devices: Mapping[Hashable, Device]) -> None:
         """Execute one synchronous slot for all devices."""
@@ -131,20 +215,3 @@ class RadioNetwork:
 
         self.slot += 1
         self.ledger.advance_time(1)
-
-    # ------------------------------------------------------------------
-    def spawn_devices(
-        self,
-        factory: Callable[[Hashable, np.random.Generator], Device],
-        seed: SeedLike = None,
-    ) -> Dict[Hashable, Device]:
-        """Instantiate one device per vertex with independent RNG streams."""
-        rng = make_rng(seed)
-        vertices = list(self.graph.nodes)
-        streams = spawn_streams(rng, len(vertices))
-        return {v: factory(v, s) for v, s in zip(vertices, streams)}
-
-    @property
-    def max_degree(self) -> int:
-        """Maximum degree of the topology (the Delta of Lemma 2.4)."""
-        return max((d for _, d in self.graph.degree), default=0)

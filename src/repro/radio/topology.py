@@ -12,12 +12,18 @@ These produce the graph families the paper's results are exercised on:
 All generators relabel vertices to ``0..n-1`` integers and guarantee a
 connected result (taking the giant component where necessary), since the
 paper's problems are defined on connected networks.
+
+A **named scenario registry** sits on top of the raw generators:
+``scenario(name, n, seed)`` builds a member of the family ``name`` with
+(approximately) ``n`` vertices, so tests and benchmarks can sweep
+diverse workloads by name (see :func:`register_scenario` /
+:func:`scenario_names`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -239,3 +245,194 @@ def wheel(spokes: int) -> nx.Graph:
     if spokes < 3:
         raise ConfigurationError(f"spokes must be >= 3, got {spokes}")
     return _relabel(nx.wheel_graph(spokes + 1))
+
+
+def expander(n: int, degree: int = 4, seed: SeedLike = None) -> nx.Graph:
+    """A random even-degree regular graph — an expander w.h.p.
+
+    Thin wrapper over :func:`random_regular` that forces an even degree
+    so the ``n * degree`` parity constraint can never bite, making it
+    safe for arbitrary ``n`` sweeps.
+    """
+    if n < 5:
+        raise ConfigurationError(f"n must be >= 5, got {n}")
+    if degree % 2 != 0:
+        degree += 1
+    degree = max(4, degree)
+    if degree >= n:  # clamp to the largest even degree below n
+        degree = n - 1 if (n - 1) % 2 == 0 else n - 2
+    return random_regular(n, degree, seed=seed)
+
+
+def small_world(n: int, k: int = 4, p: float = 0.1, seed: SeedLike = None) -> nx.Graph:
+    """Watts–Strogatz small world: ring lattice with rewired shortcuts.
+
+    Locally clustered like a geometric graph but with logarithmic
+    diameter — a regime none of the other families cover.
+    """
+    if n < 5:
+        raise ConfigurationError(f"n must be >= 5, got {n}")
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    rng = make_rng(seed)
+    graph = nx.watts_strogatz_graph(
+        n, min(k, n - 1), p, seed=int(rng.integers(0, 2**31))
+    )
+    return _giant_component(graph)
+
+
+def star_of_paths(arms: int, arm_length: int) -> nx.Graph:
+    """``arms`` disjoint paths of ``arm_length`` joined at one hub.
+
+    Combines the star's max-degree stress with the path's large
+    diameter: BFS wavefronts fan out down every arm simultaneously
+    while the hub sees all the contention.
+    """
+    if arms < 2:
+        raise ConfigurationError(f"arms must be >= 2, got {arms}")
+    if arm_length < 1:
+        raise ConfigurationError(f"arm_length must be >= 1, got {arm_length}")
+    graph = nx.Graph()
+    graph.add_node(0)
+    next_id = 1
+    for _ in range(arms):
+        prev = 0
+        for _ in range(arm_length):
+            graph.add_edge(prev, next_id)
+            prev = next_id
+            next_id += 1
+    return graph
+
+
+def power_law(n: int, m: int = 2, seed: SeedLike = None) -> nx.Graph:
+    """Barabási–Albert preferential attachment — power-law degrees.
+
+    A few hubs of very high degree amid many leaves: the degree
+    heterogeneity stress case for contention-sensitive protocols.
+    """
+    if n < 3:
+        raise ConfigurationError(f"n must be >= 3, got {n}")
+    rng = make_rng(seed)
+    graph = nx.barabasi_albert_graph(
+        n, min(m, n - 1), seed=int(rng.integers(0, 2**31))
+    )
+    return _relabel(graph)
+
+
+# ---------------------------------------------------------------------------
+# Named scenario registry
+# ---------------------------------------------------------------------------
+
+#: A scenario factory: ``(n, seed) -> connected graph on 0..m-1`` with
+#: ``m`` approximately ``n`` (exact for deterministic families; the
+#: giant component for stochastic ones).
+ScenarioFactory = Callable[[int, SeedLike], nx.Graph]
+
+_SCENARIOS: Dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(name: str, factory: ScenarioFactory,
+                      overwrite: bool = False) -> None:
+    """Register a named graph family for :func:`scenario` lookup.
+
+    Factories must return a connected graph with contiguous integer
+    labels ``0..m-1`` (the property-test suite enforces this for every
+    registered family).
+    """
+    if not name:
+        raise ConfigurationError("scenario name must be non-empty")
+    if not overwrite and name in _SCENARIOS:
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    _SCENARIOS[name] = factory
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_SCENARIOS))
+
+
+def scenario(name: str, n: int, seed: SeedLike = None) -> nx.Graph:
+    """Build a member of the named family with approximately ``n`` vertices.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names;
+    the registered families are listed by :func:`scenario_names`.
+    """
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return factory(n, seed)
+
+
+def _near_square(n: int) -> Tuple[int, int]:
+    """Grid dimensions ``rows x cols`` with ``rows * cols >= n``, near-square."""
+    rows = max(1, int(math.isqrt(n)))
+    cols = max(1, math.ceil(n / rows))
+    return rows, cols
+
+
+def _register_default_scenarios() -> None:
+    """Register the built-in families under their canonical names.
+
+    Each adapter maps the single size knob ``n`` onto the family's
+    natural parameters; minimum sizes are clamped so every family is
+    well-defined for any ``n >= 1``.
+    """
+    register_scenario("path", lambda n, seed=None: path_graph(n))
+    register_scenario("cycle", lambda n, seed=None: cycle_graph(max(3, n)))
+    register_scenario("grid", lambda n, seed=None: grid_graph(*_near_square(n)))
+    register_scenario("complete", lambda n, seed=None: complete_graph(max(2, n)))
+    register_scenario("tree", lambda n, seed=None: random_tree(n, seed=seed))
+    register_scenario(
+        "geometric", lambda n, seed=None: random_geometric(n, seed=seed)
+    )
+    register_scenario(
+        "erdos_renyi", lambda n, seed=None: erdos_renyi(n, seed=seed)
+    )
+    register_scenario(
+        "caterpillar",
+        lambda n, seed=None: caterpillar(max(1, n // 3), 2),
+    )
+    register_scenario(
+        "barbell",
+        lambda n, seed=None: barbell(max(3, n // 3), max(0, n - 2 * max(3, n // 3))),
+    )
+    register_scenario("star", lambda n, seed=None: star_graph(max(1, n - 1)))
+    register_scenario(
+        "lollipop",
+        lambda n, seed=None: lollipop(max(3, n // 2), max(0, n - max(3, n // 2))),
+    )
+    register_scenario(
+        "binary_tree",
+        lambda n, seed=None: binary_tree(
+            max(0, int(math.log2(max(1, n) + 1)) - 1)
+        ),
+    )
+    register_scenario(
+        "hypercube",
+        lambda n, seed=None: hypercube(max(1, int(math.log2(max(2, n))))),
+    )
+    register_scenario("wheel", lambda n, seed=None: wheel(max(3, n - 1)))
+    register_scenario(
+        "expander", lambda n, seed=None: expander(max(6, n), 4, seed=seed)
+    )
+    register_scenario(
+        "small_world", lambda n, seed=None: small_world(max(5, n), seed=seed)
+    )
+    register_scenario(
+        "star_of_paths",
+        lambda n, seed=None: star_of_paths(
+            max(2, int(math.isqrt(max(4, n)))),
+            max(1, (n - 1) // max(2, int(math.isqrt(max(4, n))))),
+        ),
+    )
+    register_scenario(
+        "power_law", lambda n, seed=None: power_law(max(3, n), seed=seed)
+    )
+
+
+_register_default_scenarios()

@@ -13,6 +13,7 @@ from repro.radio import (
     Message,
     MessageSizePolicy,
     RadioNetwork,
+    make_network,
 )
 from repro.errors import MessageTooLargeError
 
@@ -115,9 +116,33 @@ class TestPolicies:
         with pytest.raises(ConfigurationError):
             net.run({0: Sleeper(0, np.random.default_rng(0))}, max_slots=1)
 
+    def test_extra_devices_rejected(self):
+        """Devices keyed by vertices outside the graph are a config bug.
+
+        Regression test: extras used to be silently ignored, so a typo'd
+        device mapping could drop participants without any signal.
+        """
+        g = nx.path_graph(3)
+        for engine in ("reference", "fast"):
+            net = make_network(g, engine=engine)
+            devices = {
+                v: Sleeper(v, np.random.default_rng(v)) for v in (0, 1, 2, 99)
+            }
+            with pytest.raises(ConfigurationError, match="absent from the graph"):
+                net.run(devices, max_slots=1)
+
     def test_empty_graph_rejected(self):
         with pytest.raises(ConfigurationError):
             RadioNetwork(nx.Graph())
+
+    def test_directed_graph_rejected(self):
+        """The RN model has symmetric links; both engines would also
+        resolve collisions from opposite edge directions on a DiGraph,
+        so directed topologies are rejected outright."""
+        g = nx.DiGraph([(0, 1)])
+        for engine in ("reference", "fast"):
+            with pytest.raises(ConfigurationError, match="undirected"):
+                make_network(g, engine=engine)
 
     def test_trace_records_events(self):
         g = nx.path_graph(2)

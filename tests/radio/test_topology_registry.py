@@ -1,0 +1,114 @@
+"""Property tests for the named scenario registry.
+
+Every registered family must uphold the module contract: a connected
+graph with contiguous integer labels ``0..m-1`` (``m`` approximately
+the requested ``n``), deterministic under a fixed seed, and registry
+lookups must fail loudly for unknown names.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio import topology
+
+SIZES = (8, 21, 40)
+# Families whose construction consumes randomness; same seed must give
+# the same graph, different seeds should usually differ.
+STOCHASTIC = ("tree", "geometric", "erdos_renyi", "expander",
+              "small_world", "power_law")
+
+
+@pytest.mark.parametrize("name", topology.scenario_names())
+@pytest.mark.parametrize("n", SIZES)
+def test_family_contract(name, n):
+    graph = topology.scenario(name, n, seed=5)
+    assert graph.number_of_nodes() >= 1
+    assert nx.is_connected(graph)
+    assert set(graph.nodes) == set(range(graph.number_of_nodes()))
+
+
+@pytest.mark.parametrize("name", topology.scenario_names())
+def test_family_tracks_requested_size(name):
+    """The size knob is honored at least up to family-shape rounding."""
+    small = topology.scenario(name, 8, seed=1).number_of_nodes()
+    large = topology.scenario(name, 64, seed=1).number_of_nodes()
+    assert large > small
+
+
+@pytest.mark.parametrize("name", STOCHASTIC)
+def test_stochastic_families_deterministic_per_seed(name):
+    a = topology.scenario(name, 32, seed=9)
+    b = topology.scenario(name, 32, seed=9)
+    assert sorted(a.edges) == sorted(b.edges)
+
+
+def test_issue_families_registered():
+    """The families the engine benchmarks sweep are all present."""
+    names = set(topology.scenario_names())
+    assert {"expander", "small_world", "barbell", "star_of_paths",
+            "power_law"} <= names
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        topology.scenario("no-such-family", 10)
+
+
+def test_invalid_size_raises():
+    with pytest.raises(ConfigurationError):
+        topology.scenario("path", 0)
+
+
+def test_duplicate_registration_rejected():
+    name = "___registry_test_dup"
+    topology.register_scenario(name, lambda n, seed=None: nx.path_graph(n))
+    try:
+        with pytest.raises(ConfigurationError):
+            topology.register_scenario(
+                name, lambda n, seed=None: nx.path_graph(n)
+            )
+        # Explicit overwrite is the sanctioned escape hatch.
+        topology.register_scenario(
+            name, lambda n, seed=None: nx.cycle_graph(max(3, n)),
+            overwrite=True,
+        )
+        assert topology.scenario(name, 5).number_of_edges() == 5
+    finally:
+        topology._SCENARIOS.pop(name, None)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigurationError):
+        topology.register_scenario("", lambda n, seed=None: nx.path_graph(n))
+
+
+def test_star_of_paths_shape():
+    graph = topology.star_of_paths(4, 5)
+    assert graph.number_of_nodes() == 21  # hub + 4 * 5
+    assert graph.degree[0] == 4
+    assert nx.diameter(graph) == 10
+    assert nx.is_connected(graph)
+
+
+def test_star_of_paths_validation():
+    with pytest.raises(ConfigurationError):
+        topology.star_of_paths(1, 5)
+    with pytest.raises(ConfigurationError):
+        topology.star_of_paths(3, 0)
+
+
+def test_expander_is_regular_even_for_odd_n():
+    for n in (9, 12, 15):
+        graph = topology.expander(n, 4, seed=2)
+        degrees = {d for _, d in graph.degree}
+        assert degrees == {4}
+        assert graph.number_of_nodes() == n
+
+
+def test_power_law_has_hubs():
+    graph = topology.power_law(200, m=2, seed=3)
+    degrees = sorted((d for _, d in graph.degree), reverse=True)
+    assert degrees[0] >= 4 * degrees[len(degrees) // 2]
