@@ -1,6 +1,8 @@
 """Experiment T4.1 (headline, Theorem 4.1): BFS energy vs depth.
 
-Regenerates the paper's central comparison as measurable series:
+Regenerates the paper's central comparison as measurable series,
+driven entirely through the unified experiment API (``ExperimentSpec``
+-> ``run_experiment`` -> ``RunResult``):
 
 - trivial wavefront BFS: max per-device energy = Theta(D);
 - Recursive-BFS: the Step-5 wavefront component *saturates* (Claims 1-2
@@ -12,21 +14,27 @@ Printed series: D, trivial max-LB, recursive max-LB (total), recursive
 max wavefront-LB, max awake stages, stage count, max special updates.
 The paper's qualitative claims hold iff the awake/wavefront columns
 grow sub-linearly in D while the trivial column grows linearly.
+
+The engine-tier comparison at the bottom runs the *same* spec on both
+slot engines and records the two ``RunResult`` documents (schema v1,
+with timing) to ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
 
 import json
-import math
-import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis import format_table
-from repro.core import BFSParameters, RecursiveBFS, decay_bfs, trivial_bfs
-from repro.primitives import PhysicalLBGraph
-from repro.radio import make_network, topology
+from repro.core import BFSParameters
+from repro.experiments import (
+    ExperimentSpec,
+    SCHEMA_VERSION,
+    decode_labels,
+    run_experiment,
+)
 
 try:
     from conftest import run_once
@@ -43,26 +51,32 @@ ENGINE_BENCH_F = 1e-3
 ENGINE_BENCH_RESULTS = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 
 
-def _run_pair(n):
-    g = topology.path_graph(n)
-    depth = n - 1
-    triv = PhysicalLBGraph(g, seed=0)
-    trivial_bfs(triv, [0], depth)
+def _pair_specs(n):
+    """The two T4.1 cells for one path length: same instance, same seed."""
+    base = dict(topology="path", n=n, seed=1)
+    return (
+        ExperimentSpec(algorithm="trivial_bfs",
+                       algorithm_params={"depth_budget": n - 1}, **base),
+        ExperimentSpec(algorithm="recursive_bfs",
+                       algorithm_params={"beta": 1 / 16, "max_depth": 1,
+                                         "depth_budget": n - 1}, **base),
+    )
 
-    rec = PhysicalLBGraph(g, seed=0)
-    params = BFSParameters(beta=1 / 16, max_depth=1)
-    rb = RecursiveBFS(params, seed=1)
-    labels = rb.compute(rec, [0], depth)
-    assert all(labels[v] == v for v in g), "recursive BFS must be correct"
-    stats = rb.stats
+
+def _run_pair(n):
+    triv_spec, rec_spec = _pair_specs(n)
+    triv = run_experiment(triv_spec)
+    rec = run_experiment(rec_spec)
+    labels = decode_labels(rec.output["labels"])
+    assert all(labels[v] == v for v in range(n)), "recursive BFS must be correct"
     return {
-        "D": depth,
-        "trivial": triv.ledger.max_lb(),
-        "recursive_total": rec.ledger.max_lb(),
-        "recursive_wavefront": max(stats.wavefront_lb.values()),
-        "awake_stages": stats.max_awake_stages(),
-        "stages": stats.stage_count,
-        "special_updates": stats.max_special_updates(),
+        "D": n - 1,
+        "trivial": triv.max_lb_energy,
+        "recursive_total": rec.max_lb_energy,
+        "recursive_wavefront": rec.output["max_wavefront_lb"],
+        "awake_stages": rec.output["max_awake_stages"],
+        "stages": rec.output["stage_count"],
+        "special_updates": rec.output["max_special_updates"],
     }
 
 
@@ -106,79 +120,91 @@ def test_bfs_energy_series(benchmark):
 def test_recurrence_shape(benchmark):
     """Equation (3): En_0(D) ~ overhead * En_1(O~(beta D)) + O~(1/beta).
 
-    Measures level-0 and level-1 call counts and checks the recursion
-    depth budget shrinks by the predicted O~(beta) factor.
+    Measures the recursion depth budget shrink through the same
+    parameter object the adapter builds from the spec's knobs.
     """
 
     def run():
-        g = topology.path_graph(512)
-        lbg = PhysicalLBGraph(g, seed=0)
+        spec = ExperimentSpec(
+            topology="path", n=512, algorithm="recursive_bfs",
+            algorithm_params={"beta": 1 / 16, "max_depth": 1,
+                              "depth_budget": 511}, seed=0,
+        )
+        result = run_experiment(spec)
         params = BFSParameters(beta=1 / 16, max_depth=1)
-        rb = RecursiveBFS(params, seed=1)
-        rb.compute(lbg, [0], 511)
-        d_star = params.d_star(511)
-        return params, d_star, rb.stats.recursive_calls
+        return params, params.d_star(511), result
 
-    params, d_star, calls = run_once(benchmark, run)
+    params, d_star, result = run_once(benchmark, run)
     print(f"\nT4.1 recurrence: D=511 -> D* = {d_star} "
-          f"(shrink {d_star / 511:.3f}, predicted ~{params.proxy_mult * params.beta:.3f}); "
-          f"recursive calls per level: {calls}")
+          f"(shrink {d_star / 511:.3f}, predicted "
+          f"~{params.proxy_mult * params.beta:.3f}); "
+          f"stages executed: {result.output['stage_count']}")
     assert d_star < 511
-    assert calls[1] >= 1
+    assert result.output["stage_count"] >= 1
 
 
 # ---------------------------------------------------------------------------
 # Engine-tier comparison: reference vs vectorized slot execution
 # ---------------------------------------------------------------------------
 
-def _engine_graph(n, seed=0):
-    """A dense-ish sensor field: the regime where per-listener neighbor
-    scans dominate the reference engine's slot cost."""
-    radius = 4.0 * math.sqrt(2.0 * math.log(max(2, n)) / (math.pi * n))
-    return topology.random_geometric(n, radius=radius, seed=seed)
+def _engine_spec(engine, n=ENGINE_BENCH_N, depth=ENGINE_BENCH_DEPTH,
+                 failure_probability=ENGINE_BENCH_F, seed=0):
+    """One engine-tier cell: dense sensor field, slot-level Decay-BFS.
 
-
-def _engine_run(graph, engine, depth=ENGINE_BENCH_DEPTH,
-                failure_probability=ENGINE_BENCH_F, seed=0):
-    """Run slot-level Decay-BFS on one engine; report slot throughput."""
-    net = make_network(graph, engine=engine)
-    start = time.perf_counter()
-    decay_bfs(net, 0, depth, failure_probability=failure_probability,
-              seed=seed)
-    elapsed = time.perf_counter() - start
-    return {
-        "engine": engine,
-        "n": graph.number_of_nodes(),
-        "edges": graph.number_of_edges(),
-        "slots": net.slot,
-        "seconds": round(elapsed, 4),
-        "slots_per_second": round(net.slot / elapsed, 1),
-        "max_slot_energy": net.ledger.max_slots(),
-    }
+    The two tiers differ only in the ``engine`` field, so the equality
+    of their outputs/metrics is exactly the bit-for-bit guarantee of
+    the differential suite.
+    """
+    return ExperimentSpec(
+        topology="dense_geometric",
+        n=n,
+        algorithm="decay_bfs",
+        algorithm_params={"sources": [0], "depth_budget": depth,
+                          "failure_probability": failure_probability,
+                          "record_labels": False},
+        engine=engine,
+        seed=seed,
+    )
 
 
 def engine_comparison(n=ENGINE_BENCH_N, depth=ENGINE_BENCH_DEPTH,
                       failure_probability=ENGINE_BENCH_F, seed=0):
-    """Both engines on the identical instance and seed; returns the
-    per-engine rows plus the fast/reference slot-throughput ratio."""
-    graph = _engine_graph(n, seed=seed)
-    rows = [
-        _engine_run(graph, engine, depth=depth,
-                    failure_probability=failure_probability, seed=seed)
+    """Both engines on the identical spec (same instance, same seed);
+    returns the benchmark document in the RunResult schema."""
+    results = [
+        run_experiment(_engine_spec(engine, n=n, depth=depth,
+                                    failure_probability=failure_probability,
+                                    seed=seed))
         for engine in ("reference", "fast")
     ]
-    reference, fast = rows
-    assert fast["slots"] == reference["slots"], "engines diverged"
-    speedup = fast["slots_per_second"] / reference["slots_per_second"]
+    reference, fast = results
+    assert fast.output == reference.output, "engines diverged (output)"
+    assert fast.metrics() == reference.metrics(), "engines diverged (metrics)"
+    speedup = reference.wall_time_s / fast.wall_time_s
     return {
-        "benchmark": "slot-throughput: decay_bfs on random geometric field",
-        "n": reference["n"],
-        "depth_budget": depth,
-        "failure_probability": failure_probability,
-        "seed": seed,
-        "engines": rows,
+        "benchmark": "slot-throughput: decay_bfs on dense geometric field",
+        "schema_version": SCHEMA_VERSION,
         "speedup": round(speedup, 2),
+        "results": [r.to_dict(include_timing=True) for r in results],
     }
+
+
+def _engine_rows(document):
+    """Flatten the comparison document for table display."""
+    rows = []
+    for entry in document["results"]:
+        metrics = entry["metrics"]
+        wall = entry["timing"]["wall_time_s"]
+        rows.append([
+            entry["spec"]["engine"],
+            metrics["n"],
+            metrics["edges"],
+            metrics["time_slots"],
+            round(wall, 4),
+            round(metrics["time_slots"] / wall, 1) if wall else float("inf"),
+            metrics["max_slot_energy"],
+        ])
+    return rows
 
 
 def test_engine_throughput(benchmark):
@@ -188,14 +214,15 @@ def test_engine_throughput(benchmark):
     deliberately with ``python benchmarks/bench_bfs_energy.py`` rather
     than as a test side effect, so stray runs can't dirty the tree.
     """
-    result = run_once(benchmark, engine_comparison)
+    document = run_once(benchmark, engine_comparison)
     print()
     print(format_table(
-        list(result["engines"][0].keys()),
-        [list(r.values()) for r in result["engines"]],
-        title=f"Engine tiers (n={result['n']}, speedup {result['speedup']}x)",
+        ["engine", "n", "edges", "slots", "seconds", "slots/s", "max_slot_E"],
+        _engine_rows(document),
+        title=f"Engine tiers (n={document['results'][0]['metrics']['n']}, "
+              f"speedup {document['speedup']}x)",
     ))
-    assert result["speedup"] >= 5.0
+    assert document["speedup"] >= 5.0
 
 
 def smoke(n=64):
@@ -205,11 +232,13 @@ def smoke(n=64):
     pair = _run_pair(n)
     assert pair["trivial"] == pair["D"]
     comparison = engine_comparison(n=n, depth=2)
-    assert comparison["engines"][0]["slots"] > 0
+    assert comparison["results"][0]["metrics"]["time_slots"] > 0
     return {"pair": pair, "engines": comparison}
 
 
 if __name__ == "__main__":  # standalone: regenerate BENCH_engine.json
     outcome = engine_comparison()
-    ENGINE_BENCH_RESULTS.write_text(json.dumps(outcome, indent=2) + "\n")
-    print(json.dumps(outcome, indent=2))
+    ENGINE_BENCH_RESULTS.write_text(
+        json.dumps(outcome, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+    print(json.dumps(outcome, indent=2, sort_keys=True))

@@ -7,51 +7,65 @@ T5.4: the nearly-3/2 approximation returns
 ``D' in [floor(2 diam/3), diam]`` using ``O~(sqrt n)`` BFS runs — its
 energy scales with ``sqrt(n)`` times one BFS, far below the
 ``Omega(n)``-energy exact computation.
+
+Every cell is an ``ExperimentSpec`` from the unified experiment API:
+the topology comes from the named scenario registry, the algorithm
+from the algorithm registry, and the quality/energy readings from the
+structured ``RunResult``.
 """
 
 from __future__ import annotations
 
-import math
-
 import networkx as nx
-import pytest
 
 from repro.analysis import format_table
-from repro.core import BFSParameters
-from repro.diameter import three_halves_diameter, two_approx_diameter
-from repro.primitives import PhysicalLBGraph
-from repro.radio import topology
+from repro.experiments import ExperimentSpec, run_experiment
 
-from conftest import run_once
+try:
+    from conftest import run_once
+except ImportError:  # imported outside the benchmarks dir (smoke tests)
+    def run_once(benchmark, fn):
+        return fn()
+
+#: (family, size knob) instances the quality sweep runs on.
+FAMILIES = [("grid", 140), ("path", 120), ("geometric", 200), ("tree", 150)]
+
+#: Recursive-BFS knobs shared by the approximation cells.
+BFS_KNOBS = {"beta": 1 / 4, "max_depth": 1}
 
 
-FAMILIES = [
-    ("grid-10x14", lambda: topology.grid_graph(10, 14)),
-    ("path-120", lambda: topology.path_graph(120)),
-    ("geometric-200", lambda: topology.random_geometric(200, seed=6)),
-    ("tree-150", lambda: topology.random_tree(150, seed=7)),
-]
+def _cell(topology, n, algorithm, seed=1, **extra_params):
+    return ExperimentSpec(
+        topology=topology,
+        n=n,
+        algorithm=algorithm,
+        algorithm_params={**BFS_KNOBS, **extra_params},
+        seed=seed,
+    )
+
+
+def _true_diameter(topology, n, seed=1):
+    """Ground truth, computed once per family and fed to every cell as
+    its depth budget (the adapters' nx.diameter default is a per-cell
+    fallback, not something to pay three times per instance)."""
+    probe = _cell(topology, n, "two_approx_diameter", seed=seed)
+    return nx.diameter(probe.build_graph())
 
 
 def test_approximation_quality(benchmark):
     def run():
         rows = []
-        params = BFSParameters(beta=1 / 4, max_depth=1)
-        for name, maker in FAMILIES:
-            g = maker()
-            true_d = nx.diameter(g)
-            two = two_approx_diameter(
-                PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=1
-            )
-            th = three_halves_diameter(
-                PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=1
-            )
+        for family, n in FAMILIES:
+            true_d = _true_diameter(family, n)
+            budget = {"depth_budget": true_d + 2}
+            two = run_experiment(_cell(family, n, "two_approx_diameter", **budget))
+            th = run_experiment(_cell(family, n, "three_halves_diameter", **budget))
             rows.append(
                 [
-                    name,
+                    f"{family}-{two.n}",
                     true_d,
-                    two.estimate,
-                    th.estimate,
+                    two.output["estimate"],
+                    th.output["estimate"],
                     two.max_lb_energy,
                     th.max_lb_energy,
                 ]
@@ -79,19 +93,15 @@ def test_energy_ordering(benchmark):
     """2-approx << 3/2-approx << exact, in max per-device energy."""
 
     def run():
-        g = topology.grid_graph(10, 10)
-        true_d = nx.diameter(g)
-        params = BFSParameters(beta=1 / 4, max_depth=1)
-        two = two_approx_diameter(
-            PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=2
+        budget = {"depth_budget": _true_diameter("grid", 100, seed=2) + 2}
+        two = run_experiment(_cell("grid", 100, "two_approx_diameter", seed=2,
+                                   **budget))
+        th = run_experiment(_cell("grid", 100, "three_halves_diameter", seed=2,
+                                  **budget))
+        exact = run_experiment(
+            ExperimentSpec(topology="grid", n=100, algorithm="exact_diameter",
+                           algorithm_params=budget, seed=2)
         )
-        th = three_halves_diameter(
-            PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=2
-        )
-        from repro.diameter import exact_diameter
-
-        exact_lbg = PhysicalLBGraph(g, seed=0)
-        exact = exact_diameter(exact_lbg, true_d + 2, seed=2)
         return two, th, exact
 
     two, th, exact = run_once(benchmark, run)
@@ -104,3 +114,14 @@ def test_energy_ordering(benchmark):
     # Exact runs n BFS with everyone listening: the per-BFS listening
     # alone exceeds the 2-approx total.
     assert exact.max_lb_energy > two.max_lb_energy
+
+
+def smoke():
+    """Tiny pass over both benchmark entry points (tier-1 smoke)."""
+    true_d = _true_diameter("grid", 16, seed=3)
+    budget = {"depth_budget": true_d + 2}
+    two = run_experiment(_cell("grid", 16, "two_approx_diameter", seed=3, **budget))
+    th = run_experiment(_cell("grid", 16, "three_halves_diameter", seed=3, **budget))
+    assert true_d / 2 <= two.output["estimate"] <= true_d
+    assert (2 * true_d) // 3 <= th.output["estimate"] <= true_d
+    return [two, th]

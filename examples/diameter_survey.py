@@ -2,71 +2,72 @@
 
 Runs the 2-approximation (Theorem 5.3), the nearly-3/2-approximation
 (Theorem 5.4), and the exact Omega(n)-energy baseline across graph
-families, printing estimates, guarantee windows, and measured energy.
+families — one ``run_sweep`` grid (five topologies x three algorithms,
+paired seeds) — printing estimates, guarantee windows, and measured
+energy from the structured results.
 
 Run:  python examples/diameter_survey.py
 """
 
 import networkx as nx
 
-from repro import BFSParameters, PhysicalLBGraph
 from repro.analysis import format_table
-from repro.diameter import (
-    exact_diameter,
-    minimum_energy_bound,
-    three_halves_diameter,
-    two_approx_diameter,
-)
-from repro.radio import topology
+from repro.diameter import minimum_energy_bound
+from repro.experiments import ExperimentSpec, run_specs
 
-
-FAMILIES = [
-    ("grid 10x14", lambda: topology.grid_graph(10, 14)),
-    ("path 120", lambda: topology.path_graph(120)),
-    ("geometric ~200", lambda: topology.random_geometric(200, seed=6)),
-    ("random tree 150", lambda: topology.random_tree(150, seed=7)),
-    ("barbell 12+60", lambda: topology.barbell(12, 60)),
-]
+FAMILIES = ["grid", "path", "geometric", "tree", "barbell"]
+ALGORITHMS = ["two_approx_diameter", "three_halves_diameter", "exact_diameter"]
+N = 120
 
 
 def main() -> None:
-    params = BFSParameters(beta=1 / 4, max_depth=1)
+    bfs_knobs = {"beta": 1 / 4, "max_depth": 1}
+    # Ground-truth diameters, computed once per family and passed to
+    # every cell as its depth budget (instead of each adapter
+    # recomputing nx.diameter for its default).
+    specs, true_diam = [], {}
+    for family in FAMILIES:
+        probe = ExperimentSpec(topology=family, n=N,
+                               algorithm="exact_diameter", seed=1)
+        true_diam[family] = nx.diameter(probe.build_graph())
+        budget = {"depth_budget": true_diam[family] + 2}
+        for algorithm in ALGORITHMS:
+            knobs = bfs_knobs if algorithm != "exact_diameter" else {}
+            specs.append(ExperimentSpec(
+                topology=family, n=N, algorithm=algorithm,
+                algorithm_params={**knobs, **budget}, seed=1,
+            ))
+    sweep = run_specs(specs)
+    by_cell = {(r.spec.topology, r.spec.algorithm): r for r in sweep}
+
     rows = []
-    for name, maker in FAMILIES:
-        g = maker()
-        true_d = nx.diameter(g)
-        two = two_approx_diameter(
-            PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=1
-        )
-        th = three_halves_diameter(
-            PhysicalLBGraph(g, seed=0), true_d + 2, params=params, seed=1
-        )
-        exact = exact_diameter(PhysicalLBGraph(g, seed=0), true_d + 2, seed=1)
-        rows.append(
-            [
-                name,
-                true_d,
-                two.estimate,
-                th.estimate,
-                exact.estimate,
-                two.max_lb_energy,
-                th.max_lb_energy,
-                exact.max_lb_energy,
-            ]
-        )
-    print(
-        format_table(
-            ["family", "diam", "2-apx", "3/2-apx", "exact",
-             "E(2-apx)", "E(3/2-apx)", "E(exact)"],
-            rows,
-            title="Diameter survey (energy in max LB participations)",
-        )
-    )
+    for family in FAMILIES:
+        two = by_cell[(family, "two_approx_diameter")]
+        th = by_cell[(family, "three_halves_diameter")]
+        exact = by_cell[(family, "exact_diameter")]
+        true_d = true_diam[family]
+        rows.append([
+            f"{family} ({two.n})",
+            true_d,
+            two.output["estimate"],
+            th.output["estimate"],
+            exact.output["estimate"],
+            two.max_lb_energy,
+            th.max_lb_energy,
+            exact.max_lb_energy,
+        ])
+    print(format_table(
+        ["family", "diam", "2-apx", "3/2-apx", "exact",
+         "E(2-apx)", "E(3/2-apx)", "E(exact)"],
+        rows,
+        title="Diameter survey (energy in max LB participations; "
+              f"{sweep.execution})",
+    ))
     print()
     print("Theorem 5.1 floor: any (2-eps)-approximation needs per-device")
     print("slot energy at least (1-2f)(n-1)/4; for these sizes:")
-    for name, maker in FAMILIES[:2]:
-        n = maker().number_of_nodes()
+    for family in FAMILIES[:2]:
+        n = by_cell[(family, "two_approx_diameter")].n
         print(f"  n={n}: E >= {minimum_energy_bound(n):.0f} slots")
 
 

@@ -1,54 +1,63 @@
 """The headline experiment at a glance: BFS energy vs network depth.
 
 Compares trivial wavefront BFS (energy = D) against Recursive-BFS on
-paths of growing length, printing the decomposed energy readings and
-the Claims 1-2 instrumentation (how many stages devices stay awake).
+paths of growing length — one ``run_sweep`` grid (path topology x two
+algorithms x one seed, sizes as the depth axis) executed on the process
+pool — printing the decomposed energy readings and the Claims 1-2
+instrumentation (how many stages devices stay awake).
 
 Run:  python examples/energy_scaling.py [--depths 128 256 512 1024]
 """
 
 import argparse
 
-from repro import BFSParameters, PhysicalLBGraph, RecursiveBFS, trivial_bfs
 from repro.analysis import format_table, headline_exponent, predicted_energy
-from repro.radio import topology
-
-
-def run_one(n: int):
-    g = topology.path_graph(n)
-    depth = n - 1
-
-    triv = PhysicalLBGraph(g, seed=0)
-    trivial_bfs(triv, [0], depth)
-
-    rec = PhysicalLBGraph(g, seed=0)
-    params = BFSParameters(beta=1 / 16, max_depth=1)
-    rb = RecursiveBFS(params, seed=1)
-    labels = rb.compute(rec, [0], depth)
-    assert all(labels[v] == v for v in g)
-    s = rb.stats
-    return [
-        depth,
-        triv.ledger.max_lb(),
-        rec.ledger.max_lb(),
-        max(s.wavefront_lb.values()),
-        f"{s.max_awake_stages()}/{s.stage_count}",
-        s.max_special_updates(),
-    ]
+from repro.experiments import ExperimentSpec, decode_labels, run_specs
 
 
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--depths", type=int, nargs="+",
                         default=[128, 256, 512, 1024])
+    parser.add_argument("--serial", action="store_true")
     args = parser.parse_args(argv)
 
-    rows = [run_one(n) for n in args.depths]
+    # One cell per (depth, algorithm); the budget is exactly the path's
+    # depth D = n - 1, so the printed stage counts correspond to the
+    # labeled D (budgets vary per size, hence explicit specs).
+    specs = []
+    for n in args.depths:
+        for algorithm, knobs in (
+            ("trivial_bfs", {}),
+            ("recursive_bfs", {"beta": 1 / 16, "max_depth": 1}),
+        ):
+            specs.append(ExperimentSpec(
+                topology="path", n=n, algorithm=algorithm,
+                algorithm_params={**knobs, "depth_budget": n - 1}, seed=0,
+            ))
+    sweep = run_specs(specs, parallel=not args.serial)
+    by_cell = {(r.n, r.spec.algorithm): r for r in sweep}
+
+    rows = []
+    for n in args.depths:
+        triv = by_cell[(n, "trivial_bfs")]
+        rec = by_cell[(n, "recursive_bfs")]
+        labels = decode_labels(rec.output["labels"])
+        assert all(labels[v] == v for v in range(n)), "recursive BFS must be correct"
+        rows.append([
+            n - 1,
+            triv.max_lb_energy,
+            rec.max_lb_energy,
+            rec.output["max_wavefront_lb"],
+            f"{rec.output['max_awake_stages']}/{rec.output['stage_count']}",
+            rec.output["max_special_updates"],
+        ])
     print(format_table(
         ["D", "trivial maxE", "recursive maxE (total)",
          "recursive maxE (wavefront)", "awake/total stages", "max special upd"],
         rows,
-        title="Theorem 4.1 mechanism: devices sleep through most stages",
+        title=f"Theorem 4.1 mechanism ({sweep.execution}): "
+              "devices sleep through most stages",
     ))
     print()
     n = max(args.depths)

@@ -1,53 +1,64 @@
-"""Quickstart: compute an energy-efficient BFS labeling and inspect costs.
+"""Quickstart: one spec in, one structured result out.
+
+The unified experiment API: declare a scenario cell as an
+``ExperimentSpec`` (topology + algorithm + seed), execute it with
+``run_experiment``, and read the uniform ``RunResult`` — output labels,
+energy in both of the paper's currencies, and a lossless JSON form
+(the same schema the benchmarks commit to ``BENCH_*.json``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import BFSParameters, PhysicalLBGraph, RecursiveBFS, verify_labeling
+from repro import PhysicalLBGraph, verify_labeling
+from repro.experiments import ExperimentSpec, decode_labels, run_experiment
 from repro.primitives import LBCostModel
-from repro.radio import topology
 
 
 def main() -> None:
-    # A 16x40 grid network: 640 devices, diameter 54.
-    graph = topology.grid_graph(16, 40)
-    n = graph.number_of_nodes()
-    depth_budget = 54
+    # A ~640-vertex grid (25x26, diameter 49), Recursive-BFS from
+    # vertex 0 with beta = 1/4: the search runs in ceil(beta * D)
+    # stages of 4 hops each.
+    spec = ExperimentSpec(
+        topology="grid",
+        n=640,
+        algorithm="recursive_bfs",
+        algorithm_params={"beta": 1 / 4, "max_depth": 1, "sources": [0],
+                          "depth_budget": 54},
+        seed=0,
+    )
+    print(f"spec: {spec.topology} n={spec.n} algorithm={spec.algorithm} "
+          f"seed={spec.seed}")
 
-    # Wrap it as a Local-Broadcast-capable radio network.
-    lbg = PhysicalLBGraph(graph, seed=0)
+    result = run_experiment(spec)
 
-    # Explicit parameters; BFSParameters.for_instance(n, depth_budget)
-    # gives the paper-formula defaults instead.  With beta = 1/4 the
-    # search runs in ceil(beta * D) = 14 stages of 4 hops each.
-    params = BFSParameters(beta=1 / 4, max_depth=1)
-    print(f"n={n}  D={depth_budget}  beta=1/{params.inv_beta}  "
-          f"recursion depth L={params.max_depth}")
-
-    # Run Recursive-BFS from vertex 0.
-    bfs = RecursiveBFS(params, seed=1)
-    labeling = bfs.compute_labeling(lbg, sources=[0], depth_budget=depth_budget)
-
-    print(f"labelled {labeling.coverage():.0%} of vertices; "
-          f"eccentricity of source = {labeling.eccentricity():.0f}")
+    out = result.output
+    print(f"n={result.n}  edges={result.edges}  "
+          f"eccentricity of source = {out['eccentricity']}  "
+          f"settled {out['settled']}/{result.n}")
 
     # Verify the labeling distributedly (polylog energy).
-    report = verify_labeling(PhysicalLBGraph(graph, seed=2), labeling.labels, {0})
+    labels = decode_labels(out["labels"])
+    report = verify_labeling(
+        PhysicalLBGraph(spec.build_graph(), seed=2), labels, {0}
+    )
     print(f"distributed verification: {'OK' if report.ok else report.violations[:3]}")
 
     # Cost report, in the paper's two currencies.
-    print(f"energy (max LB participations per device): {labeling.max_lb_energy}")
-    print(f"energy (mean LB participations):           {labeling.mean_lb_energy:.1f}")
-    print(f"time (LB rounds):                          {labeling.lb_rounds}")
-    model = LBCostModel(max_degree=4, failure_probability=1 / n**3)
+    print(f"energy (max LB participations per device): {result.max_lb_energy}")
+    print(f"energy (total LB participations):          {result.total_lb_energy}")
+    print(f"time (LB rounds):                          {result.lb_rounds}")
+    model = LBCostModel(max_degree=4, failure_probability=1 / result.n**3)
     print(f"slot-level estimate (Lemma 2.4 conversion): "
-          f"max energy ~{model.max_slot_estimate(lbg.ledger)} slots, "
-          f"time ~{model.total_time_estimate(lbg.ledger)} slots")
+          f"max energy ~{result.max_lb_energy * model.receiver_slots} slots, "
+          f"time ~{result.lb_rounds * model.time_slots} slots")
 
     # Claims 1-2 instrumentation: how much did devices get to sleep?
-    stats = bfs.stats
-    print(f"stages: {stats.stage_count}; max stages any device was awake: "
-          f"{stats.max_awake_stages()}")
+    print(f"stages: {out['stage_count']}; max stages any device was awake: "
+          f"{out['max_awake_stages']}")
+
+    # The result round-trips losslessly through JSON (BENCH_* schema).
+    print("\nRunResult JSON (truncated):")
+    print(result.to_json()[:240] + " ...")
 
 
 if __name__ == "__main__":

@@ -4,14 +4,17 @@ Chang, Dani, Hayes, Pettie (PODC 2020, arXiv:2007.09816).
 
 Quickstart
 ----------
->>> from repro import PhysicalLBGraph, BFSParameters, RecursiveBFS
->>> from repro.radio import topology
->>> g = topology.grid_graph(12, 12)
->>> lbg = PhysicalLBGraph(g, seed=0)
->>> params = BFSParameters.for_instance(n=g.number_of_nodes(), depth_budget=22)
->>> labels = RecursiveBFS(params, seed=1).compute(lbg, sources=[0], depth_budget=22)
->>> labels[0]
-0.0
+>>> from repro import ExperimentSpec, run_experiment
+>>> spec = ExperimentSpec(topology="grid", n=144, algorithm="recursive_bfs",
+...                       algorithm_params={"beta": 0.25, "max_depth": 1,
+...                                         "depth_budget": 22}, seed=0)
+>>> result = run_experiment(spec)
+>>> result.output["settled"] == result.n
+True
+
+The lower-level objects (``PhysicalLBGraph``, ``RecursiveBFS``, ...)
+remain available for custom wiring; the experiment API above is the
+uniform path every example, benchmark, and sweep goes through.
 
 The package layout mirrors the paper:
 
@@ -23,7 +26,10 @@ The package layout mirrors the paper:
 - :mod:`repro.core` — Recursive-BFS (Section 4);
 - :mod:`repro.diameter` — diameter approximations and lower bounds
   (Section 5);
-- :mod:`repro.analysis` — complexity predictions and lemma validators.
+- :mod:`repro.analysis` — complexity predictions and lemma validators;
+- :mod:`repro.experiments` — the unified experiment API: declarative
+  ``ExperimentSpec`` cells, the algorithm registry, structured
+  ``RunResult`` JSON, and the parallel ``run_sweep`` grid runner.
 """
 
 from .core import (
@@ -34,22 +40,38 @@ from .core import (
     trivial_bfs,
     verify_labeling,
 )
+from .experiments import (
+    ExperimentSpec,
+    RunResult,
+    SweepResult,
+    algorithm_names,
+    register_algorithm,
+    run_experiment,
+    run_sweep,
+)
 from .primitives import LBCostModel, LBGraph, PhysicalLBGraph
 from .radio import CollisionModel, EnergyLedger, RadioNetwork
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BFSLabeling",
     "BFSParameters",
     "CollisionModel",
     "EnergyLedger",
+    "ExperimentSpec",
     "LBCostModel",
     "LBGraph",
     "PhysicalLBGraph",
     "RadioNetwork",
     "RecursiveBFS",
+    "RunResult",
+    "SweepResult",
     "ZSequence",
+    "algorithm_names",
+    "register_algorithm",
+    "run_experiment",
+    "run_sweep",
     "trivial_bfs",
     "verify_labeling",
     "__version__",

@@ -14,20 +14,41 @@ def format_table(
     rows: Iterable[Sequence[Any]],
     title: str = "",
 ) -> str:
-    """Render a fixed-width text table."""
-    str_rows = [[_fmt(c) for c in row] for row in rows]
+    """Render a fixed-width text table.
+
+    Columns whose every cell is numeric (ints/floats, bools excluded)
+    are right-aligned — header included — so energy/slot readings line
+    up by magnitude; everything else stays left-justified.
+    """
+    raw_rows = [list(row) for row in rows]
+    str_rows = [[_fmt(c) for c in row] for row in raw_rows]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+    numeric = [
+        any(i < len(row) for row in raw_rows)
+        and all(_is_number(row[i]) for row in raw_rows if i < len(row))
+        for i in range(len(headers))
+    ]
     lines: List[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(_align(h, w, num)
+                           for h, w, num in zip(headers, widths, numeric)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(_align(c, w, num)
+                               for c, w, num in zip(row, widths, numeric)))
     return "\n".join(lines)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _align(cell: str, width: int, numeric: bool) -> str:
+    return cell.rjust(width) if numeric else cell.ljust(width)
 
 
 def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:

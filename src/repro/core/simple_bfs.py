@@ -16,6 +16,7 @@ Two baselines bracket the paper's contribution:
 
 from __future__ import annotations
 
+import collections.abc
 import math
 from typing import Dict, Hashable, Iterable, Optional, Set, Union
 
@@ -72,9 +73,35 @@ def trivial_bfs(
     return dist
 
 
+def _coerce_sources(network: Engine, sources) -> Set[Hashable]:
+    """Normalize the ``sources`` argument of :func:`decay_bfs`.
+
+    Accepts either a single vertex (checked for membership first) or an
+    iterable of vertices, mirroring ``trivial_bfs``.  Strings, bytes,
+    and tuples are always treated as *single* vertices — topologies may
+    label vertices with them — so an absent one is rejected rather than
+    silently decomposed into its elements.
+    """
+    if sources in network.graph:  # networkx returns False for unhashables
+        return {sources}
+    if isinstance(sources, (str, bytes, tuple)) or not isinstance(
+        sources, collections.abc.Iterable
+    ):
+        raise ConfigurationError(f"source {sources!r} not in network")
+    source_set = set(sources)
+    if not source_set:
+        raise ConfigurationError("decay_bfs requires at least one source")
+    stray = source_set - set(network.graph.nodes)
+    if stray:
+        raise ConfigurationError(
+            f"sources not in network: {sorted(map(repr, stray))[:5]}"
+        )
+    return source_set
+
+
 def decay_bfs(
     network: Union[nx.Graph, Engine],
-    source: Hashable,
+    sources: Union[Hashable, Iterable[Hashable]],
     depth_budget: int,
     failure_probability: float = 1e-3,
     seed: SeedLike = None,
@@ -89,12 +116,14 @@ def decay_bfs(
     ``network`` may be an already-constructed slot engine, or a bare
     ``networkx`` graph with an ``engine`` name
     (``"reference"``/``"fast"``) naming the backend to build.
+    ``sources`` is a single vertex or an iterable of vertices (the
+    multi-source wavefront starts from all of them at distance 0),
+    matching :func:`trivial_bfs`.
     """
     network = coerce_network(network, engine)
-    if source not in network.graph:
-        raise ConfigurationError(f"source {source!r} not in network")
+    source_set = _coerce_sources(network, sources)
     rng = make_rng(seed)
-    dist: Dict[Hashable, float] = {source: 0.0}
+    dist: Dict[Hashable, float] = {s: 0.0 for s in source_set}
     for d in range(depth_budget):
         frontier = {u for u, du in dist.items() if du == d}
         if not frontier:

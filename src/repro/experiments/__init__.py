@@ -1,0 +1,72 @@
+"""Unified experiment API: specs, algorithm registry, sweeps, results.
+
+The one harness driving every scenario cell in the repo::
+
+    from repro.experiments import ExperimentSpec, run_experiment, run_sweep
+
+    # One cell: spec in, structured result out.
+    result = run_experiment(ExperimentSpec(
+        topology="grid", n=640, algorithm="recursive_bfs",
+        algorithm_params={"beta": 0.25, "max_depth": 1}, seed=0))
+    print(result.max_lb_energy, result.lb_rounds)
+    print(result.to_json())            # the BENCH_*.json schema
+
+    # A grid: topology x algorithm x seed, on a process pool.
+    sweep = run_sweep(["path", "grid", "tree", "expander"],
+                      ["trivial_bfs", "decay_bfs", "leader_election",
+                       "mpx_clustering"], sizes=64, seeds=2)
+    print(sweep.table())
+
+``python -m repro.experiments`` exposes the same harness on the
+command line (``run``, ``validate``, ``list``).
+"""
+
+from .registry import (
+    AlgorithmAdapter,
+    RunContext,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+)
+from .results import (
+    RESULT_KIND,
+    SCHEMA_VERSION,
+    SWEEP_KIND,
+    RunResult,
+    decode_labels,
+    encode_labels,
+    validate_result_dict,
+)
+from .runner import (
+    SweepResult,
+    expand_grid,
+    run_experiment,
+    run_specs,
+    run_sweep,
+    validate_document,
+    validate_file,
+)
+from .spec import ExperimentSpec
+
+__all__ = [
+    "AlgorithmAdapter",
+    "ExperimentSpec",
+    "RESULT_KIND",
+    "RunContext",
+    "RunResult",
+    "SCHEMA_VERSION",
+    "SWEEP_KIND",
+    "SweepResult",
+    "algorithm_names",
+    "decode_labels",
+    "encode_labels",
+    "expand_grid",
+    "get_algorithm",
+    "register_algorithm",
+    "run_experiment",
+    "run_specs",
+    "run_sweep",
+    "validate_document",
+    "validate_file",
+    "validate_result_dict",
+]

@@ -1,0 +1,120 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Subcommands:
+
+- ``run`` — expand and execute a scenario grid, print the sweep table,
+  optionally write the schema-versioned JSON document;
+- ``validate`` — check JSON files (sweep outputs, ``BENCH_*.json``)
+  against the ``RunResult`` schema;
+- ``list`` — show the registered topologies, algorithms, and engines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..errors import ReproError
+from ..radio.engine import available_engines
+from ..radio.topology import scenario_names
+from .registry import algorithm_names
+from .runner import run_sweep, validate_file
+from .spec import COLLISION_MODELS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand and execute a scenario grid")
+    run.add_argument("--topologies", nargs="+", required=True,
+                     metavar="NAME", help="scenario family names")
+    run.add_argument("--algorithms", nargs="+", required=True,
+                     metavar="NAME", help="registered algorithm names")
+    run.add_argument("--sizes", nargs="+", type=int, default=[64],
+                     help="size knob(s) per family (default: 64)")
+    run.add_argument("--seeds", type=int, default=2,
+                     help="seeds per cell, derived from --base-seed (default: 2)")
+    run.add_argument("--base-seed", type=int, default=0)
+    run.add_argument("--engine", choices=available_engines(), default="reference")
+    run.add_argument("--collision-model", choices=COLLISION_MODELS,
+                     default="no_cd")
+    run.add_argument("--serial", action="store_true",
+                     help="skip the process pool; run cells in-process")
+    run.add_argument("--max-workers", type=int, default=None)
+    run.add_argument("--json", metavar="PATH", default=None,
+                     help="write the sweep document (RunResult schema) here")
+    run.add_argument("--timing", action="store_true",
+                     help="include wall-clock timing in the JSON document")
+
+    validate = sub.add_parser(
+        "validate", help="validate JSON files against the RunResult schema"
+    )
+    validate.add_argument("paths", nargs="+", metavar="FILE")
+
+    sub.add_parser("list", help="show registered topologies/algorithms/engines")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sweep = run_sweep(
+        args.topologies,
+        args.algorithms,
+        sizes=args.sizes,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        engine=args.engine,
+        collision_model=args.collision_model,
+        parallel=not args.serial,
+        max_workers=args.max_workers,
+    )
+    print(sweep.table(
+        title=f"sweep: {len(sweep)} cells ({sweep.execution})"
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(sweep.to_dict(include_timing=args.timing), handle,
+                      indent=2, sort_keys=True, allow_nan=False)
+            handle.write("\n")
+        print(f"wrote {len(sweep)} results to {args.json}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.paths:
+        try:
+            results = validate_file(path)
+        except ReproError as exc:
+            print(f"{path}: INVALID — {exc}")
+            status = 1
+        else:
+            print(f"{path}: ok ({len(results)} result(s), "
+                  f"schema v{results[0].to_dict()['schema_version']})")
+    return status
+
+
+def _cmd_list() -> int:
+    print("topologies:", ", ".join(scenario_names()))
+    print("algorithms:", ", ".join(algorithm_names()))
+    print("engines:   ", ", ".join(available_engines()))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    return _cmd_list()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,329 @@
+"""The algorithm registry: one adapter protocol for every entrypoint.
+
+Each algorithm in the library keeps its bespoke signature
+(``trivial_bfs(lbg, sources, ...)``, ``two_approx_diameter(lbg, budget,
+...)``, ...); this module wraps them behind a uniform adapter protocol
+so the sweep runner can drive any of them from an
+:class:`~repro.experiments.spec.ExperimentSpec`:
+
+- an adapter is a callable ``(ctx: RunContext) -> Mapping[str, Any]``
+  returning the algorithm-specific JSON-native output payload;
+- :func:`register_algorithm` installs it under a public name
+  (third-party code can register its own);
+- the :class:`RunContext` supplies the topology, the shared
+  :class:`~repro.radio.energy.EnergyLedger`, lazily-built LB-level and
+  slot-level network views, the derived algorithm random stream, and
+  the spec's parameters — so adapters stay a few lines each.
+
+All costs (LB and slot currencies alike) land on the one shared ledger,
+which the runner reads into the uniform ``RunResult`` metrics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..clustering.distributed import charged_mpx
+from ..core.parameters import BFSParameters
+from ..core.recursive_bfs import RecursiveBFS
+from ..core.simple_bfs import decay_bfs, trivial_bfs
+from ..diameter.exact import exact_diameter
+from ..diameter.three_halves import three_halves_diameter
+from ..diameter.two_approx import two_approx_diameter
+from ..errors import ConfigurationError
+from ..primitives.lb_graph import PhysicalLBGraph
+from ..primitives.leader_election import (
+    ChargedLeaderElection,
+    FloodingLeaderElection,
+)
+from ..radio.energy import EnergyLedger
+from ..radio.engine import Engine, make_network
+from .results import encode_labels
+from .spec import ExperimentSpec
+
+#: Adapter protocol: consume a run context, return the output payload.
+AlgorithmAdapter = Callable[["RunContext"], Mapping[str, Any]]
+
+_ALGORITHMS: Dict[str, AlgorithmAdapter] = {}
+
+
+def register_algorithm(
+    name: str, overwrite: bool = False
+) -> Callable[[AlgorithmAdapter], AlgorithmAdapter]:
+    """Decorator registering an adapter under a public algorithm name.
+
+    >>> @register_algorithm("my_bfs")
+    ... def _run_my_bfs(ctx):
+    ...     labels = my_bfs(ctx.lbg(), ctx.params.get("sources", [0]))
+    ...     return {"labels": encode_labels(labels)}
+    """
+    if not name:
+        raise ConfigurationError("algorithm name must be non-empty")
+
+    def decorator(adapter: AlgorithmAdapter) -> AlgorithmAdapter:
+        if not overwrite and name in _ALGORITHMS:
+            raise ConfigurationError(f"algorithm {name!r} is already registered")
+        _ALGORITHMS[name] = adapter
+        return adapter
+
+    return decorator
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """All registered algorithm names, sorted."""
+    return tuple(sorted(_ALGORITHMS))
+
+
+def get_algorithm(name: str) -> AlgorithmAdapter:
+    """Look up an adapter, failing loudly for unknown names."""
+    try:
+        return _ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; registered: {', '.join(algorithm_names())}"
+        ) from None
+
+
+@dataclass
+class RunContext:
+    """Everything an adapter needs to execute one spec.
+
+    The LB-level view (:meth:`lbg`) and the slot-level view
+    (:meth:`network`) are built lazily and share one
+    :class:`EnergyLedger`, so whichever layers an algorithm touches,
+    the runner reads a single unified cost report afterwards.
+    """
+
+    spec: ExperimentSpec
+    graph: nx.Graph
+    ledger: EnergyLedger
+    params: Dict[str, Any] = field(init=False)
+    rng: np.random.Generator = field(init=False)
+    #: Seconds spent constructing simulator views; the runner subtracts
+    #: this from the adapter's wall time so ``wall_time_s`` measures
+    #: algorithm execution, not engine compilation (the CSR build of
+    #: the fast tier is one-off setup, not slot throughput).
+    setup_time_s: float = field(default=0.0, init=False)
+    _wiring: np.random.Generator = field(init=False)
+    _lbg: Optional[PhysicalLBGraph] = field(default=None, init=False)
+    _network: Optional[Engine] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        self.params = self.spec.params()
+        _, self._wiring, self.rng = self.spec.seed_streams()
+
+    def lbg(self) -> PhysicalLBGraph:
+        """The Local-Broadcast view of the topology (built once)."""
+        if self._lbg is None:
+            start = time.perf_counter()
+            self._lbg = PhysicalLBGraph(
+                self.graph, ledger=self.ledger, seed=self._wiring
+            )
+            self.setup_time_s += time.perf_counter() - start
+        return self._lbg
+
+    def network(self) -> Engine:
+        """The slot-level view on the spec's engine tier (built once)."""
+        if self._network is None:
+            start = time.perf_counter()
+            self._network = make_network(
+                self.graph,
+                engine=self.spec.engine,
+                collision_model=self.spec.collision(),
+                size_policy=self.spec.size_policy(),
+                ledger=self.ledger,
+            )
+            self.setup_time_s += time.perf_counter() - start
+        return self._network
+
+    # Convenience for adapters ----------------------------------------
+    def sources(self) -> list:
+        """The ``sources`` parameter (default: vertex 0)."""
+        return list(self.params.get("sources", [0]))
+
+    def depth_budget(self) -> int:
+        """The ``depth_budget`` parameter (default: the vertex count,
+        a safe upper bound on any distance)."""
+        return int(self.params.get("depth_budget", self.graph.number_of_nodes()))
+
+    def bfs_parameters(self) -> Optional[BFSParameters]:
+        """Build :class:`BFSParameters` from ``beta``/``max_depth``.
+
+        Returns ``None`` when neither is given, letting the wrapped
+        algorithm fall back to its own paper-formula defaults.
+        """
+        if "beta" not in self.params and "max_depth" not in self.params:
+            return None
+        beta = float(self.params.get("beta", 0.25))
+        return BFSParameters(beta=beta, max_depth=int(self.params.get("max_depth", 1)))
+
+
+# ---------------------------------------------------------------------------
+# Built-in adapters
+# ---------------------------------------------------------------------------
+
+def _labels_output(ctx: RunContext, labels: Mapping[Any, float]) -> Dict[str, Any]:
+    """The common BFS output block: labels + summary statistics.
+
+    With the ``record_labels: false`` parameter the full label list is
+    replaced by its SHA-256 digest — differential comparisons (e.g. the
+    engine-tier benchmark) stay exact while committed ``BENCH_*.json``
+    records stay small.
+    """
+    finite = [d for d in labels.values() if math.isfinite(d)]
+    encoded = encode_labels(labels)
+    out: Dict[str, Any] = {
+        "settled": len(finite),
+        "eccentricity": int(max(finite)) if finite else 0,
+    }
+    if ctx.params.get("record_labels", True):
+        out["labels"] = encoded
+    else:
+        import hashlib
+        import json
+
+        canonical = json.dumps(encoded, sort_keys=True, allow_nan=False)
+        out["labels_sha256"] = hashlib.sha256(canonical.encode()).hexdigest()
+    return out
+
+
+@register_algorithm("trivial_bfs")
+def _run_trivial_bfs(ctx: RunContext) -> Dict[str, Any]:
+    """LB-unit wavefront BFS — the Theta(D)-energy baseline."""
+    labels = trivial_bfs(ctx.lbg(), ctx.sources(), ctx.depth_budget())
+    return _labels_output(ctx, labels)
+
+
+@register_algorithm("decay_bfs")
+def _run_decay_bfs(ctx: RunContext) -> Dict[str, Any]:
+    """Slot-level layered BFS via Decay, on the spec's engine tier."""
+    net = ctx.network()
+    labels = decay_bfs(
+        net,
+        ctx.sources(),
+        ctx.depth_budget(),
+        failure_probability=float(ctx.params.get("failure_probability", 1e-3)),
+        seed=ctx.rng,
+    )
+    out = _labels_output(ctx, labels)
+    out["slots"] = net.slot
+    return out
+
+
+@register_algorithm("recursive_bfs")
+def _run_recursive_bfs(ctx: RunContext) -> Dict[str, Any]:
+    """The paper's Recursive-BFS (Theorem 4.1), with Claims 1-2 stats."""
+    bfs = RecursiveBFS(ctx.bfs_parameters() or BFSParameters.for_instance(
+        n=max(2, ctx.graph.number_of_nodes()), depth_budget=ctx.depth_budget()
+    ), seed=ctx.rng)
+    labels = bfs.compute(ctx.lbg(), ctx.sources(), ctx.depth_budget())
+    out = _labels_output(ctx, labels)
+    stats = bfs.stats
+    out["stage_count"] = stats.stage_count
+    out["max_awake_stages"] = stats.max_awake_stages()
+    out["max_special_updates"] = stats.max_special_updates()
+    out["max_wavefront_lb"] = max(stats.wavefront_lb.values(), default=0)
+    return out
+
+
+@register_algorithm("leader_election")
+def _run_leader_election(ctx: RunContext) -> Dict[str, Any]:
+    """Leader election: charged [10] envelope or honest flooding."""
+    method = str(ctx.params.get("method", "charged"))
+    if method == "charged":
+        result = ChargedLeaderElection().run(ctx.lbg(), seed=ctx.rng)
+    elif method == "flooding":
+        rounds = int(ctx.params.get("rounds", 2 * ctx.graph.number_of_nodes()))
+        result = FloodingLeaderElection(rounds).run(ctx.lbg(), seed=ctx.rng)
+    else:
+        raise ConfigurationError(
+            f"leader_election method must be 'charged' or 'flooding', got {method!r}"
+        )
+    return {"leader": result.leader, "rounds": result.rounds, "method": method}
+
+
+def _diameter_budget(ctx: RunContext) -> int:
+    """Depth budget for the diameter algorithms.
+
+    Defaults to ``diam(G) + 2`` (computed simulator-side, as the
+    examples always did); callers running the doubling protocol pass an
+    explicit ``depth_budget`` instead.
+    """
+    if "depth_budget" in ctx.params:
+        return int(ctx.params["depth_budget"])
+    return nx.diameter(ctx.graph) + 2
+
+
+def _estimate_output(estimate, budget: int) -> Dict[str, Any]:
+    return {
+        "estimate": estimate.estimate,
+        "lower": estimate.lower,
+        "upper": estimate.upper,
+        "leader": estimate.leader,
+        "depth_budget": budget,
+    }
+
+
+@register_algorithm("two_approx_diameter")
+def _run_two_approx(ctx: RunContext) -> Dict[str, Any]:
+    """Theorem 5.3: leader eccentricity, ``diam/2 <= D' <= diam``."""
+    budget = _diameter_budget(ctx)
+    est = two_approx_diameter(
+        ctx.lbg(), budget, params=ctx.bfs_parameters(), seed=ctx.rng
+    )
+    return _estimate_output(est, budget)
+
+
+@register_algorithm("three_halves_diameter")
+def _run_three_halves(ctx: RunContext) -> Dict[str, Any]:
+    """Theorem 5.4: nearly-3/2 approximation via sampled BFS."""
+    budget = _diameter_budget(ctx)
+    est = three_halves_diameter(
+        ctx.lbg(),
+        budget,
+        params=ctx.bfs_parameters(),
+        seed=ctx.rng,
+        sample_scale=float(ctx.params.get("sample_scale", 1.0)),
+    )
+    return _estimate_output(est, budget)
+
+
+@register_algorithm("exact_diameter")
+def _run_exact_diameter(ctx: RunContext) -> Dict[str, Any]:
+    """All-sources BFS — the Omega(n)-energy exact baseline."""
+    budget = _diameter_budget(ctx)
+    est = exact_diameter(
+        ctx.lbg(),
+        budget,
+        params=ctx.bfs_parameters(),
+        seed=ctx.rng,
+        use_recursive=bool(ctx.params.get("use_recursive", False)),
+    )
+    return _estimate_output(est, budget)
+
+
+@register_algorithm("mpx_clustering")
+def _run_mpx_clustering(ctx: RunContext) -> Dict[str, Any]:
+    """MPX clustering with the Lemma 2.5 charged cost envelope."""
+    beta = float(ctx.params.get("beta", 0.25))
+    clustering = charged_mpx(
+        ctx.lbg(),
+        beta,
+        seed=ctx.rng,
+        radius_multiplier=float(ctx.params.get("radius_multiplier", 4.0)),
+    )
+    sizes = [len(m) for m in clustering.members.values()]
+    return {
+        "clusters": len(sizes),
+        "max_layer": clustering.max_layer,
+        "rounds_used": clustering.rounds_used,
+        "max_cluster_size": max(sizes, default=0),
+        "mean_cluster_size": round(sum(sizes) / len(sizes), 6) if sizes else 0,
+        "beta": beta,
+    }

@@ -1,0 +1,272 @@
+"""Structured run results with a lossless JSON schema.
+
+Every registered algorithm returns a :class:`RunResult`: the spec that
+produced it, an algorithm-specific ``output`` payload, and the uniform
+cost metrics read off the shared :class:`~repro.radio.energy.EnergyLedger`
+(LB rounds, max/total per-vertex energy in both currencies, slot time).
+``BENCH_*.json`` files and sweep reports all share this one schema
+(``schema_version`` :data:`SCHEMA_VERSION`); see EXPERIMENTS.md for the
+field-by-field documentation.
+
+Design constraints enforced here:
+
+- ``to_dict`` output is JSON-native and canonical: serializing it with
+  ``json.dumps(..., sort_keys=True)`` is byte-identical across runs of
+  the same spec (wall-clock timing is therefore *opt-in* via
+  ``include_timing`` and excluded from equality);
+- ``from_dict(to_dict(r)) == r`` exactly (the round-trip property test
+  in ``tests/experiments/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from ..errors import ConfigurationError
+from .spec import ExperimentSpec, from_numpy
+
+#: Version stamp of the ``RunResult`` JSON schema.
+SCHEMA_VERSION = 1
+
+#: The ``kind`` discriminators used in serialized documents.
+RESULT_KIND = "repro.experiments.run_result"
+SWEEP_KIND = "repro.experiments.sweep"
+
+#: Metric fields, in schema order.
+METRIC_FIELDS: Tuple[str, ...] = (
+    "n",
+    "edges",
+    "lb_rounds",
+    "max_lb_energy",
+    "total_lb_energy",
+    "time_slots",
+    "max_slot_energy",
+    "total_slot_energy",
+)
+
+
+def _canonical_json(value: Any, path: str) -> Any:
+    """Coerce ``value`` to canonical JSON-native form, or fail loudly.
+
+    Accepts JSON scalars, lists/tuples, and string-keyed mappings;
+    converts numpy scalars; rejects non-finite floats (encode them with
+    :func:`encode_labels`-style ``None`` sentinels instead, so the JSON
+    round-trip stays exact).
+    """
+    value = from_numpy(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"non-finite float at {path}: encode inf/nan as None"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical_json(v, f"{path}[{i}]") for i, v in enumerate(value)]
+    if isinstance(value, Mapping):
+        out = {}
+        for k in value:
+            if not isinstance(k, str):
+                raise ConfigurationError(
+                    f"non-string key {k!r} at {path}: JSON objects need str keys"
+                )
+            out[k] = _canonical_json(value[k], f"{path}.{k}")
+        return out
+    raise ConfigurationError(
+        f"value at {path} is not JSON-serializable: {type(value).__name__}"
+    )
+
+
+def encode_labels(labels: Mapping[Hashable, float]) -> List[List[Any]]:
+    """Encode a BFS label map as sorted ``[vertex, dist]`` pairs.
+
+    ``inf`` (unsettled / unreachable) becomes ``None`` so the structure
+    is JSON-exact; :func:`decode_labels` inverts it.  Distances that are
+    whole numbers are stored as ints to keep the JSON canonical.
+    """
+    try:
+        ordered = sorted(labels)
+    except TypeError:
+        ordered = sorted(labels, key=repr)
+    pairs: List[List[Any]] = []
+    for v in ordered:
+        d = labels[v]
+        if isinstance(d, float) and not math.isfinite(d):
+            encoded: Any = None
+        elif isinstance(d, float) and d == int(d):
+            encoded = int(d)
+        else:
+            encoded = d
+        pairs.append([v, encoded])
+    return pairs
+
+
+def decode_labels(pairs: List[List[Any]]) -> Dict[Hashable, float]:
+    """Invert :func:`encode_labels` back to a ``{vertex: dist}`` map."""
+    return {
+        v: math.inf if d is None else float(d) for v, d in pairs
+    }
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The uniform outcome of executing one :class:`ExperimentSpec`.
+
+    ``output`` is the algorithm-specific payload (labels, estimates,
+    cluster counts, ...) in JSON-native form; the remaining fields are
+    the uniform cost metrics every adapter reports.  ``wall_time_s`` is
+    informational only: it is excluded from equality and from the
+    default serialization so that identical specs produce byte-identical
+    documents.
+    """
+
+    spec: ExperimentSpec
+    output: Dict[str, Any]
+    n: int
+    edges: int
+    lb_rounds: int
+    max_lb_energy: int
+    total_lb_energy: int
+    time_slots: int
+    max_slot_energy: int
+    total_slot_energy: int
+    wall_time_s: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "output", _canonical_json(dict(self.output), "output")
+        )
+        for name in METRIC_FIELDS:
+            value = from_numpy(getattr(self, name))
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"metric {name!r} must be an int, got {value!r}"
+                )
+            object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, int]:
+        """The uniform cost metrics as a dict (schema order)."""
+        return {name: getattr(self, name) for name in METRIC_FIELDS}
+
+    def headline(self) -> Any:
+        """A one-cell summary of ``output`` for sweep tables."""
+        for key in ("estimate", "eccentricity", "clusters", "leader"):
+            if key in self.output:
+                return self.output[key]
+        return ""
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        """Canonical JSON-native form.
+
+        With ``include_timing=False`` (default) the document depends
+        only on the spec and the algorithm's deterministic execution —
+        byte-identical across runs and engines.  ``include_timing=True``
+        adds a ``timing`` object for benchmark records.
+        """
+        doc: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": RESULT_KIND,
+            "spec": self.spec.to_dict(),
+            "output": self.output,
+            "metrics": self.metrics(),
+        }
+        if include_timing:
+            doc["timing"] = {"wall_time_s": round(float(self.wall_time_s), 6)}
+        return doc
+
+    def to_json(self, include_timing: bool = False, indent: Optional[int] = None) -> str:
+        """Canonical JSON text (sorted keys, no NaN/inf)."""
+        return json.dumps(
+            self.to_dict(include_timing=include_timing),
+            sort_keys=True,
+            indent=indent,
+            allow_nan=False,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (validating it)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"result must be a mapping, got {type(data).__name__}"
+            )
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported schema_version {version!r}; expected {SCHEMA_VERSION}"
+            )
+        kind = data.get("kind", RESULT_KIND)
+        if kind != RESULT_KIND:
+            raise ConfigurationError(
+                f"unexpected kind {kind!r}; expected {RESULT_KIND!r}"
+            )
+        for section in ("spec", "output", "metrics"):
+            if section not in data:
+                raise ConfigurationError(f"result is missing {section!r}")
+        if not isinstance(data["output"], Mapping):
+            raise ConfigurationError(
+                f"output must be a mapping, got {type(data['output']).__name__}"
+            )
+        metrics = data["metrics"]
+        if not isinstance(metrics, Mapping):
+            raise ConfigurationError("metrics must be a mapping")
+        missing = set(METRIC_FIELDS) - set(metrics)
+        if missing:
+            raise ConfigurationError(f"metrics missing fields: {sorted(missing)}")
+        extra = set(metrics) - set(METRIC_FIELDS)
+        if extra:
+            raise ConfigurationError(f"unknown metric fields: {sorted(extra)}")
+        timing = data.get("timing") or {}
+        if not isinstance(timing, Mapping):
+            raise ConfigurationError("timing must be a mapping")
+        try:
+            wall = float(timing.get("wall_time_s", 0.0))
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"timing.wall_time_s must be a number, "
+                f"got {timing.get('wall_time_s')!r}"
+            ) from None
+        return cls(
+            spec=ExperimentSpec.from_dict(data["spec"]),
+            output=dict(data["output"]),
+            wall_time_s=wall,
+            **{name: metrics[name] for name in METRIC_FIELDS},
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Parse :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
+def validate_result_dict(data: Mapping[str, Any]) -> RunResult:
+    """Validate one serialized result, returning the parsed object.
+
+    Raises :class:`~repro.errors.ConfigurationError` describing the
+    first problem found.  Used by the CLI ``validate`` command and the
+    CI schema check over ``BENCH_*.json``.
+    """
+    result = RunResult.from_dict(data)
+    # Round-trip invariance: the document must already be canonical.
+    canon = result.to_dict(include_timing="timing" in data)
+    stripped = {k: v for k, v in data.items() if k in canon}
+    try:
+        original = json.dumps(stripped, sort_keys=True, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"result document is not JSON-serializable: {exc}"
+        ) from None
+    if original != json.dumps(canon, sort_keys=True, allow_nan=False):
+        raise ConfigurationError(
+            "result document is not canonical: re-serializing the parsed "
+            "result produced a different byte stream"
+        )
+    return result

@@ -1,0 +1,314 @@
+"""The grid runner: spec in, structured result out, sweeps in parallel.
+
+:func:`run_experiment` executes one :class:`ExperimentSpec` end to end
+(build topology -> wire shared ledger -> dispatch to the registered
+adapter -> read the uniform metrics).  :func:`run_sweep` expands a
+topology x size x algorithm x seed grid into specs — per-cell seeds are
+derived deterministically from a base seed through
+:func:`repro.rng.spawn_streams`, one child stream per cell in grid
+order — and executes the cells on a ``ProcessPoolExecutor`` (specs and
+results are plain picklable dataclasses), falling back to serial
+execution when a pool is unavailable.  Serial and parallel execution
+produce identical results: all randomness is pinned inside each spec.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..analysis.reporting import format_table
+from ..errors import ConfigurationError
+from ..radio.energy import EnergyLedger
+from ..rng import make_rng, spawn_streams
+from .registry import RunContext, get_algorithm
+from .results import (
+    RESULT_KIND,
+    SCHEMA_VERSION,
+    SWEEP_KIND,
+    RunResult,
+    validate_result_dict,
+)
+from .spec import ExperimentSpec
+
+
+def run_experiment(spec: ExperimentSpec) -> RunResult:
+    """Execute one spec and return its structured result.
+
+    Deterministic: the topology, the network wiring, and the algorithm
+    each consume their own stream derived from ``spec.seed``, so the
+    same spec yields an identical ``RunResult`` (up to wall time) in
+    any process, on any engine tier with equivalent semantics.
+    """
+    graph = spec.build_graph()
+    ledger = EnergyLedger()
+    ctx = RunContext(spec=spec, graph=graph, ledger=ledger)
+    adapter = get_algorithm(spec.algorithm)
+    start = time.perf_counter()
+    output = adapter(ctx)
+    # Engine/LBGraph construction is one-off setup, not algorithm work:
+    # exclude it so wall_time_s compares engine tiers on throughput.
+    wall = time.perf_counter() - start - ctx.setup_time_s
+    return RunResult(
+        spec=spec,
+        output=dict(output),
+        n=graph.number_of_nodes(),
+        edges=graph.number_of_edges(),
+        lb_rounds=ledger.lb_rounds,
+        max_lb_energy=ledger.max_lb(),
+        total_lb_energy=ledger.total_lb(),
+        time_slots=ledger.time_slots,
+        max_slot_energy=ledger.max_slots(),
+        total_slot_energy=ledger.total_slots(),
+        wall_time_s=wall,
+    )
+
+
+def expand_grid(
+    topologies: Sequence[str],
+    algorithms: Sequence[str],
+    sizes: Union[int, Sequence[int]] = 64,
+    seeds: Union[int, Sequence[int]] = 2,
+    base_seed: int = 0,
+    engine: str = "reference",
+    collision_model: str = "no_cd",
+    message_limit_bits: Optional[int] = None,
+    algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> List[ExperimentSpec]:
+    """Expand a scenario grid into one spec per cell.
+
+    ``sizes`` may be one size or a sequence (an extra grid axis).
+    ``seeds`` is either a count — per-cell seeds are then derived from
+    ``base_seed`` via ``spawn_streams``, one independent child stream
+    per cell in grid order — or an explicit sequence of seed integers
+    shared by every (topology, size, algorithm) combination.
+    ``algorithm_params`` maps algorithm name -> its parameter dict.
+    """
+    if not topologies:
+        raise ConfigurationError("expand_grid requires at least one topology")
+    if not algorithms:
+        raise ConfigurationError("expand_grid requires at least one algorithm")
+    size_list = [sizes] if isinstance(sizes, int) else list(sizes)
+    if not size_list:
+        raise ConfigurationError("expand_grid requires at least one size")
+    params_by_algorithm = dict(algorithm_params or {})
+    unknown = set(params_by_algorithm) - set(algorithms)
+    if unknown:
+        raise ConfigurationError(
+            f"algorithm_params given for algorithms not in the grid: {sorted(unknown)}"
+        )
+
+    # Seeds are attached to (topology, size) instances, not to
+    # algorithms: every algorithm in the grid sees the same instance
+    # for a given seed index, so comparisons across algorithms are
+    # paired.  Derived mode spawns one independent child stream per
+    # (instance, seed index) in grid order.
+    instances = [(topo, n) for topo in topologies for n in size_list]
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ConfigurationError(f"seed count must be >= 1, got {seeds}")
+        streams = spawn_streams(make_rng(base_seed), len(instances) * seeds)
+        instance_seeds = [
+            [int(s.integers(0, 2**31)) for s in streams[i * seeds:(i + 1) * seeds]]
+            for i in range(len(instances))
+        ]
+    else:
+        explicit = [int(s) for s in seeds]
+        if not explicit:
+            raise ConfigurationError("expand_grid requires at least one seed")
+        instance_seeds = [explicit for _ in instances]
+
+    specs: List[ExperimentSpec] = []
+    for (topo, n), seed_list in zip(instances, instance_seeds):
+        for algo in algorithms:
+            for seed in seed_list:
+                specs.append(
+                    ExperimentSpec(
+                        topology=topo,
+                        n=n,
+                        algorithm=algo,
+                        algorithm_params=params_by_algorithm.get(algo),
+                        engine=engine,
+                        collision_model=collision_model,
+                        message_limit_bits=message_limit_bits,
+                        seed=seed,
+                    )
+                )
+    return specs
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """An ordered collection of run results plus reporting helpers.
+
+    ``execution`` records how the cells were actually executed
+    (``"serial"`` or ``"process_pool"``); it is excluded from equality
+    so a serial re-run compares equal to a parallel one.
+    """
+
+    results: tuple
+    execution: str = field(default="serial", compare=False)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    # ------------------------------------------------------------------
+    def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+        """Canonical JSON-native form of the whole sweep."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": SWEEP_KIND,
+            "results": [r.to_dict(include_timing=include_timing) for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild (and validate) a sweep from :meth:`to_dict` output."""
+        if data.get("kind") != SWEEP_KIND:
+            raise ConfigurationError(
+                f"unexpected kind {data.get('kind')!r}; expected {SWEEP_KIND!r}"
+            )
+        if data.get("schema_version") != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported schema_version {data.get('schema_version')!r}"
+            )
+        return cls(
+            results=tuple(RunResult.from_dict(r) for r in data.get("results", ()))
+        )
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[List[Any]]:
+        """One summary row per cell, in grid order."""
+        return [
+            [
+                r.spec.topology,
+                r.n,
+                r.spec.algorithm,
+                r.spec.seed,
+                r.headline(),
+                r.lb_rounds,
+                r.max_lb_energy,
+                r.time_slots,
+                r.max_slot_energy,
+            ]
+            for r in self.results
+        ]
+
+    def table(self, title: str = "") -> str:
+        """The sweep as an :func:`repro.analysis.format_table` report."""
+        return format_table(
+            ["topology", "n", "algorithm", "seed", "result",
+             "lb_rounds", "max_lb", "slots", "max_slot_E"],
+            self.rows(),
+            title=title,
+        )
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> SweepResult:
+    """Execute prepared specs, in cell order, optionally on a pool.
+
+    Parallel execution uses a ``ProcessPoolExecutor`` (one task per
+    cell, results re-assembled in submission order).  If a pool cannot
+    be created or dies (restricted sandboxes, missing semaphores), the
+    remaining work falls back to in-process serial execution — the
+    results are identical either way.
+    """
+    spec_list = list(specs)
+    if parallel and len(spec_list) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                results = tuple(pool.map(run_experiment, spec_list))
+            return SweepResult(results=results, execution="process_pool")
+        except (OSError, PermissionError, NotImplementedError, BrokenProcessPool):
+            pass  # fall through to the serial path
+    return SweepResult(
+        results=tuple(run_experiment(s) for s in spec_list), execution="serial"
+    )
+
+
+def run_sweep(
+    topologies: Sequence[str],
+    algorithms: Sequence[str],
+    sizes: Union[int, Sequence[int]] = 64,
+    seeds: Union[int, Sequence[int]] = 2,
+    base_seed: int = 0,
+    engine: str = "reference",
+    collision_model: str = "no_cd",
+    message_limit_bits: Optional[int] = None,
+    algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+) -> SweepResult:
+    """Expand a grid (see :func:`expand_grid`) and execute every cell."""
+    specs = expand_grid(
+        topologies,
+        algorithms,
+        sizes=sizes,
+        seeds=seeds,
+        base_seed=base_seed,
+        engine=engine,
+        collision_model=collision_model,
+        message_limit_bits=message_limit_bits,
+        algorithm_params=algorithm_params,
+    )
+    return run_specs(specs, parallel=parallel, max_workers=max_workers)
+
+
+def validate_document(data: Mapping[str, Any]) -> List[RunResult]:
+    """Validate any supported JSON document against the result schema.
+
+    Accepts a single-result document, a sweep document, or a benchmark
+    record carrying a ``results`` list (the ``BENCH_*.json`` shape).
+    Returns the parsed results; raises
+    :class:`~repro.errors.ConfigurationError` on the first violation.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"document must be a JSON object, got {type(data).__name__}"
+        )
+    if data.get("kind") == RESULT_KIND:
+        return [validate_result_dict(data)]
+    if "results" in data:
+        entries = data["results"]
+        if not isinstance(entries, list) or not entries:
+            raise ConfigurationError("document 'results' must be a non-empty list")
+        parsed = []
+        for i, entry in enumerate(entries):
+            try:
+                parsed.append(validate_result_dict(entry))
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"results[{i}]: {exc}") from None
+        return parsed
+    raise ConfigurationError(
+        "document is neither a run_result nor carries a 'results' list"
+    )
+
+
+def validate_file(path: str) -> List[RunResult]:
+    """Load a JSON file and validate it via :func:`validate_document`.
+
+    Every failure mode — unreadable file, malformed JSON, schema
+    violation — surfaces as :class:`~repro.errors.ConfigurationError`,
+    so callers (the CLI, CI) report problems instead of crashing.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read {path}: {exc}") from None
+    except UnicodeDecodeError as exc:
+        raise ConfigurationError(f"{path} is not UTF-8 text: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} is not valid JSON: {exc}") from None
+    return validate_document(data)

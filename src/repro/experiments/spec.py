@@ -1,0 +1,237 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names everything needed to reproduce one
+scenario cell bit-for-bit: a topology family (from the named scenario
+registry of :mod:`repro.radio.topology`), an algorithm (from the
+registry of :mod:`repro.experiments.registry`), an engine tier, the
+channel model, the RN[b] message-size policy, and a single integer
+seed.  Specs are frozen, hashable, picklable (so they travel to worker
+processes unchanged), and round-trip losslessly through
+``to_dict``/``from_dict`` JSON.
+
+All randomness of a run derives from ``seed`` through
+:func:`repro.rng.spawn_streams`: stream 0 builds the topology, stream 1
+seeds the network wiring (Local-Broadcast arbitration), stream 2 drives
+the algorithm itself.  Two runs of the same spec therefore consume
+identical random streams regardless of which process executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..radio import topology
+from ..radio.channel import CollisionModel
+from ..radio.engine import available_engines
+from ..radio.message import MessageSizePolicy
+from ..rng import make_rng, spawn_streams
+
+#: Names accepted by :attr:`ExperimentSpec.collision_model`.
+COLLISION_MODELS: Tuple[str, ...] = tuple(m.value for m in CollisionModel)
+
+#: Parameter values allowed inside ``algorithm_params``: JSON scalars
+#: and (possibly nested) lists thereof.
+ParamValue = Union[None, bool, int, float, str, Tuple["ParamValue", ...]]
+
+
+def from_numpy(value: Any) -> Any:
+    """Convert a numpy scalar to its Python equivalent (pass-through
+    otherwise).  Shared by spec and result canonicalization so both
+    layers accept adapter outputs computed with numpy."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _canonical_param(value: Any, key: str) -> ParamValue:
+    """Coerce one parameter value to the canonical hashable form."""
+    value = from_numpy(value)  # floats fall through to the finiteness check
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ConfigurationError(
+                f"algorithm_params[{key!r}] must be finite, got {value!r}"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_param(v, key) for v in value)
+    raise ConfigurationError(
+        f"algorithm_params[{key!r}] must be a JSON scalar or list, "
+        f"got {type(value).__name__}"
+    )
+
+
+def _canonical_params(params: Any) -> Tuple[Tuple[str, ParamValue], ...]:
+    """Canonicalize a params mapping to a sorted tuple of pairs."""
+    if params is None:
+        return ()
+    if isinstance(params, tuple):
+        params = dict(params)
+    if not isinstance(params, Mapping):
+        raise ConfigurationError(
+            f"algorithm_params must be a mapping, got {type(params).__name__}"
+        )
+    items: List[Tuple[str, ParamValue]] = []
+    for key in sorted(params):
+        if not isinstance(key, str) or not key:
+            raise ConfigurationError(
+                f"algorithm_params keys must be non-empty strings, got {key!r}"
+            )
+        items.append((key, _canonical_param(params[key], key)))
+    return tuple(items)
+
+
+def _listify(value: ParamValue) -> Any:
+    """Canonical tuple form back to JSON-native lists."""
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One cell of an experiment grid, fully pinned down.
+
+    Parameters
+    ----------
+    topology:
+        A name from :func:`repro.radio.topology.scenario_names`.
+    n:
+        The family's size knob (approximate vertex count).
+    algorithm:
+        A name from :func:`repro.experiments.algorithm_names`.
+    algorithm_params:
+        Algorithm-specific knobs (e.g. ``{"depth_budget": 40}``),
+        JSON scalars and lists only; canonicalized to a sorted tuple so
+        specs stay hashable and order-insensitive.
+    engine:
+        Slot-engine tier for slot-level algorithms
+        (:func:`repro.radio.available_engines`); LB-level algorithms
+        record but do not consume it.
+    collision_model:
+        ``"no_cd"`` or ``"receiver_cd"``.
+    message_limit_bits:
+        RN[b] message-size limit; ``None`` means RN[inf].
+    seed:
+        Master seed; every random stream of the run derives from it.
+    """
+
+    topology: str
+    n: int
+    algorithm: str
+    algorithm_params: Tuple[Tuple[str, ParamValue], ...] = ()
+    engine: str = "reference"
+    collision_model: str = "no_cd"
+    message_limit_bits: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "algorithm_params", _canonical_params(self.algorithm_params)
+        )
+        if self.topology not in topology.scenario_names():
+            raise ConfigurationError(
+                f"unknown topology {self.topology!r}; registered: "
+                f"{', '.join(topology.scenario_names())}"
+            )
+        if not isinstance(self.n, int) or self.n < 1:
+            raise ConfigurationError(f"n must be a positive int, got {self.n!r}")
+        if self.engine not in available_engines():
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; available: "
+                f"{', '.join(available_engines())}"
+            )
+        if self.collision_model not in COLLISION_MODELS:
+            raise ConfigurationError(
+                f"unknown collision model {self.collision_model!r}; "
+                f"available: {', '.join(COLLISION_MODELS)}"
+            )
+        if self.message_limit_bits is not None and (
+            not isinstance(self.message_limit_bits, int)
+            or self.message_limit_bits < 1
+        ):
+            raise ConfigurationError(
+                f"message_limit_bits must be a positive int or None, "
+                f"got {self.message_limit_bits!r}"
+            )
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be a non-negative int, got {self.seed!r}"
+            )
+        # Lazy import: the registry imports this module.
+        from .registry import algorithm_names
+
+        if self.algorithm not in algorithm_names():
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; registered: "
+                f"{', '.join(algorithm_names())}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, Any]:
+        """The algorithm parameters as a plain dict (tuples as lists)."""
+        return {k: _listify(v) for k, v in self.algorithm_params}
+
+    def seed_streams(self) -> List[np.random.Generator]:
+        """The run's three derived streams: topology, wiring, algorithm."""
+        return spawn_streams(make_rng(self.seed), 3)
+
+    def build_graph(self) -> nx.Graph:
+        """Construct this cell's topology (deterministic in ``seed``)."""
+        return topology.scenario(self.topology, self.n, seed=self.seed_streams()[0])
+
+    def collision(self) -> CollisionModel:
+        """The channel model as the enum the engines consume."""
+        return CollisionModel(self.collision_model)
+
+    def size_policy(self) -> MessageSizePolicy:
+        """The RN[b] message-size policy the engines enforce."""
+        if self.message_limit_bits is None:
+            return MessageSizePolicy.unbounded()
+        return MessageSizePolicy(float(self.message_limit_bits))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-native form (see ``from_dict``)."""
+        return {
+            "topology": self.topology,
+            "n": self.n,
+            "algorithm": self.algorithm,
+            "algorithm_params": {k: _listify(v) for k, v in self.algorithm_params},
+            "engine": self.engine,
+            "collision_model": self.collision_model,
+            "message_limit_bits": self.message_limit_bits,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validating it)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"spec must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown spec fields: {sorted(unknown)}; expected {sorted(known)}"
+            )
+        missing = {"topology", "n", "algorithm"} - set(data)
+        if missing:
+            raise ConfigurationError(f"spec is missing fields: {sorted(missing)}")
+        return cls(**{k: data[k] for k in data})

@@ -117,6 +117,22 @@ def random_geometric(n: int, radius: Optional[float] = None,
     return giant
 
 
+def dense_geometric(n: int, seed: SeedLike = None,
+                    multiplier: float = 4.0) -> nx.Graph:
+    """Random geometric graph well above the connectivity threshold.
+
+    Radius ``multiplier * sqrt(2 ln n / (pi n))`` — a dense sensor
+    field where per-listener neighbor scans dominate slot cost; the
+    engine-tier benchmarks run on this family.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if multiplier <= 0:
+        raise ConfigurationError(f"multiplier must be positive, got {multiplier}")
+    radius = multiplier * math.sqrt(2.0 * math.log(max(2, n)) / (math.pi * n))
+    return random_geometric(n, radius=radius, seed=seed)
+
+
 def random_tree(n: int, seed: SeedLike = None) -> nx.Graph:
     """Uniform random labelled tree (via random Prüfer sequence)."""
     if n < 1:
@@ -389,6 +405,9 @@ def _register_default_scenarios() -> None:
     register_scenario("tree", lambda n, seed=None: random_tree(n, seed=seed))
     register_scenario(
         "geometric", lambda n, seed=None: random_geometric(n, seed=seed)
+    )
+    register_scenario(
+        "dense_geometric", lambda n, seed=None: dense_geometric(n, seed=seed)
     )
     register_scenario(
         "erdos_renyi", lambda n, seed=None: erdos_renyi(n, seed=seed)

@@ -10,9 +10,11 @@ has no shared randomness).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Union
 
 import numpy as np
+
+from .errors import ConfigurationError
 
 SeedLike = Union[None, int, np.random.Generator]
 
@@ -28,15 +30,16 @@ def make_rng(seed: SeedLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_streams(rng: np.random.Generator, count: int) -> list:
+def spawn_streams(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
     Used to give each simulated device its own private randomness, as
     required by the model ("Devices can locally generate unbiased random
-    bits; there is no shared randomness").
+    bits; there is no shared randomness"), and by the experiment harness
+    to derive per-cell sweep seeds.
     """
     if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
+        raise ConfigurationError(f"count must be non-negative, got {count}")
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
 
 

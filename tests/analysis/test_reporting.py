@@ -17,6 +17,34 @@ class TestFormatTable:
         lines = out.splitlines()
         assert len(lines[1]) == len("longvalue")
 
+    def test_numeric_columns_right_aligned(self):
+        """Energy/slot readings line up by magnitude (golden strings)."""
+        out = format_table(["name", "energy"], [["x", 5], ["longer", 12345]])
+        assert out.splitlines() == [
+            "name    energy",
+            "------  ------",
+            "x            5",
+            "longer   12345",
+        ]
+
+    def test_mixed_column_stays_left_aligned(self):
+        out = format_table(["v"], [[12345], ["n/a"]])
+        assert out.splitlines() == [
+            "v    ",
+            "-----",
+            "12345",
+            "n/a  ",
+        ]
+
+    def test_float_column_right_aligned(self):
+        out = format_table(["val"], [[3.14159], [10.0]])
+        assert out.splitlines() == [
+            "  val",
+            "-----",
+            "3.142",
+            "   10",
+        ]
+
     def test_float_formatting(self):
         out = format_table(["v"], [[3.14159]])
         assert "3.142" in out

@@ -77,6 +77,48 @@ class TestDecayBFS:
         truth = nx.single_source_shortest_path_length(g, 0)
         assert all(labels[v] == truth[v] for v in g)
 
+    def test_multi_source(self):
+        """API symmetry with trivial_bfs: an iterable of sources works."""
+        g = topology.grid_graph(4, 5)
+        net = RadioNetwork(g)
+        sources = [0, 19]
+        labels = decay_bfs(net, sources, 10, failure_probability=1e-4, seed=3)
+        truth = nx.multi_source_dijkstra_path_length(g, sources)
+        assert all(labels[v] == truth[v] for v in g)
+
+    def test_multi_source_set(self):
+        g = topology.path_graph(15)
+        net = RadioNetwork(g)
+        labels = decay_bfs(net, {0, 14}, 14, failure_probability=1e-4, seed=4)
+        assert labels[7] == 7.0
+        assert labels[0] == labels[14] == 0.0
+
+    def test_empty_sources_rejected(self):
+        g = topology.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            decay_bfs(RadioNetwork(g), [], 5)
+
+    def test_stray_source_in_iterable_rejected(self):
+        g = topology.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            decay_bfs(RadioNetwork(g), [0, 99], 5)
+
+    def test_absent_string_source_not_decomposed(self):
+        """A typo'd string vertex must fail, not split into characters."""
+        g = nx.relabel_nodes(topology.path_graph(3), {0: "a", 1: "b", 2: "c"})
+        net = RadioNetwork(g)
+        assert decay_bfs(net, "a", 2, seed=0)["b"] == 1.0
+        with pytest.raises(ConfigurationError):
+            decay_bfs(net, "ac", 2)
+
+    def test_absent_tuple_source_not_decomposed(self):
+        """Tuple-labelled vertices are single sources, never collections."""
+        g = nx.relabel_nodes(topology.path_graph(3), {i: (0, i) for i in range(3)})
+        net = RadioNetwork(g)
+        assert decay_bfs(net, (0, 0), 2, seed=0)[(0, 1)] == 1.0
+        with pytest.raises(ConfigurationError):
+            decay_bfs(net, (0, 9), 2)
+
     def test_slot_energy_accumulates(self):
         g = topology.path_graph(10)
         net = RadioNetwork(g)

@@ -1,0 +1,157 @@
+"""Determinism and round-trip guarantees of the experiment API.
+
+The contract this suite pins down:
+
+- the same ``ExperimentSpec`` produces a byte-identical
+  ``RunResult.to_dict()`` serialization across runs (and across
+  processes — the sweep runner relies on it);
+- ``engine="reference"`` and ``engine="fast"`` produce identical
+  results for slot-level algorithms (the PR-1 bit-for-bit guarantee
+  surfaced at the API level);
+- ``RunResult.from_dict(to_dict(r)) == r`` exactly, including via the
+  JSON text form (property-tested over generated payloads).
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentSpec,
+    RunResult,
+    decode_labels,
+    encode_labels,
+    run_experiment,
+)
+
+
+def canonical_bytes(result: RunResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True, allow_nan=False)
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize("algorithm,params", [
+        ("trivial_bfs", None),
+        ("decay_bfs", {"depth_budget": 10}),
+        ("recursive_bfs", {"beta": 0.25, "max_depth": 1, "depth_budget": 12}),
+        ("leader_election", None),
+        ("mpx_clustering", None),
+    ])
+    def test_same_spec_byte_identical(self, algorithm, params):
+        spec = ExperimentSpec(topology="grid", n=20, algorithm=algorithm,
+                              algorithm_params=params, seed=6)
+        assert canonical_bytes(run_experiment(spec)) == canonical_bytes(
+            run_experiment(spec)
+        )
+
+    def test_different_seed_differs(self):
+        a = run_experiment(ExperimentSpec(topology="tree", n=20,
+                                          algorithm="trivial_bfs", seed=1))
+        b = run_experiment(ExperimentSpec(topology="tree", n=20,
+                                          algorithm="trivial_bfs", seed=2))
+        assert canonical_bytes(a) != canonical_bytes(b)
+
+    def test_wall_time_excluded_from_equality_and_bytes(self):
+        spec = ExperimentSpec(topology="path", n=12, algorithm="trivial_bfs")
+        a, b = run_experiment(spec), run_experiment(spec)
+        assert a == b  # despite different wall times
+        assert "wall_time_s" not in canonical_bytes(a)
+        assert "wall_time_s" in json.dumps(a.to_dict(include_timing=True))
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("topology", ["path", "grid", "star_of_paths"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_reference_vs_fast_identical(self, topology, seed):
+        """The differential guarantee at the API level: only the spec's
+        engine field may differ between the two documents."""
+        results = {}
+        for engine in ("reference", "fast"):
+            spec = ExperimentSpec(
+                topology=topology, n=18, algorithm="decay_bfs",
+                algorithm_params={"depth_budget": 12}, engine=engine,
+                seed=seed,
+            )
+            results[engine] = run_experiment(spec)
+        ref, fast = results["reference"], results["fast"]
+        assert ref.output == fast.output
+        assert ref.metrics() == fast.metrics()
+        a, b = ref.to_dict(), fast.to_dict()
+        assert a["spec"].pop("engine") == "reference"
+        assert b["spec"].pop("engine") == "fast"
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestRoundTrip:
+    def test_real_results_round_trip(self):
+        for algorithm in ("trivial_bfs", "leader_election", "mpx_clustering"):
+            r = run_experiment(ExperimentSpec(topology="grid", n=16,
+                                              algorithm=algorithm, seed=2))
+            assert RunResult.from_dict(r.to_dict()) == r
+            assert RunResult.from_json(r.to_json()) == r
+
+    def test_labels_encode_decode(self):
+        labels = {0: 0.0, 1: 1.0, 2: math.inf, 10: 4.0}
+        assert decode_labels(encode_labels(labels)) == labels
+
+    def test_non_finite_output_rejected(self):
+        spec = ExperimentSpec(topology="path", n=4, algorithm="trivial_bfs")
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            RunResult(spec=spec, output={"x": math.inf}, n=4, edges=3,
+                      lb_rounds=0, max_lb_energy=0, total_lb_energy=0,
+                      time_slots=0, max_slot_energy=0, total_slot_energy=0)
+
+    def test_non_string_keys_rejected(self):
+        spec = ExperimentSpec(topology="path", n=4, algorithm="trivial_bfs")
+        with pytest.raises(ConfigurationError, match="str keys"):
+            RunResult(spec=spec, output={1: "x"}, n=4, edges=3,
+                      lb_rounds=0, max_lb_energy=0, total_lb_energy=0,
+                      time_slots=0, max_slot_energy=0, total_slot_energy=0)
+
+
+# JSON-native payloads: scalars, lists, and string-keyed objects, with
+# finite floats only (the schema forbids NaN/inf in serialized form).
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        output=st.dictionaries(st.text(min_size=1, max_size=8), json_values,
+                               max_size=5),
+        metrics=st.lists(st.integers(min_value=0, max_value=2**40),
+                         min_size=8, max_size=8),
+        wall=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_from_dict_to_dict_identity(self, output, metrics, wall):
+        """from_dict(to_dict(r)) == r for arbitrary JSON-native payloads."""
+        spec = ExperimentSpec(topology="path", n=8, algorithm="trivial_bfs",
+                              seed=1)
+        n, edges, lb, mlb, tlb, slots, mse, tse = metrics
+        r = RunResult(spec=spec, output=output, n=n, edges=edges,
+                      lb_rounds=lb, max_lb_energy=mlb, total_lb_energy=tlb,
+                      time_slots=slots, max_slot_energy=mse,
+                      total_slot_energy=tse, wall_time_s=wall)
+        assert RunResult.from_dict(r.to_dict()) == r
+        # And through the JSON text form, including timing.
+        via_json = RunResult.from_json(r.to_json(include_timing=True))
+        assert via_json == r
+        assert via_json.to_json() == r.to_json()

@@ -1,0 +1,183 @@
+"""Tests for grid expansion, the sweep runner, and schema validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    SweepResult,
+    expand_grid,
+    run_specs,
+    run_sweep,
+    validate_document,
+    validate_file,
+)
+
+TOPOLOGIES = ["path", "grid", "tree", "expander"]
+ALGORITHMS = ["trivial_bfs", "decay_bfs", "leader_election", "mpx_clustering"]
+
+
+class TestExpandGrid:
+    def test_cell_count_and_order(self):
+        specs = expand_grid(["path", "grid"], ["trivial_bfs"], sizes=8, seeds=3)
+        assert len(specs) == 2 * 1 * 3
+        assert [s.topology for s in specs] == ["path"] * 3 + ["grid"] * 3
+
+    def test_sizes_axis(self):
+        specs = expand_grid(["path"], ["trivial_bfs"], sizes=[8, 16], seeds=1)
+        assert [s.n for s in specs] == [8, 16]
+
+    def test_derived_seeds_deterministic(self):
+        a = expand_grid(TOPOLOGIES, ALGORITHMS, sizes=8, seeds=2, base_seed=5)
+        b = expand_grid(TOPOLOGIES, ALGORITHMS, sizes=8, seeds=2, base_seed=5)
+        assert a == b
+
+    def test_derived_seeds_vary_with_base(self):
+        a = expand_grid(["path"], ["trivial_bfs"], sizes=8, seeds=2, base_seed=5)
+        b = expand_grid(["path"], ["trivial_bfs"], sizes=8, seeds=2, base_seed=6)
+        assert {s.seed for s in a} != {s.seed for s in b}
+
+    def test_seeds_paired_across_algorithms(self):
+        """Every algorithm sees the same instance seeds (paired design)."""
+        specs = expand_grid(["path"], ["trivial_bfs", "leader_election"],
+                            sizes=8, seeds=2)
+        by_algo = {}
+        for s in specs:
+            by_algo.setdefault(s.algorithm, []).append(s.seed)
+        assert by_algo["trivial_bfs"] == by_algo["leader_election"]
+
+    def test_explicit_seeds(self):
+        specs = expand_grid(["path"], ["trivial_bfs"], sizes=8, seeds=[7, 9])
+        assert [s.seed for s in specs] == [7, 9]
+
+    def test_per_algorithm_params(self):
+        specs = expand_grid(
+            ["path"], ["trivial_bfs", "recursive_bfs"], sizes=8, seeds=1,
+            algorithm_params={"recursive_bfs": {"beta": 0.25, "max_depth": 1}},
+        )
+        by_algo = {s.algorithm: s for s in specs}
+        assert by_algo["trivial_bfs"].algorithm_params == ()
+        assert dict(by_algo["recursive_bfs"].algorithm_params)["beta"] == 0.25
+
+    def test_params_for_absent_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(["path"], ["trivial_bfs"], sizes=8,
+                        algorithm_params={"decay_bfs": {}})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid([], ["trivial_bfs"])
+        with pytest.raises(ConfigurationError):
+            expand_grid(["path"], [])
+        with pytest.raises(ConfigurationError):
+            expand_grid(["path"], ["trivial_bfs"], seeds=0)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def acceptance_grid(self):
+        """The acceptance-criteria grid: 4 topologies x 4 algorithms x
+        2 seeds, run both on the process pool and serially."""
+        specs = expand_grid(TOPOLOGIES, ALGORITHMS, sizes=16, seeds=2)
+        parallel = run_specs(specs, parallel=True)
+        serial = run_specs(specs, parallel=False)
+        return specs, parallel, serial
+
+    def test_grid_completes(self, acceptance_grid):
+        specs, parallel, _ = acceptance_grid
+        assert len(specs) == 4 * 4 * 2
+        assert len(parallel) == len(specs)
+        assert [r.spec for r in parallel] == specs
+
+    def test_parallel_matches_serial(self, acceptance_grid):
+        _, parallel, serial = acceptance_grid
+        assert parallel == serial
+        a = json.dumps(parallel.to_dict(), sort_keys=True)
+        b = json.dumps(serial.to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_sweep_document_validates(self, acceptance_grid, tmp_path):
+        _, parallel, _ = acceptance_grid
+        doc = parallel.to_dict()
+        assert len(validate_document(doc)) == len(parallel)
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(doc, sort_keys=True))
+        assert len(validate_file(str(path))) == len(parallel)
+
+    def test_sweep_round_trip(self, acceptance_grid):
+        _, parallel, _ = acceptance_grid
+        rebuilt = SweepResult.from_dict(parallel.to_dict())
+        assert rebuilt == parallel
+
+    def test_table_renders_every_cell(self, acceptance_grid):
+        _, parallel, _ = acceptance_grid
+        table = parallel.table(title="acceptance")
+        lines = table.splitlines()
+        assert lines[0] == "acceptance"
+        assert len(lines) == 3 + len(parallel)
+
+    def test_run_sweep_end_to_end(self):
+        sweep = run_sweep(["path"], ["trivial_bfs"], sizes=8, seeds=1,
+                          parallel=False)
+        assert len(sweep) == 1
+        assert sweep.execution == "serial"
+        assert sweep.results[0].output["settled"] == 8
+
+
+class TestValidateDocument:
+    def test_rejects_non_document(self):
+        with pytest.raises(ConfigurationError):
+            validate_document({"hello": "world"})
+
+    def test_rejects_empty_results(self):
+        with pytest.raises(ConfigurationError):
+            validate_document({"results": []})
+
+    def test_rejects_tampered_result(self):
+        sweep = run_sweep(["path"], ["trivial_bfs"], sizes=6, seeds=1,
+                          parallel=False)
+        doc = sweep.to_dict()
+        doc["results"][0]["metrics"]["max_lb_energy"] = "lots"
+        with pytest.raises(ConfigurationError, match="results\\[0\\]"):
+            validate_document(doc)
+
+    def test_rejects_missing_metric(self):
+        sweep = run_sweep(["path"], ["trivial_bfs"], sizes=6, seeds=1,
+                          parallel=False)
+        doc = sweep.to_dict()
+        del doc["results"][0]["metrics"]["lb_rounds"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            validate_document(doc)
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            validate_file(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            validate_file(str(tmp_path / "nope.json"))
+
+    def test_non_utf8_file(self, tmp_path):
+        path = tmp_path / "binary.json"
+        path.write_bytes(b"\xff\xfe\x00\x01")
+        with pytest.raises(ConfigurationError, match="not UTF-8"):
+            validate_file(str(path))
+
+    def test_rejects_non_mapping_output(self):
+        sweep = run_sweep(["path"], ["trivial_bfs"], sizes=6, seeds=1,
+                          parallel=False)
+        doc = sweep.to_dict()
+        doc["results"][0]["output"] = [1, 2]
+        with pytest.raises(ConfigurationError, match="output must be a mapping"):
+            validate_document(doc)
+
+    def test_rejects_bad_timing(self):
+        sweep = run_sweep(["path"], ["trivial_bfs"], sizes=6, seeds=1,
+                          parallel=False)
+        doc = sweep.to_dict(include_timing=True)
+        doc["results"][0]["timing"] = {"wall_time_s": "fast"}
+        with pytest.raises(ConfigurationError, match="wall_time_s"):
+            validate_document(doc)

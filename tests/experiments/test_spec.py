@@ -1,0 +1,134 @@
+"""Tests for ExperimentSpec: validation, canonicalization, round-trip."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentSpec
+from repro.radio.channel import CollisionModel
+from repro.radio.message import UNBOUNDED
+
+
+def spec(**overrides):
+    base = dict(topology="path", n=16, algorithm="trivial_bfs", seed=0)
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestValidation:
+    def test_minimal_spec(self):
+        s = spec()
+        assert s.engine == "reference"
+        assert s.collision_model == "no_cd"
+        assert s.message_limit_bits is None
+
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigurationError, match="unknown topology"):
+            spec(topology="no-such-family")
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            spec(algorithm="no-such-algorithm")
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigurationError, match="unknown engine"):
+            spec(engine="warp")
+
+    def test_unknown_collision_model(self):
+        with pytest.raises(ConfigurationError, match="collision model"):
+            spec(collision_model="psychic")
+
+    def test_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            spec(n=0)
+
+    def test_bad_seed(self):
+        with pytest.raises(ConfigurationError):
+            spec(seed=-1)
+
+    def test_bad_message_limit(self):
+        with pytest.raises(ConfigurationError):
+            spec(message_limit_bits=0)
+
+    def test_non_json_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec(algorithm_params={"fn": object()})
+
+    def test_non_finite_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spec(algorithm_params={"x": float("inf")})
+
+    def test_non_finite_numpy_param_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            spec(algorithm_params={"x": np.float64("inf")})
+        with pytest.raises(ConfigurationError):
+            spec(algorithm_params={"x": np.float64("nan")})
+
+
+class TestCanonicalization:
+    def test_params_order_insensitive(self):
+        a = spec(algorithm_params={"a": 1, "b": 2})
+        b = spec(algorithm_params={"b": 2, "a": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_lists_become_tuples(self):
+        s = spec(algorithm_params={"sources": [0, 1]})
+        assert s.algorithm_params == (("sources", (0, 1)),)
+        assert s.params() == {"sources": [0, 1]}
+
+    def test_spec_is_hashable_and_frozen(self):
+        s = spec()
+        {s}
+        with pytest.raises(AttributeError):
+            s.n = 99
+
+
+class TestDerived:
+    def test_build_graph_deterministic(self):
+        a, b = spec(topology="tree", n=24, seed=7), spec(topology="tree", n=24, seed=7)
+        assert sorted(a.build_graph().edges) == sorted(b.build_graph().edges)
+
+    def test_build_graph_varies_with_seed(self):
+        a = spec(topology="tree", n=24, seed=7).build_graph()
+        b = spec(topology="tree", n=24, seed=8).build_graph()
+        assert sorted(a.edges) != sorted(b.edges)
+
+    def test_collision_enum(self):
+        assert spec(collision_model="receiver_cd").collision() is CollisionModel.RECEIVER_CD
+
+    def test_size_policy(self):
+        assert spec().size_policy().limit_bits == UNBOUNDED
+        assert spec(message_limit_bits=64).size_policy().limit_bits == 64.0
+
+    def test_seed_streams_independent_and_stable(self):
+        a = [g.random() for g in spec(seed=3).seed_streams()]
+        b = [g.random() for g in spec(seed=3).seed_streams()]
+        assert a == b
+        assert len(set(a)) == 3
+
+
+class TestRoundTrip:
+    def test_to_from_dict(self):
+        s = spec(
+            topology="grid",
+            n=30,
+            algorithm="decay_bfs",
+            algorithm_params={"sources": [0, 5], "depth_budget": 12},
+            engine="fast",
+            collision_model="receiver_cd",
+            message_limit_bits=128,
+            seed=11,
+        )
+        assert ExperimentSpec.from_dict(s.to_dict()) == s
+
+    def test_from_dict_rejects_unknown_fields(self):
+        d = spec().to_dict()
+        d["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="unknown spec fields"):
+            ExperimentSpec.from_dict(d)
+
+    def test_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            ExperimentSpec.from_dict({"topology": "path"})

@@ -34,11 +34,19 @@ def test_bench_bfs_energy_smoke():
     module = _load("bench_bfs_energy")
     result = module.smoke(n=64)
     assert result["pair"]["trivial"] == result["pair"]["D"] == 63
-    engines = result["engines"]["engines"]
-    assert [row["engine"] for row in engines] == ["reference", "fast"]
-    # Differential guarantee holds at smoke scale too.
-    assert engines[0]["slots"] == engines[1]["slots"]
-    assert engines[0]["max_slot_energy"] == engines[1]["max_slot_energy"]
+    engines = result["engines"]["results"]
+    assert [entry["spec"]["engine"] for entry in engines] == ["reference", "fast"]
+    # Differential guarantee holds at smoke scale too: the whole
+    # RunResult document (output + metrics) matches across tiers.
+    assert engines[0]["output"] == engines[1]["output"]
+    assert engines[0]["metrics"] == engines[1]["metrics"]
+
+
+def test_bench_diameter_approx_smoke():
+    module = _load("bench_diameter_approx")
+    two, th = module.smoke()
+    assert two.spec.algorithm == "two_approx_diameter"
+    assert th.max_lb_energy > two.max_lb_energy
 
 
 def test_bench_decay_smoke():

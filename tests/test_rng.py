@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.rng import exponential, geometric_decay_slot, make_rng, spawn_streams
 
 
@@ -35,11 +36,16 @@ class TestSpawnStreams:
         assert a == b
 
     def test_negative_count_rejected(self):
-        with pytest.raises(ValueError):
+        """Library-wide error taxonomy: bad config raises ConfigurationError."""
+        with pytest.raises(ConfigurationError):
             spawn_streams(make_rng(0), -1)
 
     def test_zero_count(self):
         assert spawn_streams(make_rng(0), 0) == []
+
+    def test_returns_generators(self):
+        streams = spawn_streams(make_rng(0), 3)
+        assert all(isinstance(s, np.random.Generator) for s in streams)
 
 
 class TestExponential:
