@@ -236,9 +236,20 @@ def smoke(n=64):
     return {"pair": pair, "engines": comparison}
 
 
-if __name__ == "__main__":  # standalone: regenerate BENCH_engine.json
-    outcome = engine_comparison()
-    ENGINE_BENCH_RESULTS.write_text(
-        json.dumps(outcome, indent=2, sort_keys=True, allow_nan=False) + "\n"
+if __name__ == "__main__":  # standalone: regenerate the benchmark record
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Engine-tier comparison (writes the RunResult-schema "
+                    "benchmark document; defaults regenerate BENCH_engine.json)"
     )
+    parser.add_argument("--n", type=int, default=ENGINE_BENCH_N,
+                        help="instance size (CI smoke uses a tiny value)")
+    parser.add_argument("--depth", type=int, default=ENGINE_BENCH_DEPTH)
+    parser.add_argument("--out", default=str(ENGINE_BENCH_RESULTS),
+                        help="output path (default: BENCH_engine.json)")
+    args = parser.parse_args()
+    outcome = engine_comparison(n=args.n, depth=args.depth)
+    text = json.dumps(outcome, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    Path(args.out).write_text(text)
     print(json.dumps(outcome, indent=2, sort_keys=True))

@@ -1,0 +1,102 @@
+"""Robustness testbed: completion rate and energy overhead under faults.
+
+The paper's model assumes a perfectly reliable synchronous channel; this
+example runs slot-level Decay-BFS over a grid of *unreliable* channels —
+per-slot i.i.d. loss of growing intensity, bursty Gilbert–Elliott loss,
+an adversarial hub jammer, and a crash/revive churn wave — and reports,
+per (fault model x topology):
+
+- completion rate: settled vertices / n (the ``status`` column marks
+  cells whose BFS contract went unmet);
+- energy overhead: max per-device slot energy relative to the clean run
+  (lost messages force later wavefronts to listen longer);
+- the fault counters (dropped / jammed / crashed / delivered) recorded
+  in the schema-v2 ``RunResult`` documents.
+
+All cells run the identical protocol randomness: only the dedicated
+fault stream differs between fault models, so columns are comparable.
+
+Run:  python examples/robustness_sweep.py [--n 48] [--drops 0.1 0.3 0.5]
+"""
+
+import argparse
+
+from repro.analysis import format_table
+from repro.experiments import ExperimentSpec, run_specs
+from repro.radio import FaultModel, IIDDrop
+
+TOPOLOGIES = ("star_of_paths", "grid", "expander")
+
+
+def fault_axis(drops):
+    """The fault-model axis: clean channel, a drop ladder, and presets."""
+    axis = [("clean", None)]
+    axis += [(f"drop{int(p * 100):02d}", FaultModel((IIDDrop(p),)))
+             for p in drops]
+    axis += [("bursty", "bursty"), ("jam_hubs", "jam_hubs"),
+             ("churn_wave", "churn_wave")]
+    return axis
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=48)
+    parser.add_argument("--drops", type=float, nargs="+",
+                        default=[0.1, 0.3, 0.5])
+    parser.add_argument("--depth-budget", type=int, default=None,
+                        help="hop budget (default: n, always enough)")
+    parser.add_argument("--serial", action="store_true")
+    args = parser.parse_args(argv)
+    budget = args.depth_budget if args.depth_budget is not None else args.n
+
+    axis = fault_axis(args.drops)
+    specs, labels = [], []
+    for fault_name, fault in axis:
+        for topo in TOPOLOGIES:
+            specs.append(ExperimentSpec(
+                topology=topo, n=args.n, algorithm="decay_bfs",
+                algorithm_params={"depth_budget": budget,
+                                  "record_labels": False},
+                seed=7, fault_model=fault,
+            ))
+            labels.append((fault_name, topo))
+    sweep = run_specs(specs, parallel=not args.serial)
+
+    clean_energy = {
+        (fault, topo): r.max_slot_energy
+        for (fault, topo), r in zip(labels, sweep)
+        if fault == "clean"
+    }
+    rows = []
+    for (fault_name, topo), r in zip(labels, sweep):
+        counts = r.fault_counts()
+        baseline = clean_energy[("clean", topo)]
+        rows.append([
+            fault_name,
+            topo,
+            r.status,
+            f"{r.output['settled'] / r.n:.2f}",
+            r.max_slot_energy,
+            f"{r.max_slot_energy / baseline:.2f}x" if baseline else "-",
+            counts["dropped"],
+            counts["jammed"],
+            counts["crashed"],
+            counts["delivered"],
+        ])
+    print(format_table(
+        ["fault", "topology", "status", "done", "maxE",
+         "E vs clean", "dropped", "jammed", "crashed", "delivered"],
+        rows,
+        title=f"Decay-BFS robustness (n={args.n}, budget={budget}, "
+              f"{sweep.execution})",
+    ))
+    print()
+    print("Reading the table: 'done' is the completion rate (settled/n);")
+    print("loss inflates listening energy before it breaks completion, the")
+    print("jammer starves whole neighborhoods, and churn severs the graph")
+    print("until the revive wave lands. Same seed everywhere — only the")
+    print("fault stream differs between rows of one topology column.")
+
+
+if __name__ == "__main__":
+    main()

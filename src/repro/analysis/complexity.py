@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
 
 
 def headline_exponent(n: int, depth_budget: int) -> float:
@@ -84,17 +83,17 @@ class RecurrenceModel:
     def best_depth(self, depth_budget: float, max_levels: int = 12) -> int:
         """The recursion depth minimizing predicted energy for this budget."""
         best_l, best_e = 0, float(depth_budget)
-        for l in range(1, max_levels + 1):
+        for level in range(1, max_levels + 1):
             model = RecurrenceModel(
                 beta=self.beta,
-                depth=l,
+                depth=level,
                 sim_overhead=self.sim_overhead,
                 local_cost=self.local_cost,
                 shrink=self.shrink,
             )
             e = model.energy(depth_budget)
             if e < best_e:
-                best_l, best_e = l, e
+                best_l, best_e = level, e
         return best_l
 
 

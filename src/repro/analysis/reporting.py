@@ -6,7 +6,7 @@ describe; these helpers keep that output consistent and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Mapping, Sequence
+from typing import Any, Iterable, List, Sequence
 
 
 def format_table(

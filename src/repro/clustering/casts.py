@@ -27,10 +27,8 @@ from __future__ import annotations
 
 import enum
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Set, Tuple
 
-import networkx as nx
 
 from ..errors import ConfigurationError
 from ..primitives.lb_graph import LBGraph

@@ -19,10 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 import networkx as nx
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng

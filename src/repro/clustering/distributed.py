@@ -21,10 +21,9 @@ Two variants (DESIGN.md §3.3):
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Hashable, Optional, Set
+from typing import Dict, Hashable, Set
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError
 from ..primitives.lb_graph import LBGraph
 from ..rng import SeedLike, make_rng
 from .mpx import Clustering, mpx_clustering

@@ -14,12 +14,10 @@ shortcut (DESIGN.md §3.3).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 import networkx as nx
-import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..rng import SeedLike, make_rng

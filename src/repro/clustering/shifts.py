@@ -15,7 +15,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable
 
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng

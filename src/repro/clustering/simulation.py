@@ -19,7 +19,7 @@ the construction stacks: Recursive-BFS recurses by building a
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, Mapping, Optional, Set
+from typing import Any, Dict, Hashable, Iterable, Mapping, Set
 
 import networkx as nx
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping
+from typing import Dict, FrozenSet, Hashable, Iterable
 
 import networkx as nx
 

@@ -17,8 +17,8 @@ clusters — the data behind the paper's Figure 3.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set
 
 
 @dataclass(frozen=True)

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Mapping, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping, Set
 
 from ..radio.energy import EnergyLedger
 

@@ -22,8 +22,7 @@ correctness across seeds and families.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass
 
 from ..clustering.casts import CastMode
 from ..errors import ConfigurationError

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 import networkx as nx
 

@@ -10,7 +10,7 @@ the baseline that the Section 5.1 approximations are compared against.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Optional
+from typing import Optional
 
 from ..core.parameters import BFSParameters
 from ..core.recursive_bfs import RecursiveBFS

@@ -20,16 +20,13 @@ This module provides
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional, Set, Tuple
+from typing import Optional, Tuple
 
 import networkx as nx
 
 from ..errors import ConfigurationError
-from ..radio.channel import CollisionModel
 from ..radio.energy import EnergyLedger
-from ..radio.network import RadioNetwork
 from ..radio.topology import complete_graph, complete_minus_edge
 from ..rng import SeedLike, make_rng
 

@@ -20,14 +20,14 @@ energy each; time ``n^{3/2+o(1)}``.
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Dict, Hashable, List, Optional
 
 from ..core.parameters import BFSParameters
 from ..core.recursive_bfs import RecursiveBFS
 from ..errors import ProtocolFailure
 from ..primitives.lb_graph import LBGraph
 from ..primitives.leader_election import ChargedLeaderElection
-from ..primitives.sweeps import find_maximum, find_minimum, sweep_down
+from ..primitives.sweeps import find_maximum, sweep_down
 from ..rng import SeedLike, make_rng
 from .two_approx import DiameterEstimate
 

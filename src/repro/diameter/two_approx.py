@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Optional
+from typing import Hashable, Optional
 
 from ..core.parameters import BFSParameters
 from ..core.recursive_bfs import RecursiveBFS

@@ -29,8 +29,11 @@ from .registry import (
     register_algorithm,
 )
 from .results import (
+    FAULT_FIELDS,
     RESULT_KIND,
+    RESULT_STATUSES,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     SWEEP_KIND,
     RunResult,
     decode_labels,
@@ -51,10 +54,13 @@ from .spec import ExperimentSpec
 __all__ = [
     "AlgorithmAdapter",
     "ExperimentSpec",
+    "FAULT_FIELDS",
     "RESULT_KIND",
+    "RESULT_STATUSES",
     "RunContext",
     "RunResult",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "SWEEP_KIND",
     "SweepResult",
     "algorithm_names",

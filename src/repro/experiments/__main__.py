@@ -16,8 +16,9 @@ import json
 import sys
 from typing import List, Optional
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from ..radio.engine import available_engines
+from ..radio.faults import coerce_fault_model, named_fault_models
 from ..radio.topology import scenario_names
 from .registry import algorithm_names
 from .runner import run_sweep, validate_file
@@ -45,6 +46,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=available_engines(), default="reference")
     run.add_argument("--collision-model", choices=COLLISION_MODELS,
                      default="no_cd")
+    run.add_argument("--fault-model", metavar="NAME_OR_JSON", default=None,
+                     help="fault stack for every cell: a preset name "
+                          "(see `list`) or an inline FaultModel JSON object")
     run.add_argument("--serial", action="store_true",
                      help="skip the process pool; run cells in-process")
     run.add_argument("--max-workers", type=int, default=None)
@@ -62,6 +66,21 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_fault_model(text: Optional[str]):
+    """CLI fault-model designation: preset name or inline JSON object."""
+    if text is None:
+        return None
+    if text.lstrip().startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"--fault-model is neither a preset nor valid JSON: {exc}"
+            ) from None
+        return coerce_fault_model(data)
+    return coerce_fault_model(text)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sweep = run_sweep(
         args.topologies,
@@ -71,6 +90,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         engine=args.engine,
         collision_model=args.collision_model,
+        fault_model=_parse_fault_model(args.fault_model),
         parallel=not args.serial,
         max_workers=args.max_workers,
     )
@@ -94,26 +114,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         except ReproError as exc:
             print(f"{path}: INVALID — {exc}")
             status = 1
+        except Exception as exc:  # malformed beyond the schema layer
+            print(f"{path}: INVALID — unexpected {type(exc).__name__}: {exc}")
+            status = 1
         else:
+            statuses = sorted({r.status for r in results})
             print(f"{path}: ok ({len(results)} result(s), "
-                  f"schema v{results[0].to_dict()['schema_version']})")
+                  f"status {'/'.join(statuses)})")
     return status
 
 
 def _cmd_list() -> int:
-    print("topologies:", ", ".join(scenario_names()))
-    print("algorithms:", ", ".join(algorithm_names()))
-    print("engines:   ", ", ".join(available_engines()))
+    print("topologies:  ", ", ".join(scenario_names()))
+    print("algorithms:  ", ", ".join(algorithm_names()))
+    print("engines:     ", ", ".join(available_engines()))
+    print("fault models:", ", ".join(sorted(named_fault_models())))
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "validate":
-        return _cmd_validate(args)
-    return _cmd_list()
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "validate":
+            return _cmd_validate(args)
+        return _cmd_list()
+    except ReproError as exc:
+        # Configuration mistakes (bad names, bad --fault-model JSON, …)
+        # are user errors: report them readably, not as tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

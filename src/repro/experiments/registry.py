@@ -44,6 +44,8 @@ from ..primitives.leader_election import (
 )
 from ..radio.energy import EnergyLedger
 from ..radio.engine import Engine, make_network
+from ..radio.faults import FaultCounters
+from ..rng import spawn_streams
 from .results import encode_labels
 from .spec import ExperimentSpec
 
@@ -110,20 +112,32 @@ class RunContext:
     #: algorithm execution, not engine compilation (the CSR build of
     #: the fast tier is one-off setup, not slot throughput).
     setup_time_s: float = field(default=0.0, init=False)
+    #: Set by adapters (via :meth:`mark_partial`) when the algorithm
+    #: detectably failed to complete its contract — the runner turns it
+    #: into the result's ``"partial"`` status.
+    partial: bool = field(default=False, init=False)
     _wiring: np.random.Generator = field(init=False)
+    _slot_faults: np.random.Generator = field(init=False)
+    _lb_faults: np.random.Generator = field(init=False)
     _lbg: Optional[PhysicalLBGraph] = field(default=None, init=False)
     _network: Optional[Engine] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.params = self.spec.params()
-        _, self._wiring, self.rng = self.spec.seed_streams()
+        _, self._wiring, self.rng, fault_stream = self.spec.seed_streams()
+        # The slot-level and LB-level views each get their own child of
+        # the spec's fault stream: sharing one generator would make the
+        # fault pattern depend on how an adapter interleaves the two
+        # executors, breaking the per-view determinism contract.
+        self._slot_faults, self._lb_faults = spawn_streams(fault_stream, 2)
 
     def lbg(self) -> PhysicalLBGraph:
         """The Local-Broadcast view of the topology (built once)."""
         if self._lbg is None:
             start = time.perf_counter()
             self._lbg = PhysicalLBGraph(
-                self.graph, ledger=self.ledger, seed=self._wiring
+                self.graph, ledger=self.ledger, seed=self._wiring,
+                faults=self.spec.fault_model, fault_seed=self._lb_faults,
             )
             self.setup_time_s += time.perf_counter() - start
         return self._lbg
@@ -138,9 +152,33 @@ class RunContext:
                 collision_model=self.spec.collision(),
                 size_policy=self.spec.size_policy(),
                 ledger=self.ledger,
+                faults=self.spec.fault_model,
+                fault_seed=self._slot_faults,
             )
             self.setup_time_s += time.perf_counter() - start
         return self._network
+
+    def mark_partial(self) -> None:
+        """Record that the run completed only partially (e.g. a fault
+        model left some vertices unsettled)."""
+        self.partial = True
+
+    def fault_totals(self) -> FaultCounters:
+        """The run's combined fault/delivery tally.
+
+        Merges the counters of whichever executors the adapter actually
+        built (slot-level network and/or LB view) — both engines and
+        both execution modes produce identical tallies for one spec.
+        Counters are per-executor: a run that touches both views under a
+        churn schedule counts each view's crash events separately (each
+        executor applies the schedule to its own device population).
+        """
+        totals = FaultCounters()
+        if self._network is not None:
+            totals.merge(self._network.fault_counters)
+        if self._lbg is not None:
+            totals.merge(self._lbg.fault_counters)
+        return totals
 
     # Convenience for adapters ----------------------------------------
     def sources(self) -> list:
@@ -178,6 +216,10 @@ def _labels_output(ctx: RunContext, labels: Mapping[Any, float]) -> Dict[str, An
     """
     finite = [d for d in labels.values() if math.isfinite(d)]
     encoded = encode_labels(labels)
+    # Scenario graphs are connected, so an unsettled vertex means the
+    # run (fault injection, usually) left the BFS contract unmet.
+    if len(finite) < ctx.graph.number_of_nodes():
+        ctx.mark_partial()
     out: Dict[str, Any] = {
         "settled": len(finite),
         "eccentricity": int(max(finite)) if finite else 0,

@@ -28,8 +28,14 @@ from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 from ..errors import ConfigurationError
 from .spec import ExperimentSpec, from_numpy
 
-#: Version stamp of the ``RunResult`` JSON schema.
-SCHEMA_VERSION = 1
+#: Version stamp of the ``RunResult`` JSON schema written by default.
+#: v2 added the spec's ``fault_model`` and the per-run ``status`` and
+#: ``faults`` blocks; v1 documents still parse (losslessly up-converted
+#: by ``from_dict``) and re-serialize byte-identically on request.
+SCHEMA_VERSION = 2
+
+#: Schema versions ``from_dict``/``validate_result_dict`` accept.
+SUPPORTED_SCHEMA_VERSIONS: Tuple[int, ...] = (1, 2)
 
 #: The ``kind`` discriminators used in serialized documents.
 RESULT_KIND = "repro.experiments.run_result"
@@ -46,6 +52,17 @@ METRIC_FIELDS: Tuple[str, ...] = (
     "max_slot_energy",
     "total_slot_energy",
 )
+
+#: Fault-counter fields of the v2 ``faults`` block, in schema order.
+FAULT_FIELDS: Tuple[str, ...] = ("crashed", "delivered", "dropped", "jammed")
+
+#: Allowed values of the v2 ``status`` field: ``"ok"`` when the
+#: algorithm completed its contract, ``"partial"`` when faults (or an
+#: insufficient budget) left it detectably incomplete.
+RESULT_STATUSES: Tuple[str, ...] = ("ok", "partial")
+
+#: The all-zero fault tally of a clean (or v1) run.
+ZERO_FAULTS: Dict[str, int] = {name: 0 for name in FAULT_FIELDS}
 
 
 def _canonical_json(value: Any, path: str) -> Any:
@@ -135,6 +152,13 @@ class RunResult:
     max_slot_energy: int
     total_slot_energy: int
     wall_time_s: float = field(default=0.0, compare=False)
+    #: ``"ok"`` or ``"partial"`` (schema v2): whether the algorithm
+    #: completed its contract; fault injection is the usual cause of
+    #: ``"partial"`` (e.g. a BFS that could not settle every vertex).
+    status: str = "ok"
+    #: Fault counters (schema v2): crashed / delivered / dropped /
+    #: jammed event totals across the run's executors.
+    faults: Optional[Mapping[str, int]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -147,6 +171,30 @@ class RunResult:
                     f"metric {name!r} must be an int, got {value!r}"
                 )
             object.__setattr__(self, name, value)
+        if self.status not in RESULT_STATUSES:
+            raise ConfigurationError(
+                f"status must be one of {RESULT_STATUSES}, got {self.status!r}"
+            )
+        counters = dict(ZERO_FAULTS)
+        if self.faults is not None:
+            if not isinstance(self.faults, Mapping):
+                raise ConfigurationError(
+                    f"faults must be a mapping, got {type(self.faults).__name__}"
+                )
+            unknown = set(self.faults) - set(FAULT_FIELDS)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown fault counter fields: {sorted(unknown)}"
+                )
+            for name in FAULT_FIELDS:
+                value = from_numpy(self.faults.get(name, 0))
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    raise ConfigurationError(
+                        f"fault counter {name!r} must be a non-negative int, "
+                        f"got {value!r}"
+                    )
+                counters[name] = value
+        object.__setattr__(self, "faults", counters)
 
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, int]:
@@ -163,21 +211,57 @@ class RunResult:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self, include_timing: bool = False) -> Dict[str, Any]:
+    def fault_counts(self) -> Dict[str, int]:
+        """The fault counters as a plain dict (schema order)."""
+        assert self.faults is not None  # canonicalized in __post_init__
+        return {name: self.faults[name] for name in FAULT_FIELDS}
+
+    def to_dict(
+        self,
+        include_timing: bool = False,
+        schema_version: Optional[int] = None,
+    ) -> Dict[str, Any]:
         """Canonical JSON-native form.
 
         With ``include_timing=False`` (default) the document depends
         only on the spec and the algorithm's deterministic execution —
         byte-identical across runs and engines.  ``include_timing=True``
         adds a ``timing`` object for benchmark records.
+
+        ``schema_version=1`` re-emits the legacy shape (no
+        ``fault_model``/``status``/``faults``) byte-identically; it is
+        only valid for results a v1 document could have expressed —
+        fault-free, ``"ok"``, all counters zero.
         """
-        doc: Dict[str, Any] = {
-            "schema_version": SCHEMA_VERSION,
-            "kind": RESULT_KIND,
-            "spec": self.spec.to_dict(),
-            "output": self.output,
-            "metrics": self.metrics(),
-        }
+        version = SCHEMA_VERSION if schema_version is None else schema_version
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            raise ConfigurationError(
+                f"unsupported schema_version {version!r}; "
+                f"supported: {SUPPORTED_SCHEMA_VERSIONS}"
+            )
+        if version == 1:
+            if self.status != "ok" or self.fault_counts() != ZERO_FAULTS:
+                raise ConfigurationError(
+                    "a result with fault activity or partial status cannot "
+                    "be serialized in the v1 schema"
+                )
+            doc: Dict[str, Any] = {
+                "schema_version": 1,
+                "kind": RESULT_KIND,
+                "spec": self.spec.to_dict(include_fault_model=False),
+                "output": self.output,
+                "metrics": self.metrics(),
+            }
+        else:
+            doc = {
+                "schema_version": SCHEMA_VERSION,
+                "kind": RESULT_KIND,
+                "spec": self.spec.to_dict(),
+                "output": self.output,
+                "metrics": self.metrics(),
+                "status": self.status,
+                "faults": self.fault_counts(),
+            }
         if include_timing:
             doc["timing"] = {"wall_time_s": round(float(self.wall_time_s), 6)}
         return doc
@@ -199,9 +283,10 @@ class RunResult:
                 f"result must be a mapping, got {type(data).__name__}"
             )
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise ConfigurationError(
-                f"unsupported schema_version {version!r}; expected {SCHEMA_VERSION}"
+                f"unsupported schema_version {version!r}; "
+                f"supported: {SUPPORTED_SCHEMA_VERSIONS}"
             )
         kind = data.get("kind", RESULT_KIND)
         if kind != RESULT_KIND:
@@ -234,10 +319,21 @@ class RunResult:
                 f"timing.wall_time_s must be a number, "
                 f"got {timing.get('wall_time_s')!r}"
             ) from None
+        # v1 up-conversion is lossless: a v1 document could only describe
+        # a fault-free completed run, so the v2 additions take their
+        # defaults ("ok", all counters zero, no fault_model).
+        status = data.get("status", "ok")
+        faults = data.get("faults")
+        if version == 1 and (status != "ok" or faults not in (None, ZERO_FAULTS)):
+            raise ConfigurationError(
+                "v1 documents cannot carry status/faults blocks"
+            )
         return cls(
             spec=ExperimentSpec.from_dict(data["spec"]),
             output=dict(data["output"]),
             wall_time_s=wall,
+            status=status,
+            faults=faults,
             **{name: metrics[name] for name in METRIC_FIELDS},
         )
 
@@ -255,8 +351,13 @@ def validate_result_dict(data: Mapping[str, Any]) -> RunResult:
     CI schema check over ``BENCH_*.json``.
     """
     result = RunResult.from_dict(data)
-    # Round-trip invariance: the document must already be canonical.
-    canon = result.to_dict(include_timing="timing" in data)
+    # Round-trip invariance: the document must already be canonical —
+    # re-serialized at its own schema version, so committed v1 records
+    # keep validating byte-for-byte.
+    canon = result.to_dict(
+        include_timing="timing" in data,
+        schema_version=data.get("schema_version"),
+    )
     stripped = {k: v for k, v in data.items() if k in canon}
     try:
         original = json.dumps(stripped, sort_keys=True, allow_nan=False)

@@ -24,11 +24,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 from ..analysis.reporting import format_table
 from ..errors import ConfigurationError
 from ..radio.energy import EnergyLedger
+from ..radio.faults import FaultModel, coerce_fault_model
 from ..rng import make_rng, spawn_streams
 from .registry import RunContext, get_algorithm
 from .results import (
     RESULT_KIND,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     SWEEP_KIND,
     RunResult,
     validate_result_dict,
@@ -65,6 +67,8 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         max_slot_energy=ledger.max_slots(),
         total_slot_energy=ledger.total_slots(),
         wall_time_s=wall,
+        status="partial" if ctx.partial else "ok",
+        faults=ctx.fault_totals().as_dict(),
     )
 
 
@@ -78,6 +82,7 @@ def expand_grid(
     collision_model: str = "no_cd",
     message_limit_bits: Optional[int] = None,
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
 ) -> List[ExperimentSpec]:
     """Expand a scenario grid into one spec per cell.
 
@@ -87,6 +92,9 @@ def expand_grid(
     per cell in grid order — or an explicit sequence of seed integers
     shared by every (topology, size, algorithm) combination.
     ``algorithm_params`` maps algorithm name -> its parameter dict.
+    ``fault_model`` (a :class:`~repro.radio.faults.FaultModel`, its
+    dict form, or a preset name) applies one fault stack to every cell;
+    sweep a fault axis by expanding one grid per model.
     """
     if not topologies:
         raise ConfigurationError("expand_grid requires at least one topology")
@@ -95,6 +103,7 @@ def expand_grid(
     size_list = [sizes] if isinstance(sizes, int) else list(sizes)
     if not size_list:
         raise ConfigurationError("expand_grid requires at least one size")
+    faults = coerce_fault_model(fault_model)
     params_by_algorithm = dict(algorithm_params or {})
     unknown = set(params_by_algorithm) - set(algorithms)
     if unknown:
@@ -136,6 +145,7 @@ def expand_grid(
                         collision_model=collision_model,
                         message_limit_bits=message_limit_bits,
                         seed=seed,
+                        fault_model=faults,
                     )
                 )
     return specs
@@ -175,7 +185,7 @@ class SweepResult:
             raise ConfigurationError(
                 f"unexpected kind {data.get('kind')!r}; expected {SWEEP_KIND!r}"
             )
-        if data.get("schema_version") != SCHEMA_VERSION:
+        if data.get("schema_version") not in SUPPORTED_SCHEMA_VERSIONS:
             raise ConfigurationError(
                 f"unsupported schema_version {data.get('schema_version')!r}"
             )
@@ -193,6 +203,7 @@ class SweepResult:
                 r.spec.algorithm,
                 r.spec.seed,
                 r.headline(),
+                r.status,
                 r.lb_rounds,
                 r.max_lb_energy,
                 r.time_slots,
@@ -204,7 +215,7 @@ class SweepResult:
     def table(self, title: str = "") -> str:
         """The sweep as an :func:`repro.analysis.format_table` report."""
         return format_table(
-            ["topology", "n", "algorithm", "seed", "result",
+            ["topology", "n", "algorithm", "seed", "result", "status",
              "lb_rounds", "max_lb", "slots", "max_slot_E"],
             self.rows(),
             title=title,
@@ -247,6 +258,7 @@ def run_sweep(
     collision_model: str = "no_cd",
     message_limit_bits: Optional[int] = None,
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
 ) -> SweepResult:
@@ -261,6 +273,7 @@ def run_sweep(
         collision_model=collision_model,
         message_limit_bits=message_limit_bits,
         algorithm_params=algorithm_params,
+        fault_model=fault_model,
     )
     return run_specs(specs, parallel=parallel, max_workers=max_workers)
 

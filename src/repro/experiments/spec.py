@@ -12,7 +12,8 @@ processes unchanged), and round-trip losslessly through
 All randomness of a run derives from ``seed`` through
 :func:`repro.rng.spawn_streams`: stream 0 builds the topology, stream 1
 seeds the network wiring (Local-Broadcast arbitration), stream 2 drives
-the algorithm itself.  Two runs of the same spec therefore consume
+the algorithm itself, stream 3 drives fault injection (schema v2's
+``fault_model`` field).  Two runs of the same spec therefore consume
 identical random streams regardless of which process executes them.
 """
 
@@ -28,6 +29,7 @@ from ..errors import ConfigurationError
 from ..radio import topology
 from ..radio.channel import CollisionModel
 from ..radio.engine import available_engines
+from ..radio.faults import FaultModel, coerce_fault_model
 from ..radio.message import MessageSizePolicy
 from ..rng import make_rng, spawn_streams
 
@@ -124,6 +126,12 @@ class ExperimentSpec:
         RN[b] message-size limit; ``None`` means RN[inf].
     seed:
         Master seed; every random stream of the run derives from it.
+    fault_model:
+        Optional fault stack (schema v2): a
+        :class:`~repro.radio.faults.FaultModel`, its ``to_dict``
+        mapping, or a :func:`~repro.radio.faults.named_fault_models`
+        preset name.  ``None`` (and the empty stack, which normalizes
+        to ``None``) is the clean channel of the paper's model.
     """
 
     topology: str
@@ -134,10 +142,14 @@ class ExperimentSpec:
     collision_model: str = "no_cd"
     message_limit_bits: Optional[int] = None
     seed: int = 0
+    fault_model: Optional[FaultModel] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "algorithm_params", _canonical_params(self.algorithm_params)
+        )
+        object.__setattr__(
+            self, "fault_model", coerce_fault_model(self.fault_model)
         )
         if self.topology not in topology.scenario_names():
             raise ConfigurationError(
@@ -185,8 +197,14 @@ class ExperimentSpec:
         return {k: _listify(v) for k, v in self.algorithm_params}
 
     def seed_streams(self) -> List[np.random.Generator]:
-        """The run's three derived streams: topology, wiring, algorithm."""
-        return spawn_streams(make_rng(self.seed), 3)
+        """The run's four derived streams: topology, wiring, algorithm,
+        fault injection.
+
+        Streams are derived by index, so the first three are identical
+        to the schema-v1 derivation — adding the fault stream changed
+        no existing run's randomness.
+        """
+        return spawn_streams(make_rng(self.seed), 4)
 
     def build_graph(self) -> nx.Graph:
         """Construct this cell's topology (deterministic in ``seed``)."""
@@ -205,9 +223,15 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        """Lossless JSON-native form (see ``from_dict``)."""
-        return {
+    def to_dict(self, include_fault_model: bool = True) -> Dict[str, Any]:
+        """Lossless JSON-native form (see ``from_dict``).
+
+        ``include_fault_model=False`` reproduces the schema-v1 spec
+        shape (no ``fault_model`` key) and is only valid for fault-free
+        specs — :meth:`RunResult.to_dict` uses it to re-emit v1
+        documents byte-identically.
+        """
+        doc = {
             "topology": self.topology,
             "n": self.n,
             "algorithm": self.algorithm,
@@ -217,6 +241,16 @@ class ExperimentSpec:
             "message_limit_bits": self.message_limit_bits,
             "seed": self.seed,
         }
+        if include_fault_model:
+            doc["fault_model"] = (
+                None if self.fault_model is None else self.fault_model.to_dict()
+            )
+        elif self.fault_model is not None:
+            raise ConfigurationError(
+                "a spec with a fault_model cannot be serialized in the v1 "
+                "schema; use the default (v2) serialization"
+            )
+        return doc
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":

@@ -18,7 +18,7 @@ This module implements:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Mapping, Optional, Set
+from typing import Any, Dict, Hashable, Mapping, Set
 
 from ..errors import ConfigurationError
 from .lb_graph import LBGraph

@@ -19,13 +19,12 @@ This module implements both detectors at slot level:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Mapping, Set
+from typing import Hashable, Iterable, Set
 
-import numpy as np
 
 from ..radio.channel import CollisionModel, Feedback, Reception
 from ..radio.device import Action, Device
-from ..radio.message import Message, message_of_ints
+from ..radio.message import message_of_ints
 from ..radio.network import RadioNetwork
 from ..rng import SeedLike, make_rng
 from .decay import run_decay_local_broadcast

@@ -27,10 +27,10 @@ import abc
 from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Set
 
 import networkx as nx
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..radio.energy import EnergyLedger
+from ..radio.faults import FaultCounters, FaultModel, FaultRuntime
 from ..rng import SeedLike, make_rng
 
 
@@ -130,6 +130,17 @@ class PhysicalLBGraph(LBGraph):
         inject the true ``1/poly(n)`` rate.
     seed:
         Randomness for delivery arbitration and failure injection.
+    faults:
+        Optional :class:`~repro.radio.faults.FaultModel`; the LB tier
+        interprets one ``local_broadcast`` call as one time unit, so a
+        layer's "slot" knobs (jammer duty cycle, churn event slots)
+        address LB rounds here.  Dead vertices neither send, receive,
+        nor get charged; dropped senders are charged but their message
+        is lost; jammed receivers are charged but hear nothing.
+    fault_seed:
+        Dedicated random stream for the fault stack (kept separate from
+        ``seed`` so attaching faults never perturbs the arbitration
+        randomness of the fault-free run).
     """
 
     def __init__(
@@ -139,6 +150,8 @@ class PhysicalLBGraph(LBGraph):
         failure_probability: float = 0.0,
         seed: SeedLike = None,
         n_global: Optional[int] = None,
+        faults: Optional[FaultModel] = None,
+        fault_seed: SeedLike = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ConfigurationError("PhysicalLBGraph requires a non-empty graph")
@@ -155,6 +168,11 @@ class PhysicalLBGraph(LBGraph):
         self._adjacency: Dict[Hashable, List[Hashable]] = {
             v: list(graph.neighbors(v)) for v in graph.nodes
         }
+        self.fault_counters = FaultCounters()
+        self._fault_runtime: Optional[FaultRuntime] = FaultRuntime.build(
+            faults, graph, seed=fault_seed, counters=self.fault_counters
+        )
+        self._lb_round = 0
 
     # ------------------------------------------------------------------
     @property
@@ -204,11 +222,36 @@ class PhysicalLBGraph(LBGraph):
                 f"overlap size {len(overlap)}"
             )
 
+        counters = self.fault_counters
+        jammed: frozenset = frozenset()
+        if self._fault_runtime is not None:
+            plan = self._fault_runtime.plan(self._lb_round)
+            jammed = plan.jammed
+            if plan.dead:
+                # Dead devices participate in nothing: no energy, no
+                # messages out, no reception.
+                sender_set = {u for u in sender_set if u not in plan.dead}
+                receiver_list = [v for v in receiver_list if v not in plan.dead]
+            if plan.dropped:
+                # Dropped senders are charged below (they participated)
+                # but their message never reaches the channel.
+                lost = {u for u in sender_set if u in plan.dropped}
+                counters.dropped += len(lost)
+                heard_from = sender_set - lost
+            else:
+                heard_from = sender_set
+        else:
+            heard_from = sender_set
+        self._lb_round += 1
+
         self._ledger.charge_lb(sender_set, receiver_list)
 
         delivered: Dict[Hashable, Any] = {}
         for v in receiver_list:
-            sending_neighbors = [u for u in self._adjacency[v] if u in sender_set]
+            if v in jammed:
+                counters.jammed += 1
+                continue
+            sending_neighbors = [u for u in self._adjacency[v] if u in heard_from]
             if not sending_neighbors:
                 continue
             if self.failure_probability > 0.0 and (
@@ -220,4 +263,5 @@ class PhysicalLBGraph(LBGraph):
             # protocol-dependent; we pick uniformly at random.
             chosen = sending_neighbors[int(self.rng.integers(len(sending_neighbors)))]
             delivered[v] = messages[chosen]
+            counters.delivered += 1
         return delivered

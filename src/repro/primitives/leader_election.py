@@ -29,7 +29,7 @@ from typing import Dict, Hashable, Optional
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
-from .lb_graph import LBGraph, PhysicalLBGraph
+from .lb_graph import LBGraph
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Tuple
+from typing import Dict, Hashable
 
 from ..radio.energy import DeviceEnergy, EnergyLedger
 

@@ -16,9 +16,8 @@ The paper uses these to implement:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Set
 
 from ..errors import ConfigurationError
 from .lb_graph import LBGraph

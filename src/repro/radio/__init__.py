@@ -26,6 +26,18 @@ from .device import Action, ActionKind, Device
 from .energy import DeviceEnergy, EnergyLedger
 from .engine import ENGINES, Engine, available_engines, make_network
 from .fast_engine import FastRadioNetwork
+from .faults import (
+    ChurnSchedule,
+    FaultCounters,
+    FaultModel,
+    FaultRuntime,
+    GilbertElliott,
+    IIDDrop,
+    Jammer,
+    SlotFaultPlan,
+    coerce_fault_model,
+    named_fault_models,
+)
 from .message import (
     Message,
     MessageSizePolicy,
@@ -40,6 +52,7 @@ from .trace import Event, EventTrace
 __all__ = [
     "Action",
     "ActionKind",
+    "ChurnSchedule",
     "CollisionModel",
     "Device",
     "DeviceEnergy",
@@ -49,16 +62,25 @@ __all__ = [
     "Event",
     "EventTrace",
     "FastRadioNetwork",
+    "FaultCounters",
+    "FaultModel",
+    "FaultRuntime",
     "Feedback",
+    "GilbertElliott",
+    "IIDDrop",
+    "Jammer",
     "Message",
     "MessageSizePolicy",
     "RadioNetwork",
     "Reception",
     "SlotEngineBase",
+    "SlotFaultPlan",
     "UNBOUNDED",
     "available_engines",
+    "coerce_fault_model",
     "id_bits",
     "int_bits",
     "make_network",
     "message_of_ints",
+    "named_fault_models",
 ]

@@ -13,8 +13,8 @@ can convert LB units to slot units through the Lemma 2.4 cost model.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
 
 
 @dataclass

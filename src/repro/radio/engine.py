@@ -28,6 +28,7 @@ from ..errors import ConfigurationError
 from ..rng import SeedLike
 from .channel import CollisionModel
 from .device import Device
+from .faults import FaultCounters
 from .message import MessageSizePolicy
 from .energy import EnergyLedger
 from .fast_engine import FastRadioNetwork
@@ -49,6 +50,7 @@ class Engine(Protocol):
     ledger: EnergyLedger
     trace: Optional[EventTrace]
     slot: int
+    fault_counters: FaultCounters
 
     @property
     def max_degree(self) -> int:
@@ -97,9 +99,9 @@ def make_network(
     """Construct a slot-level network on the named engine.
 
     ``kwargs`` are forwarded to the engine constructor
-    (``collision_model``, ``size_policy``, ``ledger``, ``trace``).
-    Raises :class:`~repro.errors.ConfigurationError` for unknown engine
-    names.
+    (``collision_model``, ``size_policy``, ``ledger``, ``trace``,
+    ``faults``, ``fault_seed``).  Raises
+    :class:`~repro.errors.ConfigurationError` for unknown engine names.
     """
     try:
         cls = ENGINES[engine]

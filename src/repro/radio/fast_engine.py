@@ -34,9 +34,11 @@ import networkx as nx
 import numpy as np
 
 from ..errors import SimulationError
+from ..rng import SeedLike
 from .channel import CollisionModel, Feedback, Reception
 from .device import ActionKind, Device
 from .energy import EnergyLedger
+from .faults import FaultModel
 from .message import Message, MessageSizePolicy
 from .network import SlotEngineBase
 from .trace import EventTrace
@@ -72,8 +74,11 @@ class FastRadioNetwork(SlotEngineBase):
         size_policy: Optional[MessageSizePolicy] = None,
         ledger: Optional[EnergyLedger] = None,
         trace: Optional[EventTrace] = None,
+        faults: Optional[FaultModel] = None,
+        fault_seed: SeedLike = None,
     ) -> None:
-        super().__init__(graph, collision_model, size_policy, ledger, trace)
+        super().__init__(graph, collision_model, size_policy, ledger, trace,
+                         faults=faults, fault_seed=fault_seed)
         self._vertices: List[Hashable] = list(graph.nodes)
         self._index: Dict[Hashable, int] = {
             v: i for i, v in enumerate(self._vertices)
@@ -135,6 +140,8 @@ class FastRadioNetwork(SlotEngineBase):
     # ------------------------------------------------------------------
     def step(self, devices: Mapping[Hashable, Device]) -> None:
         """Execute one synchronous slot for all devices."""
+        plan = self._next_fault_plan()
+        counters = self.fault_counters
         slot = self.slot
         trace = self.trace
         index = self._index
@@ -142,17 +149,21 @@ class FastRadioNetwork(SlotEngineBase):
         receiver_cd = self.collision_model is CollisionModel.RECEIVER_CD
         silent = _SILENCE if receiver_cd else _NOTHING
         noisy = _NOISE if receiver_cd else _NOTHING
+        jam = self._jam_reception
 
         tx_idx: List[int] = []
         tx_vertices: List[Hashable] = []
         listen_idx: List[int] = []
         listen_vertices: List[Hashable] = []
         listen_devices: List[Device] = []
+        listen_jammed: List[bool] = []
         idle_kind = ActionKind.IDLE
         transmit_kind = ActionKind.TRANSMIT
 
         for vertex, device in devices.items():
             if device.halted:
+                continue
+            if plan is not None and vertex in plan.dead:
                 continue
             action = device.step(slot)
             kind = action.kind
@@ -163,16 +174,22 @@ class FastRadioNetwork(SlotEngineBase):
                 if message is None:
                     raise SimulationError(f"device {vertex!r} transmitted no message")
                 self.size_policy.check(message)
-                i = index[vertex]
-                tx_idx.append(i)
+                # Dropped transmitters are charged and traced like the
+                # reference engine, but never enter the channel math.
+                if plan is not None and vertex in plan.dropped:
+                    counters.dropped += 1
+                else:
+                    i = index[vertex]
+                    tx_idx.append(i)
+                    msg_buf[i] = message
                 tx_vertices.append(vertex)
-                msg_buf[i] = message
                 if trace is not None:
                     trace.record(slot, "transmit", vertex, message.kind)
             else:  # LISTEN
                 listen_idx.append(index[vertex])
                 listen_vertices.append(vertex)
                 listen_devices.append(device)
+                listen_jammed.append(plan is not None and vertex in plan.jammed)
 
         self.ledger.charge_slot_batch(tx_vertices, listen_vertices)
 
@@ -184,11 +201,16 @@ class FastRadioNetwork(SlotEngineBase):
                 gather = np.asarray(listen_idx, dtype=np.int64)
                 listen_counts = counts[gather].tolist()
                 listen_codes = codes[gather].tolist()
-                for vertex, device, c, code in zip(
-                    listen_vertices, listen_devices, listen_counts, listen_codes
+                for vertex, device, c, code, jammed in zip(
+                    listen_vertices, listen_devices, listen_counts,
+                    listen_codes, listen_jammed,
                 ):
-                    if c == 1:
+                    if jammed:
+                        counters.jammed += 1
+                        device.receive(slot, jam)
+                    elif c == 1:
                         message = msg_buf[code - 1]
+                        counters.delivered += 1
                         device.receive(slot, Reception(Feedback.MESSAGE, message))
                         if trace is not None:
                             trace.record(slot, "receive", vertex, message.kind)
@@ -197,8 +219,12 @@ class FastRadioNetwork(SlotEngineBase):
                     else:
                         device.receive(slot, noisy)
             else:
-                for device in listen_devices:
-                    device.receive(slot, silent)
+                for device, jammed in zip(listen_devices, listen_jammed):
+                    if jammed:
+                        counters.jammed += 1
+                        device.receive(slot, jam)
+                    else:
+                        device.receive(slot, silent)
 
         for i in tx_idx:
             msg_buf[i] = None

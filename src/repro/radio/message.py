@@ -11,8 +11,8 @@ complexity.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Hashable, Optional
+from dataclasses import dataclass
+from typing import Any, Hashable
 
 from ..errors import MessageTooLargeError
 

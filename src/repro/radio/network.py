@@ -35,9 +35,10 @@ import numpy as np
 
 from ..errors import ConfigurationError, SimulationError
 from ..rng import SeedLike, make_rng, spawn_streams
-from .channel import CollisionModel, Reception, resolve
-from .device import Action, ActionKind, Device
+from .channel import CollisionModel, Feedback, Reception, resolve
+from .device import ActionKind, Device
 from .energy import EnergyLedger
+from .faults import FaultCounters, FaultModel, FaultRuntime, SlotFaultPlan
 from .message import Message, MessageSizePolicy
 from .trace import EventTrace
 
@@ -63,6 +64,15 @@ class SlotEngineBase:
         omitted.
     trace:
         Optional :class:`EventTrace` collecting per-slot events.
+    faults:
+        Optional :class:`~repro.radio.faults.FaultModel`; when given,
+        every slot is filtered through the fault stack (message drops,
+        jamming, churn) before channel resolution — identically on
+        every engine tier.
+    fault_seed:
+        Dedicated random stream for the fault stack (independent of all
+        device streams, so the same protocol randomness meets the same
+        faults on either engine).
     """
 
     #: Engine-registry name; concrete engines override.
@@ -75,6 +85,8 @@ class SlotEngineBase:
         size_policy: Optional[MessageSizePolicy] = None,
         ledger: Optional[EnergyLedger] = None,
         trace: Optional[EventTrace] = None,
+        faults: Optional[FaultModel] = None,
+        fault_seed: SeedLike = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ConfigurationError("radio network requires at least one vertex")
@@ -90,6 +102,30 @@ class SlotEngineBase:
         self.trace = trace
         self.slot = 0
         self._node_set: Set[Hashable] = set(graph.nodes)
+        #: Fault/delivery tally; delivery counts are maintained even
+        #: without a fault model attached.
+        self.fault_counters = FaultCounters()
+        self._fault_runtime: Optional[FaultRuntime] = FaultRuntime.build(
+            faults, graph, seed=fault_seed, counters=self.fault_counters
+        )
+        # The channel outcome a jammed listener perceives (indistinct
+        # from a collision under the active collision model).
+        self._jam_reception = Reception(
+            Feedback.NOISE
+            if collision_model is CollisionModel.RECEIVER_CD
+            else Feedback.NOTHING
+        )
+
+    def _next_fault_plan(self) -> Optional[SlotFaultPlan]:
+        """The fault plan for the current slot (``None`` = no faults).
+
+        Concrete engines call this exactly once at the top of
+        :meth:`step`; the runtime enforces in-order consumption so the
+        fault randomness stays engine-independent.
+        """
+        if self._fault_runtime is None:
+            return None
+        return self._fault_runtime.plan(self.slot)
 
     # ------------------------------------------------------------------
     def run(
@@ -171,19 +207,26 @@ class RadioNetwork(SlotEngineBase):
         size_policy: Optional[MessageSizePolicy] = None,
         ledger: Optional[EnergyLedger] = None,
         trace: Optional[EventTrace] = None,
+        faults: Optional[FaultModel] = None,
+        fault_seed: SeedLike = None,
     ) -> None:
-        super().__init__(graph, collision_model, size_policy, ledger, trace)
+        super().__init__(graph, collision_model, size_policy, ledger, trace,
+                         faults=faults, fault_seed=fault_seed)
         self._adjacency: Dict[Hashable, List[Hashable]] = {
             v: list(graph.neighbors(v)) for v in graph.nodes
         }
 
     def step(self, devices: Mapping[Hashable, Device]) -> None:
         """Execute one synchronous slot for all devices."""
+        plan = self._next_fault_plan()
+        counters = self.fault_counters
         transmissions: Dict[Hashable, Message] = {}
         listeners: List[Hashable] = []
 
         for vertex, device in devices.items():
             if device.halted:
+                continue
+            if plan is not None and vertex in plan.dead:
                 continue
             action = device.step(self.slot)
             if action.kind is ActionKind.IDLE:
@@ -193,7 +236,12 @@ class RadioNetwork(SlotEngineBase):
                 if message is None:
                     raise SimulationError(f"device {vertex!r} transmitted no message")
                 self.size_policy.check(message)
-                transmissions[vertex] = message
+                # A dropped transmitter still spends the slot's energy —
+                # the device transmitted; the channel lost the message.
+                if plan is not None and vertex in plan.dropped:
+                    counters.dropped += 1
+                else:
+                    transmissions[vertex] = message
                 self.ledger.charge_transmit(vertex)
                 if self.trace is not None:
                     self.trace.record(self.slot, "transmit", vertex, message.kind)
@@ -202,10 +250,18 @@ class RadioNetwork(SlotEngineBase):
                 self.ledger.charge_listen(vertex)
 
         for vertex in listeners:
-            heard = [
-                transmissions[u] for u in self._adjacency[vertex] if u in transmissions
-            ]
-            reception = resolve(heard, self.collision_model)
+            if plan is not None and vertex in plan.jammed:
+                counters.jammed += 1
+                reception = self._jam_reception
+            else:
+                heard = [
+                    transmissions[u]
+                    for u in self._adjacency[vertex]
+                    if u in transmissions
+                ]
+                reception = resolve(heard, self.collision_model)
+            if reception.received:
+                counters.delivered += 1
             devices[vertex].receive(self.slot, reception)
             if self.trace is not None and reception.received:
                 assert reception.message is not None

@@ -26,7 +26,6 @@ import math
 from typing import Callable, Dict, Optional, Tuple
 
 import networkx as nx
-import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng

@@ -1,0 +1,271 @@
+"""Schema v2: fault_model specs, status/faults blocks, v1 up-conversion,
+and fault-counter determinism across execution modes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentSpec,
+    RunResult,
+    SCHEMA_VERSION,
+    RunContext,
+    expand_grid,
+    run_experiment,
+    run_specs,
+    validate_document,
+    validate_result_dict,
+)
+from repro.experiments.results import ZERO_FAULTS
+from repro.primitives import PhysicalLBGraph
+from repro.radio import FaultModel, IIDDrop, named_fault_models, topology
+
+
+def _spec(**kwargs):
+    base = dict(topology="path", n=16, algorithm="trivial_bfs", seed=3)
+    base.update(kwargs)
+    return ExperimentSpec(**base)
+
+
+class TestSpecFaultModel:
+    def test_accepts_model_dict_and_preset(self):
+        model = FaultModel((IIDDrop(0.2),))
+        assert _spec(fault_model=model).fault_model == model
+        assert _spec(fault_model=model.to_dict()).fault_model == model
+        assert _spec(fault_model="drop10").fault_model == \
+            named_fault_models()["drop10"]
+
+    def test_empty_normalizes_to_none(self):
+        assert _spec(fault_model=FaultModel()).fault_model is None
+        assert _spec(fault_model={"layers": []}).fault_model is None
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            _spec(fault_model="no_such_preset")
+        with pytest.raises(ConfigurationError):
+            _spec(fault_model=3.14)
+
+    def test_spec_round_trip_with_faults(self):
+        s = _spec(fault_model="lossy_mixed")
+        assert ExperimentSpec.from_dict(s.to_dict()) == s
+        # Specs stay hashable and picklable with a fault stack attached.
+        assert hash(s) == hash(ExperimentSpec.from_dict(s.to_dict()))
+
+    def test_v1_spec_dict_still_parses(self):
+        doc = _spec().to_dict()
+        doc.pop("fault_model")
+        assert ExperimentSpec.from_dict(doc) == _spec()
+
+    def test_v1_serialization_requires_fault_free(self):
+        assert "fault_model" not in _spec().to_dict(include_fault_model=False)
+        with pytest.raises(ConfigurationError):
+            _spec(fault_model="drop10").to_dict(include_fault_model=False)
+
+
+class TestSchemaUpConversion:
+    def _v1_doc(self):
+        """A legacy (schema v1) document, as PR-2-era code wrote them."""
+        result = run_experiment(_spec())
+        assert result.status == "ok"
+        doc = result.to_dict()
+        doc["schema_version"] = 1
+        del doc["status"], doc["faults"]
+        del doc["spec"]["fault_model"]
+        return doc
+
+    def test_v1_round_trips_byte_identically(self):
+        v1 = self._v1_doc()
+        parsed = RunResult.from_dict(v1)
+        # A v1 document could not record fault/delivery activity, so
+        # the up-converted result carries the zero tally.
+        assert parsed.status == "ok"
+        assert parsed.fault_counts() == ZERO_FAULTS
+        # Lossless: re-emitting at v1 reproduces the exact byte stream.
+        assert json.dumps(parsed.to_dict(schema_version=1), sort_keys=True) \
+            == json.dumps(v1, sort_keys=True)
+        # And the up-converted v2 document carries the defaults.
+        v2 = parsed.to_dict()
+        assert v2["schema_version"] == SCHEMA_VERSION
+        assert v2["status"] == "ok"
+        assert v2["faults"] == ZERO_FAULTS
+        assert v2["spec"]["fault_model"] is None
+        assert RunResult.from_dict(v2) == parsed
+
+    def test_v1_documents_validate(self):
+        v1 = self._v1_doc()
+        assert validate_result_dict(v1).status == "ok"
+        assert len(validate_document({"results": [v1]})) == 1
+
+    def test_v2_round_trip_with_fault_activity(self):
+        result = run_experiment(_spec(
+            topology="star_of_paths", n=24, algorithm="decay_bfs",
+            algorithm_params={"depth_budget": 8}, fault_model="drop30",
+        ))
+        assert result.fault_counts()["dropped"] > 0
+        doc = result.to_dict()
+        assert RunResult.from_dict(doc) == result
+        assert validate_result_dict(doc) == result
+        # A faulty run cannot masquerade as a v1 document.
+        with pytest.raises(ConfigurationError):
+            result.to_dict(schema_version=1)
+
+    def test_v1_doc_with_status_block_rejected(self):
+        bad = dict(self._v1_doc())
+        bad["status"] = "partial"
+        with pytest.raises(ConfigurationError):
+            RunResult.from_dict(bad)
+
+    def test_unsupported_version_rejected(self):
+        bad = dict(self._v1_doc())
+        bad["schema_version"] = 7
+        with pytest.raises(ConfigurationError):
+            RunResult.from_dict(bad)
+
+    def test_bad_fault_counters_rejected(self):
+        result = run_experiment(_spec())
+        with pytest.raises(ConfigurationError):
+            RunResult.from_dict({**result.to_dict(),
+                                 "faults": {"dropped": -1}})
+        with pytest.raises(ConfigurationError):
+            RunResult.from_dict({**result.to_dict(),
+                                 "faults": {"vaporized": 3}})
+
+    def test_bad_status_rejected(self):
+        result = run_experiment(_spec())
+        with pytest.raises(ConfigurationError):
+            RunResult.from_dict({**result.to_dict(), "status": "mostly_fine"})
+
+
+class TestStatusAndCounters:
+    def test_partial_status_under_heavy_loss(self):
+        # Total loss: the BFS cannot settle anything beyond its sources.
+        result = run_experiment(_spec(
+            topology="path", n=20, algorithm="decay_bfs",
+            algorithm_params={"depth_budget": 19},
+            fault_model=FaultModel((IIDDrop(1.0),)),
+        ))
+        assert result.status == "partial"
+        assert result.output["settled"] == 1
+        assert result.fault_counts()["delivered"] == 0
+        assert result.fault_counts()["dropped"] > 0
+
+    def test_clean_run_is_ok_with_delivery_totals(self):
+        result = run_experiment(_spec(
+            topology="path", n=16, algorithm="decay_bfs",
+            algorithm_params={"depth_budget": 15},
+        ))
+        assert result.status == "ok"
+        counts = result.fault_counts()
+        assert counts["dropped"] == counts["jammed"] == counts["crashed"] == 0
+        assert counts["delivered"] > 0
+
+    def test_lb_tier_counts_faults(self):
+        """LB-level algorithms meet the fault stack through the LB view."""
+        result = run_experiment(_spec(
+            topology="grid", n=25, algorithm="trivial_bfs",
+            algorithm_params={"depth_budget": 10},
+            fault_model=FaultModel((IIDDrop(1.0),)),
+        ))
+        assert result.status == "partial"
+        assert result.fault_counts()["dropped"] > 0
+        assert result.fault_counts()["delivered"] == 0
+
+    def test_every_adapter_accepts_a_fault_model(self):
+        """All registered algorithms accept a fault model: they either
+        return a (possibly partial) result or raise the library's
+        *detectable* ProtocolFailure — never a silent crash."""
+        from repro.errors import ProtocolFailure
+        from repro.experiments import algorithm_names
+
+        params = {
+            "trivial_bfs": {"depth_budget": 6},
+            "decay_bfs": {"depth_budget": 6},
+            "recursive_bfs": {"beta": 0.25, "max_depth": 1,
+                              "depth_budget": 6},
+            "two_approx_diameter": {"depth_budget": 8},
+            "three_halves_diameter": {"depth_budget": 8},
+            "exact_diameter": {"depth_budget": 8},
+        }
+        completed = []
+        for name in algorithm_names():
+            try:
+                result = run_experiment(ExperimentSpec(
+                    topology="grid", n=16, algorithm=name,
+                    algorithm_params=params.get(name), seed=1,
+                    fault_model="drop10",
+                ))
+            except ProtocolFailure:
+                continue
+            assert result.spec.fault_model is not None
+            assert result.status in ("ok", "partial")
+            completed.append(name)
+        assert len(completed) >= 5  # most adapters survive 10% loss
+
+    def test_lb_fault_seed_does_not_perturb_clean_stream(self):
+        """Attaching a null fault stack changes nothing; the dedicated
+        fault stream keeps arbitration randomness aligned."""
+        g = topology.grid_graph(5, 5)
+        plain = PhysicalLBGraph(g, seed=3)
+        with_null = PhysicalLBGraph(g, seed=3, faults=None, fault_seed=9)
+        senders = {0: ("m", 0)}
+        receivers = [v for v in g if v != 0]
+        assert plain.local_broadcast(senders, receivers) == \
+            with_null.local_broadcast(senders, receivers)
+
+
+class TestExecutionModeDeterminism:
+    """Serial vs ProcessPoolExecutor sweeps agree, counters included."""
+
+    def _grid(self):
+        return expand_grid(
+            ["path", "star_of_paths"],
+            ["decay_bfs", "trivial_bfs"],
+            sizes=20, seeds=2, base_seed=5,
+            algorithm_params={"decay_bfs": {"depth_budget": 8},
+                              "trivial_bfs": {"depth_budget": 8}},
+            fault_model="lossy_mixed",
+        )
+
+    def test_fault_counters_match_across_pools(self):
+        specs = self._grid()
+        assert all(s.fault_model is not None for s in specs)
+        serial = run_specs(specs, parallel=False)
+        pooled = run_specs(specs, parallel=True)
+        assert serial == pooled  # includes status + faults in equality
+        for a, b in zip(serial, pooled):
+            assert a.fault_counts() == b.fault_counts()
+            assert a.status == b.status
+        # The fault stack actually did something on this grid.
+        assert any(sum(r.fault_counts().values()) > 0 for r in serial)
+
+    def test_sweep_documents_identical_across_pools(self):
+        specs = self._grid()
+        serial = run_specs(specs, parallel=False)
+        pooled = run_specs(specs, parallel=True)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == \
+            json.dumps(pooled.to_dict(), sort_keys=True)
+
+
+class TestRunContextFaultTotals:
+    def test_totals_merge_both_views(self):
+        spec = _spec(topology="path", n=8, fault_model="drop30",
+                     algorithm="trivial_bfs",
+                     algorithm_params={"depth_budget": 7})
+        graph = spec.build_graph()
+        from repro.radio.energy import EnergyLedger
+
+        ctx = RunContext(spec=spec, graph=graph, ledger=EnergyLedger())
+        # Touch both executors; totals must be the sum of their tallies.
+        ctx.lbg().local_broadcast({0: ("m", 0)}, [1, 2])
+        net = ctx.network()
+        devices = net.spawn_devices(lambda v, rng: __import__(
+            "repro.radio.device", fromlist=["Device"]).Device(v, rng), seed=0)
+        net.run(devices, max_slots=2)
+        merged = ctx.fault_totals().as_dict()
+        lb = ctx.lbg().fault_counters.as_dict()
+        slot = net.fault_counters.as_dict()
+        assert merged == {k: lb[k] + slot[k] for k in merged}

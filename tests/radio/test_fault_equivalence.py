@@ -1,0 +1,172 @@
+"""Differential equivalence of the two slot engines *under faults*.
+
+PR 1 proved the ``reference`` and ``fast`` engines bit-for-bit
+equivalent on a clean channel; this suite extends that guarantee to
+every shipped fault model: the same seed must produce identical device
+logs, slot counts, energy ledgers, event traces, AND fault counters on
+either engine, across a grid of
+
+    fault model (all named presets) x topology family x collision model
+
+plus slot-level Decay-BFS and an experiment-layer check that the
+``decay_bfs`` adapter yields equal ``RunResult`` documents on both
+engine tiers under faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import decay_bfs
+from repro.experiments import ExperimentSpec, run_experiment
+from repro.radio import (
+    Action,
+    CollisionModel,
+    Device,
+    EventTrace,
+    coerce_fault_model,
+    make_network,
+    message_of_ints,
+    named_fault_models,
+    topology,
+)
+
+ENGINE_NAMES = ("reference", "fast")
+#: >= 3 fault models (ISSUE acceptance grid); all presets, in fact.
+FAULT_MODELS = tuple(sorted(name for name in named_fault_models() if name != "none"))
+#: >= 3 topology families: sparse/large-D, hub-heavy, expander, heavy-tail.
+FAMILIES = ("path", "star_of_paths", "expander", "power_law")
+MODELS = (CollisionModel.NO_CD, CollisionModel.RECEIVER_CD)
+SEEDS = (0, 1)
+
+
+class _FuzzDevice(Device):
+    """Randomized device logging every channel feedback it perceives."""
+
+    HORIZON = 24
+
+    def __init__(self, vertex, rng):
+        super().__init__(vertex, rng)
+        self.log = []
+
+    def step(self, slot):
+        if slot >= self.HORIZON:
+            self.halted = True
+            return Action.idle()
+        roll = self.rng.random()
+        if roll < 0.35:
+            return Action.transmit(message_of_ints(self.vertex, slot, kind="fuzz"))
+        if roll < 0.75:
+            return Action.listen()
+        return Action.idle()
+
+    def receive(self, slot, reception):
+        sender = reception.message.sender if reception.message else None
+        self.log.append((slot, reception.feedback, sender))
+
+
+def _run_fuzz(engine, family, model, fault, seed):
+    graph = topology.scenario(family, 32, seed=seed)
+    trace = EventTrace()
+    net = make_network(
+        graph, engine=engine, collision_model=model, trace=trace,
+        faults=coerce_fault_model(fault), fault_seed=seed + 1000,
+    )
+    devices = net.spawn_devices(_FuzzDevice, seed=seed + 100)
+    executed = net.run(devices, max_slots=_FuzzDevice.HORIZON + 1)
+    return (
+        executed,
+        {v: d.log for v, d in devices.items()},
+        net.slot,
+        net.ledger.time_slots,
+        net.ledger.snapshot(),
+        list(trace),
+        net.fault_counters.as_dict(),
+    )
+
+
+class TestFuzzEquivalenceUnderFaults:
+    """Randomized populations: every arbitration + fault branch."""
+
+    @pytest.mark.parametrize("fault", FAULT_MODELS)
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_fault_grid(self, fault, family, model):
+        for seed in SEEDS:
+            a = _run_fuzz("reference", family, model, fault, seed)
+            b = _run_fuzz("fast", family, model, fault, seed)
+            assert a == b
+
+    @pytest.mark.parametrize("fault", ("drop10", "lossy_mixed"))
+    def test_fault_stream_independent_of_device_streams(self, fault):
+        """Same devices + different fault seeds => different outcomes,
+        but still engine-equivalent (the fault stream is separate)."""
+        outcomes = set()
+        for fault_seed in (0, 1, 2):
+            pair = []
+            for engine in ENGINE_NAMES:
+                graph = topology.scenario("power_law", 32, seed=5)
+                net = make_network(
+                    graph, engine=engine,
+                    faults=coerce_fault_model(fault), fault_seed=fault_seed,
+                )
+                devices = net.spawn_devices(_FuzzDevice, seed=9)
+                net.run(devices, max_slots=_FuzzDevice.HORIZON + 1)
+                pair.append(
+                    (net.ledger.snapshot(), net.fault_counters.as_dict())
+                )
+            assert pair[0] == pair[1]
+            outcomes.add(str(pair[0]))
+        assert len(outcomes) > 1  # the fault seed actually matters
+
+
+class TestDecayBFSEquivalenceUnderFaults:
+    """A real protocol stack: slot-level Decay-BFS over each fault."""
+
+    @pytest.mark.parametrize("fault", ("drop10", "bursty", "jam_hubs",
+                                       "churn_wave", "lossy_mixed"))
+    @pytest.mark.parametrize("family", ("path", "grid", "small_world"))
+    def test_decay_bfs_grid(self, fault, family):
+        outcomes = []
+        for engine in ENGINE_NAMES:
+            graph = topology.scenario(family, 36, seed=2)
+            trace = EventTrace()
+            net = make_network(
+                graph, engine=engine, trace=trace,
+                faults=coerce_fault_model(fault), fault_seed=11,
+            )
+            dist = decay_bfs(net, 0, 20, failure_probability=1e-3, seed=7)
+            outcomes.append(
+                (dist, net.slot, net.ledger.snapshot(), list(trace),
+                 net.fault_counters.as_dict())
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestExperimentTierEquivalence:
+    """The spec->result pipeline agrees across engines under faults."""
+
+    @pytest.mark.parametrize("fault", ("drop30", "jam_hubs", "churn_wave"))
+    @pytest.mark.parametrize("family", ("star_of_paths", "expander",
+                                        "dense_geometric"))
+    def test_run_result_documents_match(self, fault, family):
+        results = [
+            run_experiment(ExperimentSpec(
+                topology=family, n=40, algorithm="decay_bfs",
+                algorithm_params={"depth_budget": 12,
+                                  "failure_probability": 1e-3},
+                engine=engine, seed=4, fault_model=fault,
+            ))
+            for engine in ENGINE_NAMES
+        ]
+        reference, fast = results
+        assert fast.output == reference.output
+        assert fast.metrics() == reference.metrics()
+        assert fast.status == reference.status
+        assert fast.fault_counts() == reference.fault_counts()
+        # The serialized documents differ only in the engine field.
+        a = reference.to_dict()
+        b = fast.to_dict()
+        a["spec"].pop("engine")
+        b["spec"].pop("engine")
+        assert a == b

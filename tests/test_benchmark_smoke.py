@@ -49,6 +49,14 @@ def test_bench_diameter_approx_smoke():
     assert th.max_lb_energy > two.max_lb_energy
 
 
+def test_bench_robustness_smoke():
+    module = _load("bench_robustness")
+    rows = module.smoke(n=24)
+    assert [r["drop_p"] for r in rows] == [0.0, 0.5]
+    assert rows[0]["completion"] == 1.0
+    assert rows[1]["dropped"] > 0
+
+
 def test_bench_decay_smoke():
     module = _load("bench_decay")
     rows = module.smoke()
