@@ -1,0 +1,101 @@
+"""Sweep-store benchmark: checkpoint overhead and resume speedup.
+
+The store's value proposition is quantitative: appending + fsyncing
+every finished chunk must cost little next to executing the cells, and
+resuming a completed sweep must be orders of magnitude faster than
+re-running it.  This benchmark measures both on a real grid:
+
+- ``store_overhead`` — wall time of the same serial sweep with and
+  without a store (the difference is JSONL serialization + fsync);
+- ``resume_speedup`` — wall time of the full sweep vs re-issuing it
+  against its own completed store (every cell served from disk);
+- ``reopen`` — time to open a populated store (shard parse + indexing),
+  the fixed cost every ``--resume``/``report`` invocation pays.
+
+The ``smoke()`` entry point keeps the module alive under plain pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+
+from repro.analysis import format_table
+from repro.experiments import SweepStore, expand_grid, run_specs
+
+try:
+    from conftest import run_once
+except ImportError:  # imported outside the benchmarks dir (smoke tests)
+    def run_once(benchmark, fn):
+        return fn()
+
+TOPOLOGIES = ("path", "grid", "expander")
+ALGORITHMS = ("trivial_bfs", "decay_bfs", "leader_election")
+BENCH_N = 64
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def measure(n=BENCH_N, seeds=2, chunk_size=4):
+    """One pass of all three measurements on a fresh tempdir store."""
+    specs = expand_grid(TOPOLOGIES, ALGORITHMS, sizes=n, seeds=seeds)
+    with tempfile.TemporaryDirectory(prefix="bench_store_") as workdir:
+        _, bare_s = _timed(lambda: run_specs(specs, parallel=False))
+        store = SweepStore(workdir + "/store")
+        _, stored_s = _timed(
+            lambda: run_specs(specs, parallel=False, store=store,
+                              chunk_size=chunk_size)
+        )
+        reopened, reopen_s = _timed(lambda: SweepStore(workdir + "/store"))
+        _, resume_s = _timed(
+            lambda: run_specs(specs, parallel=False, store=reopened)
+        )
+        assert len(reopened) == len(specs)
+    return {
+        "cells": len(specs),
+        "n": n,
+        "chunk_size": chunk_size,
+        "bare_s": round(bare_s, 4),
+        "stored_s": round(stored_s, 4),
+        "checkpoint_overhead": round(stored_s / bare_s, 4),
+        "reopen_s": round(reopen_s, 4),
+        "resume_s": round(resume_s, 4),
+        "resume_speedup": round(bare_s / max(resume_s, 1e-9), 2),
+    }
+
+
+def test_store_overhead_and_resume(benchmark):
+    """Checkpointing stays cheap; resuming a done sweep is ~free."""
+    row = run_once(benchmark, measure)
+    print()
+    print(format_table(
+        list(row), [list(row.values())],
+        title=f"sweep store: checkpoint overhead + resume speedup "
+              f"(n={row['n']}, serial)",
+    ))
+    # Durable checkpoints must not dominate execution ...
+    assert row["checkpoint_overhead"] < 2.0, row
+    # ... and a fully-complete store must beat re-execution clearly.
+    assert row["resume_speedup"] > 5.0, row
+
+
+def document(n=BENCH_N):
+    """A JSON benchmark record (not RunResult-schema: pure timings)."""
+    return {"benchmark": "sweep store overhead/resume", "series": [measure(n=n)]}
+
+
+def smoke(n=16):
+    """Tiny pass over every entry point in this module."""
+    row = measure(n=n, seeds=1, chunk_size=2)
+    assert row["cells"] == len(TOPOLOGIES) * len(ALGORITHMS)
+    assert row["resume_s"] < row["bare_s"] + 1.0
+    return row
+
+
+if __name__ == "__main__":
+    print(json.dumps(document(), indent=2, sort_keys=True))

@@ -1,0 +1,71 @@
+"""Resumable sweeps: checkpoint into a store, crash, pick up where left.
+
+Large topology x algorithm x fault grids take long enough that losing a
+half-finished run hurts.  `run_sweep(..., store=...)` writes every
+finished cell into a content-addressed on-disk store (JSONL shards +
+index), checkpointed and fsynced chunk by chunk, so an interrupted
+sweep re-invoked with the same store re-runs *only* the missing cells
+— and the final results are byte-identical to an uninterrupted run.
+
+This example simulates the interruption: it first runs a partial grid
+into a fresh store (the "crashed" first attempt), then issues the full
+grid against the same store and shows that the completed cells are
+served from disk, not re-executed.  It finishes with the cross-run
+aggregate report the `report` CLI subcommand prints.
+
+Run:  python examples/resumable_sweep.py [--n 48] [--store DIR]
+"""
+
+import argparse
+import shutil
+import tempfile
+
+from repro.analysis import report_table
+from repro.experiments import SweepStore, expand_grid, run_specs
+
+TOPOLOGIES = ("path", "grid", "expander")
+ALGORITHMS = ("trivial_bfs", "decay_bfs", "leader_election")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=48)
+    parser.add_argument("--store", default=None,
+                        help="store directory (default: a fresh tempdir)")
+    parser.add_argument("--serial", action="store_true")
+    args = parser.parse_args(argv)
+
+    workdir = args.store or tempfile.mkdtemp(prefix="resumable_sweep_")
+    specs = expand_grid(TOPOLOGIES, ALGORITHMS, sizes=args.n, seeds=2)
+    parallel = not args.serial
+
+    # --- First attempt: "crashes" after the first five cells. --------
+    store = SweepStore(workdir)
+    run_specs(specs[:5], parallel=parallel, store=store)
+    print(f"first attempt interrupted: {len(store)}/{len(specs)} cells "
+          f"checkpointed in {workdir}")
+
+    # --- Second attempt: same grid, same store. ----------------------
+    # Reopening the store is exactly what `sweep --resume` does; cells
+    # whose canonical spec hash is already present never re-execute.
+    resumed = SweepStore(workdir)
+    before = len(resumed)
+    sweep = run_specs(specs, parallel=parallel, store=resumed)
+    print(f"resumed: {before} cells served from the store, "
+          f"{len(specs) - before} executed ({sweep.execution}); "
+          f"store now holds {len(resumed)}/{len(specs)}")
+    print()
+    print(report_table(resumed.results()))
+    print()
+    print("Resume correctness rests on two invariants: per-cell seeds")
+    print("depend only on grid position (skipping cells shifts nothing),")
+    print("and stored records are canonical bytes keyed by the spec's")
+    print("SHA-256 — so a resumed sweep is indistinguishable from an")
+    print("uninterrupted one.  Try the CLI:  python -m repro.experiments")
+    print(f"report {workdir}")
+    if args.store is None:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

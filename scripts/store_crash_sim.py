@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""End-to-end crash simulation: sweep -> kill -9 -> resume -> report.
+
+The acceptance criterion this script enforces (CI job
+``store-crash-sim``):
+
+    A sweep interrupted mid-run (SIGKILL) and re-invoked with --resume
+    completes with zero re-executed finished cells and produces a
+    `report` table byte-identical to an uninterrupted run of the same
+    grid.
+
+It drives the real CLI in subprocesses — no in-process shortcuts — so
+the whole stack (argument parsing, store creation, chunked
+checkpointing, fsync durability, torn-line recovery, resume skipping,
+deterministic aggregation) is exercised exactly as a user would hit it.
+
+Usage:  python scripts/store_crash_sim.py [--workdir DIR] [--keep]
+Exit status 0 on success, 1 with a diagnosis on any violated guarantee.
+"""
+
+import argparse
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+GRID = [
+    "--topologies", "path", "grid", "expander",
+    "--algorithms", "trivial_bfs", "leader_election", "decay_bfs",
+    "--sizes", "64",
+    "--seeds", "2",
+    "--base-seed", "0",
+]
+TOTAL_CELLS = 3 * 3 * 2
+
+# Serial + one-cell chunks: a durable checkpoint after every cell, so
+# SIGKILL reliably lands with the store part-way written.
+SWEEP_FLAGS = ["--serial", "--chunk-size", "1"]
+
+
+def cli(*args):
+    return [sys.executable, "-m", "repro.experiments", *args]
+
+
+def run(*args, check=True):
+    proc = subprocess.run(cli(*args), capture_output=True, text=True)
+    if check and proc.returncode != 0:
+        fail(f"command {' '.join(args[:2])} exited {proc.returncode}:\n"
+             f"{proc.stdout}{proc.stderr}")
+    return proc
+
+
+def fail(message):
+    print(f"store_crash_sim: FAIL — {message}")
+    sys.exit(1)
+
+
+def count_records(store_dir):
+    shard_dir = os.path.join(store_dir, "shards")
+    if not os.path.isdir(shard_dir):
+        return 0
+    total = 0
+    for name in os.listdir(shard_dir):
+        with open(os.path.join(shard_dir, name), "rb") as handle:
+            total += handle.read().count(b"\n")
+    return total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    parser.add_argument("--keep", action="store_true",
+                        help="leave the scratch directory behind")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="seconds to wait for checkpoints/processes")
+    args = parser.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="store_crash_sim_")
+    os.makedirs(workdir, exist_ok=True)
+    ref_store = os.path.join(workdir, "reference_store")
+    crash_store = os.path.join(workdir, "crash_store")
+    try:
+        # ---- 1. Uninterrupted reference run -------------------------
+        run("sweep", *GRID, *SWEEP_FLAGS, "--out", ref_store)
+        reference_report = run("report", ref_store).stdout
+        if count_records(ref_store) != TOTAL_CELLS:
+            fail(f"reference store holds {count_records(ref_store)} records, "
+                 f"expected {TOTAL_CELLS}")
+        print(f"reference sweep complete: {TOTAL_CELLS} cells")
+
+        # ---- 2. Sweep, killed mid-run -------------------------------
+        victim = subprocess.Popen(
+            cli("sweep", *GRID, *SWEEP_FLAGS, "--out", crash_store),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + args.timeout
+        while count_records(crash_store) < 1:
+            if victim.poll() is not None:
+                fail("sweep finished before it could be killed; "
+                     "grid too small or machine too fast — raise --sizes")
+            if time.monotonic() > deadline:
+                victim.kill()
+                fail("timed out waiting for the first checkpoints")
+            time.sleep(0.01)
+        victim.send_signal(signal.SIGKILL)
+        victim.wait()
+        survivors = count_records(crash_store)
+        if not (0 < survivors < TOTAL_CELLS):
+            fail(f"SIGKILL landed too late: {survivors}/{TOTAL_CELLS} "
+                 f"records survived")
+        print(f"killed sweep mid-run: {survivors}/{TOTAL_CELLS} cells "
+              f"durably checkpointed")
+
+        # ---- 3. Resume ----------------------------------------------
+        resume = run("sweep", *GRID, *SWEEP_FLAGS, "--out", crash_store,
+                     "--resume")
+        executed_line = next(
+            (line for line in resume.stdout.splitlines()
+             if line.startswith("grid:")), "")
+        # The resumed run must re-execute only the missing cells: every
+        # record that survived the kill counts as already complete.
+        expected = f"executing {TOTAL_CELLS - survivors}"
+        if expected not in executed_line:
+            fail(f"resume re-executed finished cells: {executed_line!r} "
+                 f"(expected '{expected}'); kill-surviving records must "
+                 f"never re-run")
+        print(f"resume: {executed_line}")
+
+        # ---- 4. Byte-identical report -------------------------------
+        crash_report = run("report", crash_store).stdout
+        if crash_report != reference_report:
+            fail("report after crash+resume differs from the "
+                 f"uninterrupted run:\n--- reference\n{reference_report}"
+                 f"--- crash+resume\n{crash_report}")
+        print("report after crash+resume is byte-identical to the "
+              "uninterrupted run")
+        print("store_crash_sim: OK")
+    finally:
+        if not args.keep and args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,12 @@
-"""Complexity predictions and empirical lemma validation."""
+"""Complexity predictions, empirical lemma validation, aggregation."""
 
+from .aggregate import (
+    DEFAULT_GROUP_BY,
+    GROUP_FIELDS,
+    aggregate_rows,
+    fault_label,
+    report_table,
+)
 from .complexity import (
     RecurrenceModel,
     crossover_depth,
@@ -17,16 +24,21 @@ from .lemma_checks import (
 from .reporting import format_series, format_table
 
 __all__ = [
+    "DEFAULT_GROUP_BY",
+    "GROUP_FIELDS",
     "Lemma21Report",
     "ProxyCheckReport",
     "RecurrenceModel",
+    "aggregate_rows",
     "check_distance_proxy",
     "check_lemma_21",
     "crossover_depth",
+    "fault_label",
     "format_series",
     "format_table",
     "headline_exponent",
     "predicted_energy",
     "predicted_time",
     "remark_21_tightness",
+    "report_table",
 ]

@@ -1,0 +1,151 @@
+"""Cross-run aggregation over sweep stores and result collections.
+
+The sweep store accumulates :class:`~repro.experiments.RunResult`
+documents across many invocations; this module turns any such
+collection into deterministic summary tables — completion rate, energy,
+and (when recorded) wall time, grouped by topology / algorithm / fault
+preset or any other grid axis.  Everything here is a pure function of
+the result documents, so the same store contents always render the same
+bytes: the CLI ``report`` subcommand and the crash-recovery CI job
+compare its output byte-for-byte between interrupted-and-resumed and
+uninterrupted runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .reporting import format_table
+
+#: Grid axes a report can group by, mapped to their extractors.
+GROUP_FIELDS: Tuple[str, ...] = (
+    "topology", "algorithm", "fault", "engine", "collision_model", "n",
+)
+
+#: The default grouping of ``aggregate_rows``/``report_table``.
+DEFAULT_GROUP_BY: Tuple[str, ...] = ("topology", "algorithm", "fault")
+
+
+#: Preset FaultModel -> preset name, built once on first use (presets
+#: are frozen and hashable; rebuilding them per result would dominate
+#: large reports).
+_PRESET_LABELS: Dict[Any, str] = {}
+
+
+def fault_label(fault_model: Any) -> str:
+    """A short deterministic label for a spec's fault model.
+
+    Preset stacks render as their preset name (``drop30``, ...), the
+    clean channel as ``none``, and anything else as ``custom:`` plus
+    its layer kinds in stack order.
+    """
+    if fault_model is None or fault_model.is_null():
+        return "none"
+    if not _PRESET_LABELS:
+        # Lazy import: repro.experiments.spec imports repro.radio.faults,
+        # and this module must stay importable from repro.analysis alone.
+        from ..radio.faults import named_fault_models
+
+        _PRESET_LABELS.update(
+            (model, name) for name, model in named_fault_models().items()
+        )
+    name = _PRESET_LABELS.get(fault_model)
+    if name is not None:
+        return name
+    kinds = [layer["kind"] for layer in fault_model.to_dict()["layers"]]
+    return "custom:" + "+".join(kinds)
+
+
+def _group_value(result: Any, field: str) -> Any:
+    if field == "fault":
+        return fault_label(result.spec.fault_model)
+    if field == "n":
+        return result.n
+    if field in ("topology", "algorithm", "engine", "collision_model"):
+        return getattr(result.spec, field)
+    raise ConfigurationError(
+        f"unknown group-by field {field!r}; available: {', '.join(GROUP_FIELDS)}"
+    )
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def aggregate_rows(
+    results: Iterable[Any],
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+) -> Tuple[List[str], List[List[Any]]]:
+    """Group results and summarize each group; returns (headers, rows).
+
+    Per group: cell count, completion rate (fraction of ``"ok"``
+    statuses), mean/max of the paper's per-device slot-energy measure,
+    mean total slot energy, mean LB rounds, and mean wall time in
+    milliseconds.  A zero ``wall_time_s`` marks an *untimed* result
+    (the store's canonical, timing-free default — a resumed sweep mixes
+    those with freshly timed cells), so the wall-time mean covers only
+    the timed cells of a group and renders ``"-"`` when there are none.
+    Rows are sorted by group key, so equal inputs render equal tables.
+    """
+    group_by = list(by)
+    if not group_by:
+        raise ConfigurationError(
+            f"group-by requires at least one field; "
+            f"available: {', '.join(GROUP_FIELDS)}"
+        )
+    for field in group_by:
+        if field not in GROUP_FIELDS:
+            raise ConfigurationError(
+                f"unknown group-by field {field!r}; "
+                f"available: {', '.join(GROUP_FIELDS)}"
+            )
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    for result in results:
+        key = tuple(_group_value(result, field) for field in group_by)
+        groups.setdefault(key, []).append(result)
+
+    headers = list(group_by) + [
+        "cells", "ok", "completion", "mean_maxE", "max_maxE",
+        "mean_totalE", "mean_lb_rounds", "mean_wall_ms",
+    ]
+    rows: List[List[Any]] = []
+    for key in sorted(groups, key=lambda k: tuple(str(part) for part in k)):
+        cells = groups[key]
+        ok = sum(1 for r in cells if r.status == "ok")
+        timed = [r.wall_time_s for r in cells if r.wall_time_s > 0.0]
+        wall_cell: Any = (
+            round(_mean(timed) * 1000.0, 3) if timed else "-"
+        )
+        rows.append(list(key) + [
+            len(cells),
+            ok,
+            round(ok / len(cells), 4),
+            round(_mean([r.max_slot_energy for r in cells]), 2),
+            max(r.max_slot_energy for r in cells),
+            round(_mean([r.total_slot_energy for r in cells]), 2),
+            round(_mean([r.lb_rounds for r in cells]), 2),
+            wall_cell,
+        ])
+    return headers, rows
+
+
+def report_table(
+    results: Iterable[Any],
+    by: Sequence[str] = DEFAULT_GROUP_BY,
+    title: Optional[str] = None,
+) -> str:
+    """Render :func:`aggregate_rows` as a fixed-width text table.
+
+    The default title names only the grouping and the cell count —
+    deliberately not the store path — so reports over equal contents
+    are byte-identical wherever the store lives.
+    """
+    result_list = list(results)
+    headers, rows = aggregate_rows(result_list, by=by)
+    if title is None:
+        title = (
+            f"aggregate over {len(result_list)} cell(s) "
+            f"by {'/'.join(by)}"
+        )
+    return format_table(headers, rows, title=title)

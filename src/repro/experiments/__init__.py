@@ -38,11 +38,14 @@ from .results import (
     RunResult,
     decode_labels,
     encode_labels,
+    spec_hash,
     validate_result_dict,
 )
 from .runner import (
+    DEFAULT_CHUNK_SIZE,
     SweepResult,
     expand_grid,
+    iter_grid,
     run_experiment,
     run_specs,
     run_sweep,
@@ -50,9 +53,11 @@ from .runner import (
     validate_file,
 )
 from .spec import ExperimentSpec
+from .store import STORE_VERSION, SweepStore
 
 __all__ = [
     "AlgorithmAdapter",
+    "DEFAULT_CHUNK_SIZE",
     "ExperimentSpec",
     "FAULT_FIELDS",
     "RESULT_KIND",
@@ -60,18 +65,22 @@ __all__ = [
     "RunContext",
     "RunResult",
     "SCHEMA_VERSION",
+    "STORE_VERSION",
     "SUPPORTED_SCHEMA_VERSIONS",
     "SWEEP_KIND",
     "SweepResult",
+    "SweepStore",
     "algorithm_names",
     "decode_labels",
     "encode_labels",
     "expand_grid",
     "get_algorithm",
+    "iter_grid",
     "register_algorithm",
     "run_experiment",
     "run_specs",
     "run_sweep",
+    "spec_hash",
     "validate_document",
     "validate_file",
     "validate_result_dict",

@@ -4,6 +4,11 @@ Subcommands:
 
 - ``run`` — expand and execute a scenario grid, print the sweep table,
   optionally write the schema-versioned JSON document;
+- ``sweep`` — like ``run``, but resumable: execute the grid through an
+  on-disk store (``--out``), checkpointing after every chunk; re-invoke
+  with ``--resume`` to skip already-completed cells after a crash;
+- ``report`` — aggregate a store into summary tables (completion rate,
+  energy, wall time by topology/algorithm/fault);
 - ``validate`` — check JSON files (sweep outputs, ``BENCH_*.json``)
   against the ``RunResult`` schema;
 - ``list`` — show the registered topologies, algorithms, and engines.
@@ -16,13 +21,40 @@ import json
 import sys
 from typing import List, Optional
 
+from ..analysis.aggregate import DEFAULT_GROUP_BY, GROUP_FIELDS, report_table
 from ..errors import ConfigurationError, ReproError
 from ..radio.engine import available_engines
 from ..radio.faults import coerce_fault_model, named_fault_models
 from ..radio.topology import scenario_names
 from .registry import algorithm_names
-from .runner import run_sweep, validate_file
+from .results import spec_hash
+from .runner import iter_grid, run_specs, run_sweep, validate_file
 from .spec import COLLISION_MODELS
+from .store import SweepStore
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The grid axes + execution knobs shared by ``run`` and ``sweep``."""
+    parser.add_argument("--topologies", nargs="+", required=True,
+                        metavar="NAME", help="scenario family names")
+    parser.add_argument("--algorithms", nargs="+", required=True,
+                        metavar="NAME", help="registered algorithm names")
+    parser.add_argument("--sizes", nargs="+", type=int, default=[64],
+                        help="size knob(s) per family (default: 64)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="seeds per cell, derived from --base-seed "
+                             "(default: 2)")
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--engine", choices=available_engines(),
+                        default="reference")
+    parser.add_argument("--collision-model", choices=COLLISION_MODELS,
+                        default="no_cd")
+    parser.add_argument("--fault-model", metavar="NAME_OR_JSON", default=None,
+                        help="fault stack for every cell: a preset name "
+                             "(see `list`) or an inline FaultModel JSON object")
+    parser.add_argument("--serial", action="store_true",
+                        help="skip the process pool; run cells in-process")
+    parser.add_argument("--max-workers", type=int, default=None)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,28 +66,38 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="expand and execute a scenario grid")
-    run.add_argument("--topologies", nargs="+", required=True,
-                     metavar="NAME", help="scenario family names")
-    run.add_argument("--algorithms", nargs="+", required=True,
-                     metavar="NAME", help="registered algorithm names")
-    run.add_argument("--sizes", nargs="+", type=int, default=[64],
-                     help="size knob(s) per family (default: 64)")
-    run.add_argument("--seeds", type=int, default=2,
-                     help="seeds per cell, derived from --base-seed (default: 2)")
-    run.add_argument("--base-seed", type=int, default=0)
-    run.add_argument("--engine", choices=available_engines(), default="reference")
-    run.add_argument("--collision-model", choices=COLLISION_MODELS,
-                     default="no_cd")
-    run.add_argument("--fault-model", metavar="NAME_OR_JSON", default=None,
-                     help="fault stack for every cell: a preset name "
-                          "(see `list`) or an inline FaultModel JSON object")
-    run.add_argument("--serial", action="store_true",
-                     help="skip the process pool; run cells in-process")
-    run.add_argument("--max-workers", type=int, default=None)
+    _add_grid_arguments(run)
     run.add_argument("--json", metavar="PATH", default=None,
                      help="write the sweep document (RunResult schema) here")
     run.add_argument("--timing", action="store_true",
                      help="include wall-clock timing in the JSON document")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="resumable sweep: execute a grid through an on-disk store",
+    )
+    _add_grid_arguments(sweep)
+    sweep.add_argument("--out", metavar="DIR", required=True,
+                       help="sweep store directory (created if missing)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue a store that already holds results, "
+                            "skipping completed cells")
+    sweep.add_argument("--chunk-size", type=int, default=None,
+                       help="cells per durable checkpoint (default: 16)")
+    sweep.add_argument("--timing", action="store_true",
+                       help="record wall-clock timing in store records "
+                            "(trades byte-identical store contents for "
+                            "wall-time columns in `report`)")
+
+    report = sub.add_parser(
+        "report", help="aggregate a sweep store into summary tables"
+    )
+    report.add_argument("store", metavar="DIR", help="sweep store directory")
+    report.add_argument("--by", default=",".join(DEFAULT_GROUP_BY),
+                        metavar="FIELDS",
+                        help="comma-separated grouping axes "
+                             f"({', '.join(GROUP_FIELDS)}); "
+                             f"default: {','.join(DEFAULT_GROUP_BY)}")
 
     validate = sub.add_parser(
         "validate", help="validate JSON files against the RunResult schema"
@@ -106,6 +148,53 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # An explicit include_timing makes the store constructor reject a
+    # reopen whose record shape disagrees with the index.
+    store = SweepStore(args.out, include_timing=args.timing)
+    if len(store) and not args.resume:
+        raise ConfigurationError(
+            f"store at {args.out} already holds {len(store)} result(s); "
+            f"pass --resume to continue it"
+        )
+    if store.torn_records_dropped:
+        print(f"recovered store: dropped {store.torn_records_dropped} torn "
+              f"trailing record(s) from an interrupted writer")
+    specs = list(iter_grid(
+        args.topologies,
+        args.algorithms,
+        sizes=args.sizes,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        engine=args.engine,
+        collision_model=args.collision_model,
+        fault_model=_parse_fault_model(args.fault_model),
+    ))
+    done = store.completed_hashes()
+    complete = sum(spec_hash(spec) in done for spec in specs)
+    print(f"grid: {len(specs)} cell(s); {complete} already complete; "
+          f"executing {len(specs) - complete}")
+    sweep = run_specs(
+        specs,
+        parallel=not args.serial,
+        max_workers=args.max_workers,
+        store=store,
+        chunk_size=args.chunk_size,
+    )
+    print(sweep.table(
+        title=f"sweep: {len(sweep)} cells ({sweep.execution})"
+    ))
+    print(f"store {args.out} now holds {len(store)} result(s)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    by = tuple(field.strip() for field in args.by.split(",") if field.strip())
+    store = SweepStore(args.store, read_only=True)
+    print(report_table(store.results(), by=by))
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     status = 0
     for path in args.paths:
@@ -137,6 +226,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "validate":
             return _cmd_validate(args)
         return _cmd_list()

@@ -20,6 +20,7 @@ Design constraints enforced here:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
@@ -63,6 +64,30 @@ RESULT_STATUSES: Tuple[str, ...] = ("ok", "partial")
 
 #: The all-zero fault tally of a clean (or v1) run.
 ZERO_FAULTS: Dict[str, int] = {name: 0 for name in FAULT_FIELDS}
+
+
+def canonical_spec_bytes(spec: ExperimentSpec) -> bytes:
+    """The canonical byte serialization of a spec (hash preimage).
+
+    Compact separators, sorted keys, UTF-8 — a pure function of the
+    spec's v2 ``to_dict`` form, so two equal specs always produce the
+    same bytes regardless of construction order or process.
+    """
+    return json.dumps(
+        spec.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """The content address of a spec: SHA-256 over its canonical bytes.
+
+    This is the key of the on-disk sweep store
+    (:class:`repro.experiments.store.SweepStore`): a sweep cell is
+    "already complete" exactly when a stored record carries this hash.
+    The hash covers *every* spec field (seed and fault model included),
+    so distinct cells can never collide into one store slot.
+    """
+    return hashlib.sha256(canonical_spec_bytes(spec)).hexdigest()
 
 
 def _canonical_json(value: Any, path: str) -> Any:

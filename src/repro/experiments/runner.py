@@ -4,12 +4,20 @@
 (build topology -> wire shared ledger -> dispatch to the registered
 adapter -> read the uniform metrics).  :func:`run_sweep` expands a
 topology x size x algorithm x seed grid into specs — per-cell seeds are
-derived deterministically from a base seed through
-:func:`repro.rng.spawn_streams`, one child stream per cell in grid
-order — and executes the cells on a ``ProcessPoolExecutor`` (specs and
-results are plain picklable dataclasses), falling back to serial
-execution when a pool is unavailable.  Serial and parallel execution
-produce identical results: all randomness is pinned inside each spec.
+a pure function of ``(base_seed, grid position)``, derived lazily from
+``numpy`` seed-sequence children in grid order — and executes the cells
+on a ``ProcessPoolExecutor`` (specs and results are plain picklable
+dataclasses), falling back to serial execution when a pool is
+unavailable.  Serial and parallel execution produce identical results:
+all randomness is pinned inside each spec.
+
+Passing ``store=`` (a :class:`~repro.experiments.store.SweepStore` or a
+path) makes a sweep *resumable*: cells whose canonical spec hash is
+already in the store are skipped, the rest are submitted in chunks, and
+each finished chunk is checkpointed (appended + fsynced) before the
+next starts — a killed sweep re-invoked with the same store re-runs
+only what is missing.  Because per-cell seeds depend only on grid
+position, skipping cells never shifts the seed of any other cell.
 """
 
 from __future__ import annotations
@@ -19,13 +27,15 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from ..analysis.reporting import format_table
 from ..errors import ConfigurationError
 from ..radio.energy import EnergyLedger
 from ..radio.faults import FaultModel, coerce_fault_model
-from ..rng import make_rng, spawn_streams
+from ..rng import make_rng
 from .registry import RunContext, get_algorithm
 from .results import (
     RESULT_KIND,
@@ -33,9 +43,16 @@ from .results import (
     SUPPORTED_SCHEMA_VERSIONS,
     SWEEP_KIND,
     RunResult,
+    spec_hash,
     validate_result_dict,
 )
 from .spec import ExperimentSpec
+from .store import SweepStore
+
+#: Default number of cells per checkpointed chunk when a sweep runs
+#: against a store; small enough that a killed run loses little work,
+#: large enough to keep a process pool busy.
+DEFAULT_CHUNK_SIZE = 16
 
 
 def run_experiment(spec: ExperimentSpec) -> RunResult:
@@ -72,7 +89,7 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
     )
 
 
-def expand_grid(
+def iter_grid(
     topologies: Sequence[str],
     algorithms: Sequence[str],
     sizes: Union[int, Sequence[int]] = 64,
@@ -83,18 +100,27 @@ def expand_grid(
     message_limit_bits: Optional[int] = None,
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
-) -> List[ExperimentSpec]:
-    """Expand a scenario grid into one spec per cell.
+) -> Iterator[ExperimentSpec]:
+    """Lazily expand a scenario grid, one spec per cell, in grid order.
 
     ``sizes`` may be one size or a sequence (an extra grid axis).
-    ``seeds`` is either a count — per-cell seeds are then derived from
-    ``base_seed`` via ``spawn_streams``, one independent child stream
-    per cell in grid order — or an explicit sequence of seed integers
-    shared by every (topology, size, algorithm) combination.
-    ``algorithm_params`` maps algorithm name -> its parameter dict.
-    ``fault_model`` (a :class:`~repro.radio.faults.FaultModel`, its
-    dict form, or a preset name) applies one fault stack to every cell;
-    sweep a fault axis by expanding one grid per model.
+    ``seeds`` is either a count — per-cell seeds are then a pure
+    function of ``(base_seed, grid position)``: one independent
+    seed-sequence child per (instance, seed index) in grid order,
+    materialized only when the cell's spec is actually yielded — or an
+    explicit sequence of seed integers shared by every (topology, size,
+    algorithm) combination.  Because position (not execution order)
+    determines the seed, a resumed sweep that skips completed cells
+    assigns every remaining cell exactly the seed it had in the
+    original run; ``tests/experiments/test_runner.py`` pins the
+    mapping.  ``algorithm_params`` maps algorithm name -> its parameter
+    dict.  ``fault_model`` (a :class:`~repro.radio.faults.FaultModel`,
+    its dict form, or a preset name) applies one fault stack to every
+    cell; sweep a fault axis by expanding one grid per model.
+
+    Arguments are validated eagerly, at call time; only the spec
+    construction (and derived-seed materialization) is deferred to
+    iteration.
     """
     if not topologies:
         raise ConfigurationError("expand_grid requires at least one topology")
@@ -114,29 +140,41 @@ def expand_grid(
     # Seeds are attached to (topology, size) instances, not to
     # algorithms: every algorithm in the grid sees the same instance
     # for a given seed index, so comparisons across algorithms are
-    # paired.  Derived mode spawns one independent child stream per
-    # (instance, seed index) in grid order.
+    # paired.  Derived mode spawns the seed-sequence children up front
+    # (cheap, no generator state) but draws each cell's seed integer
+    # lazily, caching it per (instance, seed index) so the algorithm
+    # axis reuses rather than re-derives it.
     instances = [(topo, n) for topo in topologies for n in size_list]
     if isinstance(seeds, int):
         if seeds < 1:
             raise ConfigurationError(f"seed count must be >= 1, got {seeds}")
-        streams = spawn_streams(make_rng(base_seed), len(instances) * seeds)
-        instance_seeds = [
-            [int(s.integers(0, 2**31)) for s in streams[i * seeds:(i + 1) * seeds]]
-            for i in range(len(instances))
-        ]
+        children = make_rng(base_seed).bit_generator.seed_seq.spawn(
+            len(instances) * seeds
+        )
+        seeds_per_instance = seeds
+        cache: Dict[int, int] = {}
+
+        def cell_seed(instance_index: int, seed_index: int) -> int:
+            position = instance_index * seeds_per_instance + seed_index
+            if position not in cache:
+                cache[position] = int(
+                    np.random.default_rng(children[position]).integers(0, 2**31)
+                )
+            return cache[position]
     else:
         explicit = [int(s) for s in seeds]
         if not explicit:
             raise ConfigurationError("expand_grid requires at least one seed")
-        instance_seeds = [explicit for _ in instances]
+        seeds_per_instance = len(explicit)
 
-    specs: List[ExperimentSpec] = []
-    for (topo, n), seed_list in zip(instances, instance_seeds):
-        for algo in algorithms:
-            for seed in seed_list:
-                specs.append(
-                    ExperimentSpec(
+        def cell_seed(instance_index: int, seed_index: int) -> int:
+            return explicit[seed_index]
+
+    def generate() -> Iterator[ExperimentSpec]:
+        for i, (topo, n) in enumerate(instances):
+            for algo in algorithms:
+                for j in range(seeds_per_instance):
+                    yield ExperimentSpec(
                         topology=topo,
                         n=n,
                         algorithm=algo,
@@ -144,20 +182,48 @@ def expand_grid(
                         engine=engine,
                         collision_model=collision_model,
                         message_limit_bits=message_limit_bits,
-                        seed=seed,
+                        seed=cell_seed(i, j),
                         fault_model=faults,
                     )
-                )
-    return specs
+
+    return generate()
+
+
+def expand_grid(
+    topologies: Sequence[str],
+    algorithms: Sequence[str],
+    sizes: Union[int, Sequence[int]] = 64,
+    seeds: Union[int, Sequence[int]] = 2,
+    base_seed: int = 0,
+    engine: str = "reference",
+    collision_model: str = "no_cd",
+    message_limit_bits: Optional[int] = None,
+    algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
+) -> List[ExperimentSpec]:
+    """Eager form of :func:`iter_grid` (same arguments and order)."""
+    return list(iter_grid(
+        topologies,
+        algorithms,
+        sizes=sizes,
+        seeds=seeds,
+        base_seed=base_seed,
+        engine=engine,
+        collision_model=collision_model,
+        message_limit_bits=message_limit_bits,
+        algorithm_params=algorithm_params,
+        fault_model=fault_model,
+    ))
 
 
 @dataclass(frozen=True)
 class SweepResult:
     """An ordered collection of run results plus reporting helpers.
 
-    ``execution`` records how the cells were actually executed
-    (``"serial"`` or ``"process_pool"``); it is excluded from equality
-    so a serial re-run compares equal to a parallel one.
+    ``execution`` records how the cells were actually executed:
+    ``"serial"``, ``"process_pool"``, or ``"store"`` (every cell served
+    from a sweep store, nothing executed).  It is excluded from
+    equality so a serial re-run compares equal to a parallel one.
     """
 
     results: tuple
@@ -226,6 +292,8 @@ def run_specs(
     specs: Sequence[ExperimentSpec],
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    store: Union[None, str, SweepStore] = None,
+    chunk_size: Optional[int] = None,
 ) -> SweepResult:
     """Execute prepared specs, in cell order, optionally on a pool.
 
@@ -234,18 +302,107 @@ def run_specs(
     be created or dies (restricted sandboxes, missing semaphores), the
     remaining work falls back to in-process serial execution — the
     results are identical either way.
+
+    With ``store`` (a :class:`~repro.experiments.store.SweepStore` or a
+    directory path), the sweep becomes resumable: cells already in the
+    store are not re-executed, pending cells are submitted in chunks of
+    ``chunk_size`` (default :data:`DEFAULT_CHUNK_SIZE`), and every
+    finished chunk is durably checkpointed before the next starts.  The
+    returned ``SweepResult`` still covers *every* requested cell, in
+    request order, mixing stored and freshly-run results — which are
+    byte-identical anyway, timing aside.
     """
     spec_list = list(specs)
-    if parallel and len(spec_list) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                results = tuple(pool.map(run_experiment, spec_list))
-            return SweepResult(results=results, execution="process_pool")
-        except (OSError, PermissionError, NotImplementedError, BrokenProcessPool):
-            pass  # fall through to the serial path
-    return SweepResult(
-        results=tuple(run_experiment(s) for s in spec_list), execution="serial"
+    if store is None:
+        results, execution = _execute_all(
+            spec_list, parallel, max_workers, chunk=len(spec_list) or 1
+        )
+        return SweepResult(results=tuple(results), execution=execution)
+
+    if isinstance(store, str):
+        store = SweepStore(store)
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be a positive int, got {chunk_size!r}"
+        )
+    hashes = [spec_hash(s) for s in spec_list]
+    done = store.completed_hashes()
+    pending: List[ExperimentSpec] = []
+    pending_hashes = set()
+    for h, s in zip(hashes, spec_list):
+        if h not in done and h not in pending_hashes:
+            pending.append(s)
+            pending_hashes.add(h)
+
+    fresh: Dict[str, RunResult] = {}
+
+    def checkpoint(batch_results: List[RunResult]) -> None:
+        # Durable before the next chunk starts: a crash after this
+        # point costs at most the *next* chunk, never this one.
+        store.add_many(batch_results)
+        for r in batch_results:
+            fresh[spec_hash(r.spec)] = r
+
+    _, execution = _execute_all(
+        pending, parallel, max_workers,
+        chunk=chunk_size or DEFAULT_CHUNK_SIZE,
+        on_batch=checkpoint, idle_execution="store",
     )
+    assembled = tuple(
+        fresh[h] if h in fresh else store.get(h) for h in hashes
+    )
+    return SweepResult(results=assembled, execution=execution)
+
+
+def _execute_all(
+    specs: List[ExperimentSpec],
+    parallel: bool,
+    max_workers: Optional[int],
+    chunk: int,
+    on_batch: Any = None,
+    idle_execution: str = "serial",
+):
+    """Run specs in ``chunk``-sized batches on one shared pool.
+
+    The single implementation of the pool-with-serial-fallback policy:
+    a pool is attempted when ``parallel`` and there is more than one
+    spec; if it cannot be created or dies mid-batch (restricted
+    sandboxes, missing semaphores), the affected batch and everything
+    after it runs serially in-process — identical results either way.
+    ``on_batch`` (when given) is invoked with each finished batch
+    before the next one starts.  Returns ``(results, execution)`` where
+    ``execution`` is ``idle_execution`` when there was nothing to run.
+    """
+    results: List[RunResult] = []
+    execution = idle_execution
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        if parallel and len(specs) > 1:
+            try:
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+            except (OSError, PermissionError, NotImplementedError):
+                pool = None
+        for start in range(0, len(specs), chunk):
+            batch = specs[start:start + chunk]
+            batch_results: Optional[List[RunResult]] = None
+            if pool is not None:
+                try:
+                    batch_results = list(pool.map(run_experiment, batch))
+                    execution = "process_pool"
+                except (OSError, PermissionError, NotImplementedError,
+                        BrokenProcessPool):
+                    pool.shutdown(wait=False)
+                    pool = None
+            if batch_results is None:
+                batch_results = [run_experiment(s) for s in batch]
+                execution = "serial"
+            if on_batch is not None:
+                on_batch(batch_results)
+            results.extend(batch_results)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False)
+    return results, execution
 
 
 def run_sweep(
@@ -261,9 +418,15 @@ def run_sweep(
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
+    store: Union[None, str, SweepStore] = None,
+    chunk_size: Optional[int] = None,
 ) -> SweepResult:
-    """Expand a grid (see :func:`expand_grid`) and execute every cell."""
-    specs = expand_grid(
+    """Expand a grid (see :func:`expand_grid`) and execute every cell.
+
+    ``store``/``chunk_size`` make the sweep resumable and incrementally
+    checkpointed; see :func:`run_specs`.
+    """
+    specs = iter_grid(
         topologies,
         algorithms,
         sizes=sizes,
@@ -275,7 +438,8 @@ def run_sweep(
         algorithm_params=algorithm_params,
         fault_model=fault_model,
     )
-    return run_specs(specs, parallel=parallel, max_workers=max_workers)
+    return run_specs(specs, parallel=parallel, max_workers=max_workers,
+                     store=store, chunk_size=chunk_size)
 
 
 def validate_document(data: Mapping[str, Any]) -> List[RunResult]:

@@ -1,0 +1,398 @@
+"""Resumable on-disk sweep store with crash-recovery guarantees.
+
+A :class:`SweepStore` is a content-addressed, append-only collection of
+:class:`~repro.experiments.results.RunResult` documents keyed by the
+canonical spec hash (:func:`~repro.experiments.results.spec_hash`).  On
+disk it is a directory::
+
+    <path>/index.json            # small metadata file, written atomically
+    <path>/shards/shard-00.jsonl # one record per line, appended + fsynced
+    <path>/shards/shard-01.jsonl
+    ...
+
+Each shard line is one JSON object ``{"kind": ..., "spec_hash": ...,
+"result": <RunResult.to_dict()>}`` serialized compactly with sorted
+keys; the shard of a record is a pure function of its hash, so two
+stores holding the same results are byte-identical after sorting each
+shard's lines (the pool-vs-serial equivalence test relies on this).
+
+Crash-recovery contract (the ``kill -9`` guarantee):
+
+- every ``add`` appends a complete line and fsyncs before returning, so
+  an acknowledged record survives process death;
+- a crash *during* an append leaves at most one torn trailing line in
+  one shard (record lines never contain interior newlines); on open,
+  any bytes after a shard's final newline are detected, dropped, and —
+  unless the store is opened read-only — truncated away, after which
+  the interrupted cell simply reports incomplete and a resumed sweep
+  re-runs it;
+- a malformed line *before* the final one cannot be produced by a
+  crash and therefore raises
+  :class:`~repro.errors.ConfigurationError` (real corruption is never
+  silently skipped).
+
+Timing is excluded from stored records by default so that store
+contents are byte-identical across serial/pool execution and across
+interrupted-and-resumed runs; ``include_timing=True`` at creation opts
+in (recorded in the index, enforced on reopen).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, FrozenSet, Iterator, List, Mapping, Optional, Union
+
+from ..errors import ConfigurationError
+from .results import RunResult, spec_hash
+from .spec import ExperimentSpec
+
+#: The ``kind`` discriminators of the store's on-disk documents.
+STORE_KIND = "repro.experiments.store"
+RECORD_KIND = "repro.experiments.store_record"
+
+#: Version stamp of the on-disk layout.
+STORE_VERSION = 1
+
+#: Default shard count; recorded in the index at creation, so a store
+#: keeps its geometry for life regardless of later defaults.
+DEFAULT_SHARDS = 8
+
+_INDEX_NAME = "index.json"
+_SHARD_DIR = "shards"
+
+
+def _record_line(h: str, result_doc: Mapping[str, Any]) -> bytes:
+    """One complete shard line (newline-terminated, no interior ``\\n``)."""
+    return (
+        json.dumps(
+            {"kind": RECORD_KIND, "spec_hash": h, "result": result_doc},
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        + "\n"
+    ).encode("utf-8")
+
+
+def _strip_timing(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """A record's result document without its opt-in ``timing`` block."""
+    return {k: v for k, v in doc.items() if k != "timing"}
+
+
+class SweepStore:
+    """Open (or create) the sweep store rooted at ``path``.
+
+    Parameters
+    ----------
+    path:
+        Store directory.  Created (with its index) when it does not
+        exist yet; otherwise the existing index is validated and every
+        shard is loaded, dropping a torn trailing line if a previous
+        writer was killed mid-append.
+    num_shards:
+        Shard count used *at creation only*; an existing store keeps
+        the geometry recorded in its index.
+    include_timing:
+        Whether records carry the opt-in ``timing`` block.  ``None``
+        (default) means "whatever the store already records" (``False``
+        at creation); an explicit ``True``/``False`` is persisted in
+        the index at creation, and reopening with a conflicting
+        explicit value raises — in either direction — so one store
+        never mixes both shapes.
+    read_only:
+        Open for reporting: never writes, and leaves a torn trailing
+        line on disk (it is still dropped from the loaded view).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        num_shards: int = DEFAULT_SHARDS,
+        include_timing: Optional[bool] = None,
+        read_only: bool = False,
+    ) -> None:
+        self.path = str(path)
+        self.read_only = bool(read_only)
+        #: Torn trailing records dropped while opening (one per shard at
+        #: most); non-zero exactly when a previous writer died mid-append.
+        self.torn_records_dropped = 0
+        index_path = os.path.join(self.path, _INDEX_NAME)
+        if os.path.exists(index_path):
+            meta = self._load_index(index_path)
+            self.num_shards = meta["num_shards"]
+            self.include_timing = meta["include_timing"]
+            if include_timing is not None and include_timing != self.include_timing:
+                raise ConfigurationError(
+                    f"store at {self.path} was created with "
+                    f"include_timing={self.include_timing}; reopen with the "
+                    f"same setting (one store never mixes record shapes)"
+                )
+        else:
+            if self.read_only:
+                raise ConfigurationError(
+                    f"no sweep store at {self.path}: missing {_INDEX_NAME}"
+                )
+            if self._existing_shards():
+                raise ConfigurationError(
+                    f"{self.path} has shard files but no {_INDEX_NAME}; "
+                    f"refusing to guess its geometry"
+                )
+            if not isinstance(num_shards, int) or num_shards < 1:
+                raise ConfigurationError(
+                    f"num_shards must be a positive int, got {num_shards!r}"
+                )
+            self.num_shards = num_shards
+            self.include_timing = bool(include_timing)  # None -> False
+            self._create(index_path)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._load_shards()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _shard_path(self, shard: int) -> str:
+        return os.path.join(
+            self.path, _SHARD_DIR, f"shard-{shard:02d}.jsonl"
+        )
+
+    def shard_of(self, h: str) -> int:
+        """The shard index of a spec hash (pure function of the hash)."""
+        return int(h[:8], 16) % self.num_shards
+
+    def _existing_shards(self) -> List[str]:
+        shard_dir = os.path.join(self.path, _SHARD_DIR)
+        if not os.path.isdir(shard_dir):
+            return []
+        return sorted(
+            os.path.join(shard_dir, name)
+            for name in os.listdir(shard_dir)
+            if name.endswith(".jsonl")
+        )
+
+    def _create(self, index_path: str) -> None:
+        doc = {
+            "kind": STORE_KIND,
+            "store_version": STORE_VERSION,
+            "num_shards": self.num_shards,
+            "include_timing": self.include_timing,
+        }
+        # Atomic creation: a crash mid-write leaves only the temp file,
+        # and the next open re-creates the index from scratch.
+        tmp = index_path + ".tmp"
+        try:
+            os.makedirs(os.path.join(self.path, _SHARD_DIR), exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, index_path)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot create sweep store at {self.path}: {exc}"
+            ) from None
+
+    def _load_index(self, index_path: str) -> Dict[str, Any]:
+        try:
+            with open(index_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read store index {index_path}: {exc}"
+            ) from None
+        if not isinstance(meta, Mapping) or meta.get("kind") != STORE_KIND:
+            raise ConfigurationError(
+                f"{index_path} is not a sweep store index "
+                f"(kind {meta.get('kind') if isinstance(meta, Mapping) else meta!r})"
+            )
+        if meta.get("store_version") != STORE_VERSION:
+            raise ConfigurationError(
+                f"unsupported store_version {meta.get('store_version')!r} "
+                f"in {index_path}; this build reads version {STORE_VERSION}"
+            )
+        shards = meta.get("num_shards")
+        if not isinstance(shards, int) or shards < 1:
+            raise ConfigurationError(
+                f"store index {index_path} has invalid num_shards {shards!r}"
+            )
+        timing = meta.get("include_timing", False)
+        if not isinstance(timing, bool):
+            raise ConfigurationError(
+                f"store index {index_path} has invalid include_timing {timing!r}"
+            )
+        return {"num_shards": shards, "include_timing": timing}
+
+    # ------------------------------------------------------------------
+    # Loading + torn-tail recovery
+    # ------------------------------------------------------------------
+    def _load_shards(self) -> None:
+        for shard_path in self._existing_shards():
+            shard_index = self._shard_index(shard_path)  # rejects strays
+            try:
+                with open(shard_path, "rb") as handle:
+                    data = handle.read()
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot read store shard {shard_path}: {exc}"
+                ) from None
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            if keep != len(data):
+                # Torn trailing line: the writer died mid-append.  Drop
+                # it; the interrupted cell re-runs on resume.
+                self.torn_records_dropped += 1
+                if not self.read_only:
+                    with open(shard_path, "r+b") as handle:
+                        handle.truncate(keep)
+            for lineno, line in enumerate(data[:keep].split(b"\n")[:-1], 1):
+                self._ingest_line(shard_path, shard_index, lineno, line)
+
+    def _ingest_line(self, shard_path: str, shard_index: int,
+                     lineno: int, line: bytes) -> None:
+        def corrupt(reason: str) -> ConfigurationError:
+            return ConfigurationError(
+                f"corrupt store record at {shard_path}:{lineno}: {reason}"
+            )
+
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise corrupt(str(exc)) from None
+        if not isinstance(record, Mapping) or record.get("kind") != RECORD_KIND:
+            raise corrupt(f"not a {RECORD_KIND} object")
+        h = record.get("spec_hash")
+        result_doc = record.get("result")
+        if not isinstance(h, str) or not h:
+            raise corrupt(f"invalid spec_hash {h!r}")
+        if not isinstance(result_doc, Mapping):
+            raise corrupt("missing result document")
+        try:
+            record_shard = self.shard_of(h)
+        except ValueError:
+            raise corrupt(f"unparseable spec_hash {h!r}") from None
+        if record_shard != shard_index:
+            raise corrupt(f"record {h[:12]}… filed in the wrong shard")
+        previous = self._records.get(h)
+        if previous is not None:
+            # Append-only writers check membership before writing, so a
+            # duplicate can only be a benign replay of the same bytes.
+            if _strip_timing(previous) != _strip_timing(result_doc):
+                raise corrupt(
+                    f"hash {h[:12]}… appears twice with conflicting results"
+                )
+            return
+        self._records[h] = dict(result_doc)
+
+    @staticmethod
+    def _shard_index(shard_path: str) -> int:
+        name = os.path.basename(shard_path)
+        digits = name[len("shard-"):-len(".jsonl")]
+        if not (name.startswith("shard-") and digits.isdigit()):
+            raise ConfigurationError(
+                f"unexpected file in store shards directory: {shard_path}"
+            )
+        return int(digits)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Union[ExperimentSpec, str]) -> bool:
+        return self._key(key) in self._records
+
+    @staticmethod
+    def _key(key: Union[ExperimentSpec, str]) -> str:
+        return spec_hash(key) if isinstance(key, ExperimentSpec) else str(key)
+
+    def completed_hashes(self) -> FrozenSet[str]:
+        """The spec hashes of every completed cell in the store."""
+        return frozenset(self._records)
+
+    def get(self, key: Union[ExperimentSpec, str]) -> Optional[RunResult]:
+        """The stored result for a spec (or hash), or ``None``.
+
+        The returned result is validated against the hash it was filed
+        under, so a tampered record surfaces here instead of flowing
+        silently into aggregation.
+        """
+        h = self._key(key)
+        doc = self._records.get(h)
+        if doc is None:
+            return None
+        result = RunResult.from_dict(doc)
+        actual = spec_hash(result.spec)
+        if actual != h:
+            raise ConfigurationError(
+                f"store record {h[:12]}… holds a result whose spec hashes "
+                f"to {actual[:12]}…; the store at {self.path} is corrupt"
+            )
+        return result
+
+    def result_dicts(self) -> Iterator[Dict[str, Any]]:
+        """The raw result documents in canonical (hash) order."""
+        for h in sorted(self._records):
+            yield dict(self._records[h])
+
+    def results(self) -> List[RunResult]:
+        """All stored results, validated, in canonical (hash) order."""
+        return [self.get(h) for h in sorted(self._records)]
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add(self, result: RunResult) -> bool:
+        """Append one result; returns ``False`` if already present.
+
+        Durable on return: the line is flushed and fsynced before the
+        method reports success, so a ``kill -9`` immediately afterwards
+        loses nothing.  Re-adding a cell verifies that the new result
+        matches the stored one (timing excluded) — a mismatch means the
+        determinism contract broke and raises instead of corrupting.
+        """
+        return self.add_many([result]) == 1
+
+    def add_many(self, results: List[RunResult]) -> int:
+        """Append a batch (one fsync per touched shard); returns the
+        number of records actually written."""
+        if self.read_only:
+            raise ConfigurationError(
+                f"store at {self.path} is open read-only"
+            )
+        by_shard: Dict[int, List[bytes]] = {}
+        staged: Dict[str, Dict[str, Any]] = {}
+        for result in results:
+            h = spec_hash(result.spec)
+            doc = result.to_dict(include_timing=self.include_timing)
+            existing = self._records.get(h) or staged.get(h)
+            if existing is not None:
+                if _strip_timing(existing) != _strip_timing(doc):
+                    raise ConfigurationError(
+                        f"spec {h[:12]}… re-ran with a different result; "
+                        f"determinism contract violated — refusing to "
+                        f"store conflicting records"
+                    )
+                continue
+            staged[h] = doc
+            by_shard.setdefault(self.shard_of(h), []).append(
+                _record_line(h, doc)
+            )
+        for shard in sorted(by_shard):
+            with open(self._shard_path(shard), "ab") as handle:
+                handle.write(b"".join(by_shard[shard]))
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._records.update(staged)
+        return len(staged)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Small status dict for CLI reporting."""
+        return {
+            "path": self.path,
+            "records": len(self._records),
+            "num_shards": self.num_shards,
+            "include_timing": self.include_timing,
+            "torn_records_dropped": self.torn_records_dropped,
+        }

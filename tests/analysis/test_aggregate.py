@@ -1,0 +1,103 @@
+"""Tests for cross-run aggregation (`repro.analysis.aggregate`)."""
+
+import pytest
+
+from repro.analysis import aggregate_rows, fault_label, report_table
+from repro.errors import ConfigurationError
+from repro.experiments import expand_grid, run_specs
+from repro.radio.faults import FaultModel, IIDDrop, named_fault_models
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    specs = expand_grid(["path", "grid"], ["trivial_bfs", "leader_election"],
+                        sizes=10, seeds=2, base_seed=4)
+    return run_specs(specs, parallel=False)
+
+
+class TestFaultLabel:
+    def test_clean_channel(self):
+        assert fault_label(None) == "none"
+        assert fault_label(FaultModel()) == "none"
+
+    def test_presets_render_as_their_names(self):
+        for name, model in named_fault_models().items():
+            if not model.is_null():
+                assert fault_label(model) == name
+
+    def test_custom_stack_lists_layer_kinds(self):
+        model = FaultModel((IIDDrop(0.17),))
+        assert fault_label(model) == "custom:iid_drop"
+
+
+class TestAggregateRows:
+    def test_groups_and_counts(self, sweep):
+        headers, rows = aggregate_rows(sweep.results)
+        assert headers[:3] == ["topology", "algorithm", "fault"]
+        keys = [tuple(r[:3]) for r in rows]
+        assert keys == sorted(keys)  # deterministic order
+        assert len(rows) == 4  # 2 topologies x 2 algorithms, fault=none
+        assert all(r[headers.index("cells")] == 2 for r in rows)
+        assert all(r[headers.index("completion")] == 1.0 for r in rows)
+
+    def test_group_by_single_axis(self, sweep):
+        headers, rows = aggregate_rows(sweep.results, by=["algorithm"])
+        assert [r[0] for r in rows] == ["leader_election", "trivial_bfs"]
+        assert all(r[headers.index("cells")] == 4 for r in rows)
+
+    def test_wall_time_column_dash_without_timing(self, sweep):
+        headers, rows = aggregate_rows(sweep.results, by=["topology"])
+        # run_specs results carry wall times; strip them the way the
+        # store does to model the canonical (timing-free) path.
+        from repro.experiments import RunResult
+
+        stripped = [RunResult.from_dict(r.to_dict()) for r in sweep.results]
+        _, rows = aggregate_rows(stripped, by=["topology"])
+        assert all(r[headers.index("mean_wall_ms")] == "-" for r in rows)
+
+    def test_mixed_timed_and_untimed_cells_average_only_timed(self, sweep):
+        """A resumed sweep mixes store-served (wall 0.0) and fresh
+        results; the zeros must not dilute the mean."""
+        from repro.experiments import RunResult
+
+        timed = list(sweep.results)[:1]
+        untimed = [RunResult.from_dict(r.to_dict())
+                   for r in list(sweep.results)[1:]]
+        headers, rows = aggregate_rows(timed + untimed, by=["fault"])
+        assert len(rows) == 1
+        expected = round(timed[0].wall_time_s * 1000.0, 3)
+        assert rows[0][headers.index("mean_wall_ms")] == expected
+
+    def test_wall_time_reported_when_present(self, sweep):
+        headers, rows = aggregate_rows(sweep.results, by=["topology"])
+        col = headers.index("mean_wall_ms")
+        assert all(isinstance(r[col], float) and r[col] >= 0 for r in rows)
+
+    def test_unknown_field_rejected(self, sweep):
+        with pytest.raises(ConfigurationError, match="group-by"):
+            aggregate_rows(sweep.results, by=["flavor"])
+
+    def test_empty_grouping_rejected(self, sweep):
+        """An empty --by must error, not silently regroup by default
+        under a title claiming no grouping."""
+        with pytest.raises(ConfigurationError, match="at least one field"):
+            aggregate_rows(sweep.results, by=[])
+
+
+class TestReportTable:
+    def test_deterministic_bytes(self, sweep):
+        """Equal result sets render byte-identical reports — the
+        crash-recovery acceptance criterion at the unit level."""
+        from repro.experiments import RunResult
+
+        canonical = [RunResult.from_dict(r.to_dict()) for r in sweep.results]
+        a = report_table(canonical)
+        b = report_table(list(reversed(canonical)))
+        assert a == b
+        assert a.splitlines()[0] == (
+            "aggregate over 8 cell(s) by topology/algorithm/fault"
+        )
+
+    def test_custom_title(self, sweep):
+        table = report_table(sweep.results, title="hello")
+        assert table.splitlines()[0] == "hello"

@@ -1,0 +1,175 @@
+"""Property suite: arbitrary valid specs survive serialization exactly.
+
+The sweep store keys every cell by ``spec_hash`` — SHA-256 over the
+spec's canonical JSON bytes — so resume correctness reduces to one
+invariant: for *every* valid :class:`ExperimentSpec`,
+``to_dict``/``from_dict`` round-trips byte-identically and therefore
+hash-identically, in both the current (v2) shape and the legacy (v1,
+fault-model-free) shape.  Hypothesis generates specs across the whole
+registry surface: every topology family, every algorithm, both engines
+and collision models, nested algorithm params, and fault stacks drawn
+from presets and from raw layers.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentSpec, algorithm_names, spec_hash
+from repro.experiments.results import canonical_spec_bytes
+from repro.experiments.spec import COLLISION_MODELS
+from repro.radio.engine import available_engines
+from repro.radio.faults import (
+    ChurnSchedule,
+    FaultModel,
+    GilbertElliott,
+    IIDDrop,
+    Jammer,
+    named_fault_models,
+)
+from repro.radio.topology import scenario_names
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+param_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+param_values = st.recursive(
+    param_scalars, lambda children: st.lists(children, max_size=3), max_leaves=8
+)
+param_dicts = st.dictionaries(
+    st.text(min_size=1, max_size=8), param_values, max_size=4
+)
+
+probabilities = st.one_of(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    st.integers(min_value=0, max_value=1),  # coerced to float by the layer
+)
+
+iid_layers = st.builds(IIDDrop, p=probabilities)
+ge_layers = st.builds(
+    GilbertElliott,
+    p_good=probabilities,
+    p_bad=probabilities,
+    p_good_to_bad=probabilities,
+    p_bad_to_good=probabilities,
+)
+jammer_layers = st.integers(min_value=1, max_value=6).flatmap(
+    lambda period: st.builds(
+        Jammer,
+        k=st.integers(min_value=1, max_value=4),
+        period=st.just(period),
+        active=st.integers(min_value=0, max_value=period),
+    )
+)
+churn_layers = st.builds(
+    ChurnSchedule,
+    events=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.sampled_from(["crash", "revive"]),
+            st.integers(min_value=0, max_value=64),
+        ),
+        max_size=4,
+    ).map(tuple),
+)
+fault_layers = st.one_of(iid_layers, ge_layers, jammer_layers, churn_layers)
+
+fault_models = st.one_of(
+    st.none(),
+    st.sampled_from(sorted(named_fault_models())),  # preset names
+    st.lists(fault_layers, min_size=1, max_size=3).map(
+        lambda layers: FaultModel(tuple(layers))
+    ),
+)
+
+specs = st.builds(
+    ExperimentSpec,
+    topology=st.sampled_from(sorted(scenario_names())),
+    n=st.integers(min_value=1, max_value=512),
+    algorithm=st.sampled_from(sorted(algorithm_names())),
+    algorithm_params=param_dicts,
+    engine=st.sampled_from(sorted(available_engines())),
+    collision_model=st.sampled_from(COLLISION_MODELS),
+    message_limit_bits=st.one_of(st.none(), st.integers(1, 2**20)),
+    seed=st.integers(min_value=0, max_value=2**62),
+    fault_model=fault_models,
+)
+
+clean_specs = specs.filter(lambda s: s.fault_model is None)
+
+
+def canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Schema v2 (current)
+# ---------------------------------------------------------------------------
+
+class TestV2RoundTrip:
+    @settings(max_examples=80)
+    @given(spec=specs)
+    def test_dict_roundtrip_byte_identical(self, spec):
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert canonical(rebuilt.to_dict()) == canonical(spec.to_dict())
+        assert canonical_spec_bytes(rebuilt) == canonical_spec_bytes(spec)
+
+    @settings(max_examples=80)
+    @given(spec=specs)
+    def test_json_text_roundtrip_byte_identical(self, spec):
+        """Through actual JSON text — covers float repr round-tripping,
+        the store's on-disk representation."""
+        text = canonical(spec.to_dict())
+        rebuilt = ExperimentSpec.from_dict(json.loads(text))
+        assert rebuilt == spec
+        assert canonical(rebuilt.to_dict()) == text
+
+    @settings(max_examples=80)
+    @given(spec=specs)
+    def test_hash_stable_across_roundtrip(self, spec):
+        rebuilt = ExperimentSpec.from_dict(json.loads(canonical(spec.to_dict())))
+        assert spec_hash(rebuilt) == spec_hash(spec)
+
+    @settings(max_examples=40)
+    @given(spec=specs)
+    def test_hash_distinguishes_seeds(self, spec):
+        """The store key covers the seed: sibling cells never collide."""
+        sibling = dataclasses.replace(spec, seed=spec.seed + 1)
+        assert spec_hash(sibling) != spec_hash(spec)
+
+
+# ---------------------------------------------------------------------------
+# Schema v1 (legacy, fault-model-free)
+# ---------------------------------------------------------------------------
+
+class TestV1RoundTrip:
+    @settings(max_examples=80)
+    @given(spec=clean_specs)
+    def test_v1_shape_roundtrip_byte_identical(self, spec):
+        doc = spec.to_dict(include_fault_model=False)
+        assert "fault_model" not in doc
+        rebuilt = ExperimentSpec.from_dict(json.loads(canonical(doc)))
+        assert rebuilt == spec
+        assert canonical(rebuilt.to_dict(include_fault_model=False)) == canonical(doc)
+        # The v2 hash of a fault-free spec is unaffected by which shape
+        # it travelled through.
+        assert spec_hash(rebuilt) == spec_hash(spec)
+
+    @settings(max_examples=40)
+    @given(spec=specs.filter(lambda s: s.fault_model is not None))
+    def test_faulty_spec_refuses_v1_shape(self, spec):
+        with pytest.raises(ConfigurationError, match="v1"):
+            spec.to_dict(include_fault_model=False)

@@ -49,6 +49,13 @@ def test_bench_diameter_approx_smoke():
     assert th.max_lb_energy > two.max_lb_energy
 
 
+def test_bench_store_smoke():
+    module = _load("bench_store")
+    row = module.smoke(n=16)
+    assert row["cells"] == 9
+    assert row["stored_s"] > 0 and row["resume_s"] >= 0
+
+
 def test_bench_robustness_smoke():
     module = _load("bench_robustness")
     rows = module.smoke(n=24)
