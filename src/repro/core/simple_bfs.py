@@ -18,16 +18,32 @@ from __future__ import annotations
 
 import collections.abc
 import math
-from typing import Dict, Hashable, Iterable, Optional, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 import networkx as nx
 
 from ..errors import ConfigurationError
-from ..primitives.decay import run_decay_local_broadcast
+from ..primitives.decay import (
+    run_decay_local_broadcast,
+    run_decay_local_broadcast_batch,
+)
 from ..primitives.lb_graph import LBGraph
 from ..radio.engine import Engine, coerce_network
 from ..radio.message import message_of_ints
 from ..rng import SeedLike, make_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..radio.batch_engine import ReplicaBatchedNetwork
 
 
 def trivial_bfs(
@@ -73,7 +89,7 @@ def trivial_bfs(
     return dist
 
 
-def _coerce_sources(network: Engine, sources) -> Set[Hashable]:
+def _coerce_sources(graph: nx.Graph, sources) -> Set[Hashable]:
     """Normalize the ``sources`` argument of :func:`decay_bfs`.
 
     Accepts either a single vertex (checked for membership first) or an
@@ -82,7 +98,7 @@ def _coerce_sources(network: Engine, sources) -> Set[Hashable]:
     label vertices with them — so an absent one is rejected rather than
     silently decomposed into its elements.
     """
-    if sources in network.graph:  # networkx returns False for unhashables
+    if sources in graph:  # networkx returns False for unhashables
         return {sources}
     if isinstance(sources, (str, bytes, tuple)) or not isinstance(
         sources, collections.abc.Iterable
@@ -91,7 +107,7 @@ def _coerce_sources(network: Engine, sources) -> Set[Hashable]:
     source_set = set(sources)
     if not source_set:
         raise ConfigurationError("decay_bfs requires at least one source")
-    stray = source_set - set(network.graph.nodes)
+    stray = source_set - set(graph.nodes)
     if stray:
         raise ConfigurationError(
             f"sources not in network: {sorted(map(repr, stray))[:5]}"
@@ -121,7 +137,7 @@ def decay_bfs(
     matching :func:`trivial_bfs`.
     """
     network = coerce_network(network, engine)
-    source_set = _coerce_sources(network, sources)
+    source_set = _coerce_sources(network.graph, sources)
     rng = make_rng(seed)
     dist: Dict[Hashable, float] = {s: 0.0 for s in source_set}
     for d in range(depth_budget):
@@ -145,4 +161,73 @@ def decay_bfs(
 
     for v in network.graph.nodes:
         dist.setdefault(v, math.inf)
+    return dist
+
+
+def decay_bfs_batch(
+    network: "ReplicaBatchedNetwork",
+    sources: Union[Hashable, Iterable[Hashable]],
+    depth_budget: int,
+    failure_probability: float = 1e-3,
+    seeds: Optional[Sequence[SeedLike]] = None,
+) -> List[Dict[Hashable, float]]:
+    """:func:`decay_bfs` for every replica lane of a batched network.
+
+    Runs one independent Decay-BFS per lane of ``network`` (a
+    :class:`~repro.radio.batch_engine.ReplicaBatchedNetwork`), all lanes
+    advancing through their Decay phases in lockstep so each phase costs
+    one fused sparse product per slot instead of one per replica.
+    ``seeds[r]`` is lane ``r``'s protocol stream (the stream a serial
+    :func:`decay_bfs` call for that replica would receive).
+
+    Per lane, the wavefront, the per-phase device populations, the
+    randomness consumed, the executed slot count, and the returned
+    distance labels are **bit-identical** to a serial :func:`decay_bfs`
+    run of that lane alone; lanes whose wavefront exhausts early simply
+    stop executing phases (their slot clocks freeze, exactly as the
+    serial run's would).  Returns one label map per lane, in lane order.
+    """
+    replicas = network.replicas
+    if seeds is None:
+        seeds = [None] * replicas
+    elif len(seeds) != replicas:
+        raise ConfigurationError(
+            f"need one seed per replica lane: got {len(seeds)} "
+            f"for {replicas} lanes"
+        )
+    source_set = _coerce_sources(network.graph, sources)
+    rngs = [make_rng(s) for s in seeds]
+    dist: List[Dict[Hashable, float]] = [
+        {s: 0.0 for s in source_set} for _ in range(replicas)
+    ]
+    active = list(range(replicas))
+    vertices = list(network.graph.nodes)
+    for d in range(depth_budget):
+        rounds = {}
+        for r in active:
+            frontier = {u for u, du in dist[r].items() if du == d}
+            if not frontier:
+                continue
+            receivers = [v for v in vertices if v not in dist[r]]
+            if not receivers:
+                continue
+            messages = {u: message_of_ints(u, d, kind="bfs") for u in frontier}
+            rounds[r] = (messages, receivers)
+        if not rounds:
+            break
+        active = sorted(rounds)
+        heard_by_lane = run_decay_local_broadcast_batch(
+            network,
+            rounds,
+            failure_probability=failure_probability,
+            seeds={r: rngs[r] for r in active},
+        )
+        for r, heard in heard_by_lane.items():
+            for v, msg in heard.items():
+                hop = msg.payload[0]
+                dist[r][v] = float(hop) + 1.0
+
+    for labels in dist:
+        for v in vertices:
+            labels.setdefault(v, math.inf)
     return dist

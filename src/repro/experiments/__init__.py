@@ -17,16 +17,28 @@ The one harness driving every scenario cell in the repo::
                        "mpx_clustering"], sizes=64, seeds=2)
     print(sweep.table())
 
+Seed sweeps over batch-capable cells (``decay_bfs`` on a
+seed-deterministic topology with the ``"fast"`` engine) are fused into
+**replica-batched** engine runs automatically — R seeds advance in
+lockstep over one compiled topology, one sparse product per slot —
+without changing a single result byte (``batch_replicas=1`` opts out;
+see EXPERIMENTS.md and ARCHITECTURE.md).
+
 ``python -m repro.experiments`` exposes the same harness on the
-command line (``run``, ``validate``, ``list``).
+command line (``run``, ``sweep``, ``report``, ``validate``, ``list``).
 """
 
 from .registry import (
     AlgorithmAdapter,
+    BatchAlgorithmAdapter,
+    BatchRunContext,
     RunContext,
     algorithm_names,
+    batched_algorithm_names,
     get_algorithm,
+    get_batched_algorithm,
     register_algorithm,
+    register_batched_algorithm,
 )
 from .results import (
     FAULT_FIELDS,
@@ -42,13 +54,16 @@ from .results import (
     validate_result_dict,
 )
 from .runner import (
+    DEFAULT_BATCH_REPLICAS,
     DEFAULT_CHUNK_SIZE,
     SweepResult,
     expand_grid,
     iter_grid,
     run_experiment,
+    run_experiment_batch,
     run_specs,
     run_sweep,
+    spec_is_batchable,
     validate_document,
     validate_file,
 )
@@ -57,6 +72,9 @@ from .store import STORE_VERSION, SweepStore
 
 __all__ = [
     "AlgorithmAdapter",
+    "BatchAlgorithmAdapter",
+    "BatchRunContext",
+    "DEFAULT_BATCH_REPLICAS",
     "DEFAULT_CHUNK_SIZE",
     "ExperimentSpec",
     "FAULT_FIELDS",
@@ -71,16 +89,21 @@ __all__ = [
     "SweepResult",
     "SweepStore",
     "algorithm_names",
+    "batched_algorithm_names",
     "decode_labels",
     "encode_labels",
     "expand_grid",
     "get_algorithm",
+    "get_batched_algorithm",
     "iter_grid",
     "register_algorithm",
+    "register_batched_algorithm",
     "run_experiment",
+    "run_experiment_batch",
     "run_specs",
     "run_sweep",
     "spec_hash",
+    "spec_is_batchable",
     "validate_document",
     "validate_file",
     "validate_result_dict",

@@ -11,7 +11,10 @@ Subcommands:
   energy, wall time by topology/algorithm/fault);
 - ``validate`` — check JSON files (sweep outputs, ``BENCH_*.json``)
   against the ``RunResult`` schema;
-- ``list`` — show the registered topologies, algorithms, and engines.
+- ``list`` — show everything registered on the CLI surface: topology
+  families (annotated with batch eligibility), algorithms (annotated
+  with replica-batch support), engines, collision models, and the fault
+  presets with their layer stacks.
 """
 
 from __future__ import annotations
@@ -25,10 +28,16 @@ from ..analysis.aggregate import DEFAULT_GROUP_BY, GROUP_FIELDS, report_table
 from ..errors import ConfigurationError, ReproError
 from ..radio.engine import available_engines
 from ..radio.faults import coerce_fault_model, named_fault_models
-from ..radio.topology import scenario_names
-from .registry import algorithm_names
+from ..radio.topology import scenario_is_deterministic, scenario_names
+from .registry import algorithm_names, batched_algorithm_names
 from .results import spec_hash
-from .runner import iter_grid, run_specs, run_sweep, validate_file
+from .runner import (
+    DEFAULT_BATCH_REPLICAS,
+    iter_grid,
+    run_specs,
+    run_sweep,
+    validate_file,
+)
 from .spec import COLLISION_MODELS
 from .store import SweepStore
 
@@ -55,6 +64,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--serial", action="store_true",
                         help="skip the process pool; run cells in-process")
     parser.add_argument("--max-workers", type=int, default=None)
+    parser.add_argument("--batch-replicas", type=int, default=None,
+                        metavar="R",
+                        help="fuse up to R sibling seeds of a batch-capable "
+                             "cell into one replica-batched engine run "
+                             "(1 disables batching; default: "
+                             f"{DEFAULT_BATCH_REPLICAS}; results are "
+                             "byte-identical either way)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -104,7 +120,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("paths", nargs="+", metavar="FILE")
 
-    sub.add_parser("list", help="show registered topologies/algorithms/engines")
+    sub.add_parser(
+        "list",
+        help="show registered topologies/algorithms/engines/collision "
+             "models/fault presets",
+    )
     return parser
 
 
@@ -135,6 +155,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_model=_parse_fault_model(args.fault_model),
         parallel=not args.serial,
         max_workers=args.max_workers,
+        batch_replicas=args.batch_replicas,
     )
     print(sweep.table(
         title=f"sweep: {len(sweep)} cells ({sweep.execution})"
@@ -180,6 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         store=store,
         chunk_size=args.chunk_size,
+        batch_replicas=args.batch_replicas,
     )
     print(sweep.table(
         title=f"sweep: {len(sweep)} cells ({sweep.execution})"
@@ -214,14 +236,43 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_list() -> int:
-    print("topologies:  ", ", ".join(scenario_names()))
-    print("algorithms:  ", ", ".join(algorithm_names()))
-    print("engines:     ", ", ".join(available_engines()))
-    print("fault models:", ", ".join(sorted(named_fault_models())))
+    """Print every registered name on the CLI surface.
+
+    Topologies are annotated with ``*`` when seed-deterministic (the
+    precondition for replica batching), algorithms with ``*`` when a
+    replica-batched adapter exists; fault presets are expanded to their
+    layer stacks so ``--fault-model`` values are discoverable without
+    reading source.
+    """
+    def starred(name: str, mark: bool) -> str:
+        return f"{name}*" if mark else name
+
+    batched = set(batched_algorithm_names())
+    print("topologies:      ", ", ".join(
+        starred(name, scenario_is_deterministic(name))
+        for name in scenario_names()
+    ))
+    print("                  (* = seed-deterministic: batch-eligible)")
+    print("algorithms:      ", ", ".join(
+        starred(name, name in batched) for name in algorithm_names()
+    ))
+    print("                  (* = has a replica-batched adapter)")
+    print("engines:         ", ", ".join(available_engines()))
+    print("collision models:", ", ".join(COLLISION_MODELS))
+    print("fault models:")
+    for name, model in sorted(named_fault_models().items()):
+        layers = ", ".join(layer.KIND for layer in model.layers) or "clean channel"
+        print(f"  {name:<12} {layers}")
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: parse ``argv`` and dispatch the subcommand.
+
+    Returns the process exit status (0 success, 1 validation failure,
+    2 configuration error) instead of raising, so configuration
+    mistakes print one readable line rather than a traceback.
+    """
     args = _build_parser().parse_args(argv)
     try:
         if args.command == "run":

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -32,7 +32,7 @@ import numpy as np
 from ..clustering.distributed import charged_mpx
 from ..core.parameters import BFSParameters
 from ..core.recursive_bfs import RecursiveBFS
-from ..core.simple_bfs import decay_bfs, trivial_bfs
+from ..core.simple_bfs import decay_bfs, decay_bfs_batch, trivial_bfs
 from ..diameter.exact import exact_diameter
 from ..diameter.three_halves import three_halves_diameter
 from ..diameter.two_approx import two_approx_diameter
@@ -42,8 +42,9 @@ from ..primitives.leader_election import (
     ChargedLeaderElection,
     FloodingLeaderElection,
 )
+from ..radio.batch_engine import ReplicaBatchedNetwork
 from ..radio.energy import EnergyLedger
-from ..radio.engine import Engine, make_network
+from ..radio.engine import Engine, SlotExecutorView, make_network
 from ..radio.faults import FaultCounters
 from ..rng import spawn_streams
 from .results import encode_labels
@@ -52,7 +53,14 @@ from .spec import ExperimentSpec
 #: Adapter protocol: consume a run context, return the output payload.
 AlgorithmAdapter = Callable[["RunContext"], Mapping[str, Any]]
 
+#: Batched adapter protocol: consume a batch context (R replicas of one
+#: cell, differing only in seed), return one output payload per replica
+#: — each byte-identical to what the serial adapter would produce for
+#: that replica's spec alone.
+BatchAlgorithmAdapter = Callable[["BatchRunContext"], Sequence[Mapping[str, Any]]]
+
 _ALGORITHMS: Dict[str, AlgorithmAdapter] = {}
+_BATCHED_ALGORITHMS: Dict[str, BatchAlgorithmAdapter] = {}
 
 
 def register_algorithm(
@@ -92,6 +100,56 @@ def get_algorithm(name: str) -> AlgorithmAdapter:
         ) from None
 
 
+def register_batched_algorithm(
+    name: str, overwrite: bool = False
+) -> Callable[[BatchAlgorithmAdapter], BatchAlgorithmAdapter]:
+    """Decorator registering a *replica-batched* adapter for ``name``.
+
+    A batched adapter executes ``R`` replicas of one cell — specs
+    identical up to seed — in a single engine run (see
+    :class:`BatchRunContext`), returning one output payload per
+    replica.  Its contract is strict bit-identity: replica ``r``'s
+    payload, energy ledger, and fault counters must equal what the
+    serial adapter produces for ``specs[r]`` alone (enforced by
+    ``tests/experiments/test_batch_equivalence.py``).  The serial
+    adapter must already be registered under the same name — batching
+    is an execution strategy, never the only implementation.
+    """
+    if not name:
+        raise ConfigurationError("algorithm name must be non-empty")
+
+    def decorator(adapter: BatchAlgorithmAdapter) -> BatchAlgorithmAdapter:
+        if name not in _ALGORITHMS:
+            raise ConfigurationError(
+                f"cannot register batched adapter for {name!r}: no serial "
+                f"adapter under that name (register it first)"
+            )
+        if not overwrite and name in _BATCHED_ALGORITHMS:
+            raise ConfigurationError(
+                f"batched algorithm {name!r} is already registered"
+            )
+        _BATCHED_ALGORITHMS[name] = adapter
+        return adapter
+
+    return decorator
+
+
+def batched_algorithm_names() -> Tuple[str, ...]:
+    """Algorithms with a replica-batched adapter, sorted."""
+    return tuple(sorted(_BATCHED_ALGORITHMS))
+
+
+def get_batched_algorithm(name: str) -> BatchAlgorithmAdapter:
+    """Look up a batched adapter, failing loudly for unknown names."""
+    try:
+        return _BATCHED_ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no batched adapter for algorithm {name!r}; available: "
+            f"{', '.join(batched_algorithm_names())}"
+        ) from None
+
+
 @dataclass
 class RunContext:
     """Everything an adapter needs to execute one spec.
@@ -120,7 +178,11 @@ class RunContext:
     _slot_faults: np.random.Generator = field(init=False)
     _lb_faults: np.random.Generator = field(init=False)
     _lbg: Optional[PhysicalLBGraph] = field(default=None, init=False)
-    _network: Optional[Engine] = field(default=None, init=False)
+    #: The run's slot-level executor: an :class:`Engine` built by
+    #: :meth:`network`, or the accounting view adopted via
+    #: :meth:`adopt_slot_view` when a batched run drives the engine
+    #: externally.
+    _network: Optional[SlotExecutorView] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self.params = self.spec.params()
@@ -143,7 +205,13 @@ class RunContext:
         return self._lbg
 
     def network(self) -> Engine:
-        """The slot-level view on the spec's engine tier (built once)."""
+        """The slot-level view on the spec's engine tier (built once).
+
+        Unavailable after :meth:`adopt_slot_view`: a batched run's slot
+        executor lives outside this context, so asking for a drivable
+        engine here is a bug and fails loudly rather than returning an
+        accounting-only view.
+        """
         if self._network is None:
             start = time.perf_counter()
             self._network = make_network(
@@ -156,7 +224,29 @@ class RunContext:
                 fault_seed=self._slot_faults,
             )
             self.setup_time_s += time.perf_counter() - start
+        if not isinstance(self._network, Engine):
+            raise ConfigurationError(
+                "this run's slot-level view is an adopted accounting view "
+                "(replica batching); batched adapters drive the "
+                "ReplicaBatchedNetwork directly, not ctx.network()"
+            )
         return self._network
+
+    def adopt_slot_view(self, view: SlotExecutorView) -> None:
+        """Register an externally driven slot executor for accounting.
+
+        Used by :meth:`BatchRunContext.batched_network` to wire each
+        replica's lane in as that context's slot-level view, so
+        :meth:`fault_totals` (and anything else that only *reads*)
+        works unchanged.  A context has exactly one slot executor:
+        adopting after :meth:`network` (or twice) is refused.
+        """
+        if self._network is not None:
+            raise ConfigurationError(
+                "this run already has a slot-level executor; "
+                "adopt_slot_view must come first and at most once"
+            )
+        self._network = view
 
     def mark_partial(self) -> None:
         """Record that the run completed only partially (e.g. a fault
@@ -200,6 +290,70 @@ class RunContext:
             return None
         beta = float(self.params.get("beta", 0.25))
         return BFSParameters(beta=beta, max_depth=int(self.params.get("max_depth", 1)))
+
+
+@dataclass
+class BatchRunContext:
+    """Everything a batched adapter needs: R sibling run contexts.
+
+    ``contexts[r]`` is the ordinary :class:`RunContext` of replica ``r``
+    — same shared topology (the runner only batches seed-deterministic
+    families), its own ledger, and its own derived random streams, so
+    each replica's randomness is exactly what its serial run would
+    draw.  :meth:`batched_network` builds the one
+    :class:`~repro.radio.batch_engine.ReplicaBatchedNetwork` all
+    replicas advance on, wiring each replica's lane back into its
+    context so the runner's uniform result assembly (fault totals, slot
+    clocks) reads through unchanged.
+    """
+
+    contexts: List[RunContext]
+    _batch_net: Optional[ReplicaBatchedNetwork] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.contexts:
+            raise ConfigurationError("BatchRunContext requires at least one replica")
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The topology shared by every replica."""
+        return self.contexts[0].graph
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """The algorithm parameters (identical across replicas)."""
+        return self.contexts[0].params
+
+    @property
+    def replicas(self) -> int:
+        """Number of replica lanes in this batch."""
+        return len(self.contexts)
+
+    def batched_network(self) -> ReplicaBatchedNetwork:
+        """The replica-batched slot network (built once).
+
+        One lane per replica, each wired to its context's ledger and
+        dedicated fault stream; construction time is recorded as setup
+        on every context (mirroring :meth:`RunContext.network`, where
+        engine compilation is one-off setup, not algorithm work).
+        """
+        if self._batch_net is None:
+            start = time.perf_counter()
+            spec = self.contexts[0].spec
+            self._batch_net = ReplicaBatchedNetwork(
+                self.graph,
+                replicas=len(self.contexts),
+                collision_model=spec.collision(),
+                size_policy=spec.size_policy(),
+                ledgers=[ctx.ledger for ctx in self.contexts],
+                faults=spec.fault_model,
+                fault_seeds=[ctx._slot_faults for ctx in self.contexts],
+            )
+            setup = time.perf_counter() - start
+            for ctx, lane in zip(self.contexts, self._batch_net.lanes):
+                ctx.adopt_slot_view(lane)
+                ctx.setup_time_s += setup
+        return self._batch_net
 
 
 # ---------------------------------------------------------------------------
@@ -256,6 +410,32 @@ def _run_decay_bfs(ctx: RunContext) -> Dict[str, Any]:
     out = _labels_output(ctx, labels)
     out["slots"] = net.slot
     return out
+
+
+@register_batched_algorithm("decay_bfs")
+def _run_decay_bfs_batch(bctx: BatchRunContext) -> List[Dict[str, Any]]:
+    """Replica-batched ``decay_bfs``: R seeds, one sparse product/slot.
+
+    Each replica's wavefront, Decay randomness, fault draws, energy
+    charges, and slot clock replay its serial run exactly; only the
+    execution is fused (see
+    :func:`repro.core.simple_bfs.decay_bfs_batch`).
+    """
+    net = bctx.batched_network()
+    first = bctx.contexts[0]
+    labels_by_lane = decay_bfs_batch(
+        net,
+        first.sources(),
+        first.depth_budget(),
+        failure_probability=float(bctx.params.get("failure_probability", 1e-3)),
+        seeds=[ctx.rng for ctx in bctx.contexts],
+    )
+    outputs: List[Dict[str, Any]] = []
+    for ctx, labels, lane in zip(bctx.contexts, labels_by_lane, net.lanes):
+        out = _labels_output(ctx, labels)
+        out["slots"] = lane.slot
+        outputs.append(out)
+    return outputs
 
 
 @register_algorithm("recursive_bfs")

@@ -27,7 +27,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,8 +35,15 @@ from ..analysis.reporting import format_table
 from ..errors import ConfigurationError
 from ..radio.energy import EnergyLedger
 from ..radio.faults import FaultModel, coerce_fault_model
+from ..radio.topology import scenario_is_deterministic
 from ..rng import make_rng
-from .registry import RunContext, get_algorithm
+from .registry import (
+    BatchRunContext,
+    RunContext,
+    batched_algorithm_names,
+    get_algorithm,
+    get_batched_algorithm,
+)
 from .results import (
     RESULT_KIND,
     SCHEMA_VERSION,
@@ -46,13 +53,18 @@ from .results import (
     spec_hash,
     validate_result_dict,
 )
-from .spec import ExperimentSpec
+from .spec import ExperimentSpec, validate_batch_replicas
 from .store import SweepStore
 
 #: Default number of cells per checkpointed chunk when a sweep runs
 #: against a store; small enough that a killed run loses little work,
 #: large enough to keep a process pool busy.
 DEFAULT_CHUNK_SIZE = 16
+
+#: Default cap on how many sibling seeds of one cell are fused into a
+#: single replica-batched engine run (``batch_replicas=None``); pass
+#: ``batch_replicas=1`` to opt out of batching entirely.
+DEFAULT_BATCH_REPLICAS = 32
 
 
 def run_experiment(spec: ExperimentSpec) -> RunResult:
@@ -64,19 +76,34 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
     any process, on any engine tier with equivalent semantics.
     """
     graph = spec.build_graph()
-    ledger = EnergyLedger()
-    ctx = RunContext(spec=spec, graph=graph, ledger=ledger)
+    ctx = RunContext(spec=spec, graph=graph, ledger=EnergyLedger())
     adapter = get_algorithm(spec.algorithm)
     start = time.perf_counter()
     output = adapter(ctx)
     # Engine/LBGraph construction is one-off setup, not algorithm work:
     # exclude it so wall_time_s compares engine tiers on throughput.
     wall = time.perf_counter() - start - ctx.setup_time_s
+    return _assemble_result(spec, ctx, output, wall)
+
+
+def _assemble_result(
+    spec: ExperimentSpec,
+    ctx: RunContext,
+    output: Mapping[str, Any],
+    wall: float,
+) -> RunResult:
+    """The uniform spec+ledger -> :class:`RunResult` assembly step.
+
+    Shared by :func:`run_experiment` and :func:`run_experiment_batch`
+    so the two execution paths can never drift in which metrics they
+    report or how.
+    """
+    ledger = ctx.ledger
     return RunResult(
         spec=spec,
         output=dict(output),
-        n=graph.number_of_nodes(),
-        edges=graph.number_of_edges(),
+        n=ctx.graph.number_of_nodes(),
+        edges=ctx.graph.number_of_edges(),
         lb_rounds=ledger.lb_rounds,
         max_lb_energy=ledger.max_lb(),
         total_lb_energy=ledger.total_lb(),
@@ -87,6 +114,157 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
         status="partial" if ctx.partial else "ok",
         faults=ctx.fault_totals().as_dict(),
     )
+
+
+def _group_signature(spec: ExperimentSpec) -> str:
+    """The cell identity *minus* the seed, as canonical JSON text.
+
+    Two specs with equal signatures are replicas of the same cell:
+    same topology/size/algorithm/params/engine/channel/fault stack,
+    different coin flips.
+    """
+    doc = spec.to_dict()
+    del doc["seed"]
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def spec_is_batchable(spec: ExperimentSpec) -> bool:
+    """Whether sibling seeds of this cell may share a batched engine run.
+
+    Three conditions, each load-bearing:
+
+    - the algorithm has a registered replica-batched adapter
+      (:func:`~repro.experiments.registry.batched_algorithm_names`);
+    - the topology family is seed-deterministic
+      (:func:`~repro.radio.topology.scenario_is_deterministic`), so all
+      seeds of the cell genuinely share one graph — stochastic families
+      build a different topology per seed and always run per-seed;
+    - the spec selects the ``"fast"`` engine: a ``"reference"`` spec is
+      an explicit request for the audit-grade serial executor, which
+      batching would silently override (results would be identical —
+      the engines are bit-equivalent — but the request is honored).
+    """
+    return (
+        spec.engine == "fast"
+        and spec.algorithm in batched_algorithm_names()
+        and scenario_is_deterministic(spec.topology)
+    )
+
+
+def run_experiment_batch(specs: Sequence[ExperimentSpec]) -> List[RunResult]:
+    """Execute R replicas of one cell in a single batched engine run.
+
+    ``specs`` must be replicas of one cell — identical up to seed, on a
+    seed-deterministic topology, with a batched adapter registered for
+    the algorithm (see :func:`spec_is_batchable`).  Returns one
+    :class:`RunResult` per spec, in order, each **byte-identical**
+    (timing aside) to what :func:`run_experiment` would produce for
+    that spec alone — the whole point: batching changes wall-clock
+    cost, never results, so stores, hashes, and resume semantics are
+    untouched.
+    """
+    spec_list = list(specs)
+    if not spec_list:
+        return []
+    if len(spec_list) == 1:
+        return [run_experiment(spec_list[0])]
+    signatures = {_group_signature(s) for s in spec_list}
+    if len(signatures) != 1:
+        raise ConfigurationError(
+            f"run_experiment_batch needs replicas of one cell (specs "
+            f"identical up to seed); got {len(signatures)} distinct cells"
+        )
+    first = spec_list[0]
+    if not spec_is_batchable(first):
+        raise ConfigurationError(
+            f"cell (topology={first.topology!r}, algorithm="
+            f"{first.algorithm!r}, engine={first.engine!r}) is not "
+            f"batchable: needs a batched adapter, a seed-deterministic "
+            f"topology, and the 'fast' engine"
+        )
+    graph = first.build_graph()  # seed-independent: one build serves all
+    contexts = [
+        RunContext(spec=spec, graph=graph, ledger=EnergyLedger())
+        for spec in spec_list
+    ]
+    adapter = get_batched_algorithm(first.algorithm)
+    start = time.perf_counter()
+    outputs = adapter(BatchRunContext(contexts))
+    if len(outputs) != len(spec_list):
+        raise ConfigurationError(
+            f"batched adapter for {first.algorithm!r} returned "
+            f"{len(outputs)} outputs for {len(spec_list)} replicas"
+        )
+    # Setup (topology + engine compilation) is shared; the remaining
+    # wall time is attributed evenly — per-replica timing under
+    # batching is inherently approximate and stays informational-only.
+    setup = max(ctx.setup_time_s for ctx in contexts)
+    wall_each = max(0.0, time.perf_counter() - start - setup) / len(spec_list)
+    return [
+        _assemble_result(spec, ctx, output, wall_each)
+        for spec, ctx, output in zip(spec_list, contexts, outputs)
+    ]
+
+
+#: One unit of execution: a tuple of specs.  A singleton runs through
+#: :func:`run_experiment`; a longer tuple is a replica batch for
+#: :func:`run_experiment_batch`.  Units are what travels to worker
+#: processes.
+ExecutionUnit = Tuple[ExperimentSpec, ...]
+
+
+def _run_unit(unit: ExecutionUnit) -> List[RunResult]:
+    """Execute one unit (module-level so it pickles to pool workers)."""
+    if len(unit) == 1:
+        return [run_experiment(unit[0])]
+    return run_experiment_batch(list(unit))
+
+
+def _plan_units(
+    specs: Sequence[ExperimentSpec],
+    batch_replicas: Optional[int],
+) -> List[ExecutionUnit]:
+    """Partition specs into execution units, preserving order.
+
+    *Adjacent* specs that are replicas of one batchable cell (equal up
+    to seed — exactly how :func:`iter_grid` lays out its innermost seed
+    axis) fuse into one unit, capped at the effective replica limit:
+    the specs' own ``batch_replicas`` hint when set, else the
+    ``batch_replicas`` argument, else :data:`DEFAULT_BATCH_REPLICAS`.
+    Everything else stays a singleton.  Concatenating the units yields
+    the input order unchanged, so downstream result assembly (and the
+    store's shard append order) is independent of batching.
+    """
+    validate_batch_replicas(batch_replicas)
+    units: List[ExecutionUnit] = []
+    group: List[ExperimentSpec] = []
+    group_key: Optional[Tuple[str, Optional[int]]] = None
+
+    def flush() -> None:
+        if not group:
+            return
+        limit = group[0].batch_replicas
+        if limit is None:
+            limit = batch_replicas
+        if limit is None:
+            limit = DEFAULT_BATCH_REPLICAS
+        for start in range(0, len(group), limit):
+            units.append(tuple(group[start:start + limit]))
+        group.clear()
+
+    for spec in specs:
+        if not spec_is_batchable(spec):
+            flush()
+            group_key = None
+            units.append((spec,))
+            continue
+        key = (_group_signature(spec), spec.batch_replicas)
+        if key != group_key:
+            flush()
+            group_key = key
+        group.append(spec)
+    flush()
+    return units
 
 
 def iter_grid(
@@ -294,28 +472,41 @@ def run_specs(
     max_workers: Optional[int] = None,
     store: Union[None, str, SweepStore] = None,
     chunk_size: Optional[int] = None,
+    batch_replicas: Optional[int] = None,
 ) -> SweepResult:
     """Execute prepared specs, in cell order, optionally on a pool.
 
+    Adjacent specs that are replicas of one batchable cell — identical
+    up to seed, seed-deterministic topology, ``"fast"`` engine, batched
+    adapter available — are fused into single replica-batched engine
+    runs of up to ``batch_replicas`` seeds each (default
+    :data:`DEFAULT_BATCH_REPLICAS`; ``batch_replicas=1`` opts out).
+    Batching never changes results: every cell's ``RunResult`` is
+    byte-identical (timing aside) to its per-seed execution, so result
+    order, store contents, hashes, and resume semantics are unaffected.
+
     Parallel execution uses a ``ProcessPoolExecutor`` (one task per
-    cell, results re-assembled in submission order).  If a pool cannot
-    be created or dies (restricted sandboxes, missing semaphores), the
-    remaining work falls back to in-process serial execution — the
-    results are identical either way.
+    execution unit, results re-assembled in submission order).  If a
+    pool cannot be created or dies (restricted sandboxes, missing
+    semaphores), the remaining work falls back to in-process serial
+    execution — the results are identical either way.
 
     With ``store`` (a :class:`~repro.experiments.store.SweepStore` or a
     directory path), the sweep becomes resumable: cells already in the
-    store are not re-executed, pending cells are submitted in chunks of
-    ``chunk_size`` (default :data:`DEFAULT_CHUNK_SIZE`), and every
-    finished chunk is durably checkpointed before the next starts.  The
-    returned ``SweepResult`` still covers *every* requested cell, in
-    request order, mixing stored and freshly-run results — which are
+    store are not re-executed (completed cells drop out of their batch
+    group before units form), pending cells are submitted in chunks of
+    about ``chunk_size`` cells (default :data:`DEFAULT_CHUNK_SIZE`; a
+    batch unit is never split across chunks), and every finished chunk
+    is durably checkpointed before the next starts.  The returned
+    ``SweepResult`` still covers *every* requested cell, in request
+    order, mixing stored and freshly-run results — which are
     byte-identical anyway, timing aside.
     """
     spec_list = list(specs)
     if store is None:
+        units = _plan_units(spec_list, batch_replicas)
         results, execution = _execute_all(
-            spec_list, parallel, max_workers, chunk=len(spec_list) or 1
+            units, parallel, max_workers, chunk=len(spec_list) or 1
         )
         return SweepResult(results=tuple(results), execution=execution)
 
@@ -344,7 +535,7 @@ def run_specs(
             fresh[spec_hash(r.spec)] = r
 
     _, execution = _execute_all(
-        pending, parallel, max_workers,
+        _plan_units(pending, batch_replicas), parallel, max_workers,
         chunk=chunk_size or DEFAULT_CHUNK_SIZE,
         on_batch=checkpoint, idle_execution="store",
     )
@@ -354,51 +545,76 @@ def run_specs(
     return SweepResult(results=assembled, execution=execution)
 
 
+def _chunk_units(units: List[ExecutionUnit], chunk: int) -> Iterator[List[ExecutionUnit]]:
+    """Greedily pack whole units into chunks of >= ``chunk`` cells.
+
+    Units never split (a replica batch is one engine run), so a chunk
+    closes at the first unit boundary at or past the target size —
+    checkpoint granularity under batching is therefore approximate, but
+    the *sequence* of results across chunks matches per-seed execution
+    exactly.
+    """
+    batch: List[ExecutionUnit] = []
+    cells = 0
+    for unit in units:
+        batch.append(unit)
+        cells += len(unit)
+        if cells >= chunk:
+            yield batch
+            batch, cells = [], 0
+    if batch:
+        yield batch
+
+
 def _execute_all(
-    specs: List[ExperimentSpec],
+    units: List[ExecutionUnit],
     parallel: bool,
     max_workers: Optional[int],
     chunk: int,
     on_batch: Any = None,
     idle_execution: str = "serial",
 ):
-    """Run specs in ``chunk``-sized batches on one shared pool.
+    """Run execution units in ~``chunk``-cell batches on one shared pool.
 
     The single implementation of the pool-with-serial-fallback policy:
     a pool is attempted when ``parallel`` and there is more than one
-    spec; if it cannot be created or dies mid-batch (restricted
+    cell; if it cannot be created or dies mid-batch (restricted
     sandboxes, missing semaphores), the affected batch and everything
     after it runs serially in-process — identical results either way.
-    ``on_batch`` (when given) is invoked with each finished batch
-    before the next one starts.  Returns ``(results, execution)`` where
-    ``execution`` is ``idle_execution`` when there was nothing to run.
+    ``on_batch`` (when given) is invoked with each finished batch's
+    flattened results before the next one starts.  Returns
+    ``(results, execution)`` where ``execution`` is ``idle_execution``
+    when there was nothing to run.
     """
     results: List[RunResult] = []
     execution = idle_execution
     pool: Optional[ProcessPoolExecutor] = None
     try:
-        if parallel and len(specs) > 1:
+        # A pool only pays off with more than one *unit*: a fully fused
+        # sweep (one batch group) would ship its single task to one
+        # worker and parallelize nothing.
+        if parallel and len(units) > 1:
             try:
                 pool = ProcessPoolExecutor(max_workers=max_workers)
             except (OSError, PermissionError, NotImplementedError):
                 pool = None
-        for start in range(0, len(specs), chunk):
-            batch = specs[start:start + chunk]
-            batch_results: Optional[List[RunResult]] = None
+        for batch in _chunk_units(units, chunk):
+            batch_results: Optional[List[List[RunResult]]] = None
             if pool is not None:
                 try:
-                    batch_results = list(pool.map(run_experiment, batch))
+                    batch_results = list(pool.map(_run_unit, batch))
                     execution = "process_pool"
                 except (OSError, PermissionError, NotImplementedError,
                         BrokenProcessPool):
                     pool.shutdown(wait=False)
                     pool = None
             if batch_results is None:
-                batch_results = [run_experiment(s) for s in batch]
+                batch_results = [_run_unit(u) for u in batch]
                 execution = "serial"
+            flat = [r for unit_results in batch_results for r in unit_results]
             if on_batch is not None:
-                on_batch(batch_results)
-            results.extend(batch_results)
+                on_batch(flat)
+            results.extend(flat)
     finally:
         if pool is not None:
             pool.shutdown(wait=False)
@@ -420,11 +636,15 @@ def run_sweep(
     max_workers: Optional[int] = None,
     store: Union[None, str, SweepStore] = None,
     chunk_size: Optional[int] = None,
+    batch_replicas: Optional[int] = None,
 ) -> SweepResult:
     """Expand a grid (see :func:`expand_grid`) and execute every cell.
 
     ``store``/``chunk_size`` make the sweep resumable and incrementally
-    checkpointed; see :func:`run_specs`.
+    checkpointed; ``batch_replicas`` caps (or, set to 1, disables)
+    replica batching of sibling seeds — the grid's seed axis is
+    innermost, so each cell's seeds arrive adjacent and batch-eligible.
+    See :func:`run_specs` for both.
     """
     specs = iter_grid(
         topologies,
@@ -439,7 +659,8 @@ def run_sweep(
         fault_model=fault_model,
     )
     return run_specs(specs, parallel=parallel, max_workers=max_workers,
-                     store=store, chunk_size=chunk_size)
+                     store=store, chunk_size=chunk_size,
+                     batch_replicas=batch_replicas)
 
 
 def validate_document(data: Mapping[str, Any]) -> List[RunResult]:

@@ -19,7 +19,7 @@ identical random streams regardless of which process executes them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import networkx as nx
@@ -93,6 +93,26 @@ def _canonical_params(params: Any) -> Tuple[Tuple[str, ParamValue], ...]:
     return tuple(items)
 
 
+def validate_batch_replicas(value: Any, where: str = "batch_replicas") -> Optional[int]:
+    """Validate a replica-batching cap: ``None`` or a positive int.
+
+    The single check behind both entry points for the knob — the
+    spec-level hint (:attr:`ExperimentSpec.batch_replicas`) and the
+    runner argument (``run_specs(..., batch_replicas=...)``) — so the
+    two can never drift in what they accept.  Booleans are rejected
+    explicitly: ``batch_replicas=True`` is a plausible "enable
+    batching" mistake that would otherwise silently mean "limit 1",
+    i.e. the exact opposite.
+    """
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise ConfigurationError(
+            f"{where} must be a positive int or None, got {value!r}"
+        )
+    return value
+
+
 def _listify(value: ParamValue) -> Any:
     """Canonical tuple form back to JSON-native lists."""
     if isinstance(value, tuple):
@@ -132,6 +152,14 @@ class ExperimentSpec:
         mapping, or a :func:`~repro.radio.faults.named_fault_models`
         preset name.  ``None`` (and the empty stack, which normalizes
         to ``None``) is the clean channel of the paper's model.
+    batch_replicas:
+        Execution *hint*, not part of the cell's identity: caps how
+        many sibling seeds of this cell the sweep runner may fuse into
+        one replica-batched engine run (``1`` disables batching for the
+        cell; ``None`` defers to the runner's default).  Excluded from
+        equality, hashing, and serialization — two specs differing only
+        here are the same cell, produce byte-identical results, and
+        share one ``spec_hash``.
     """
 
     topology: str
@@ -143,6 +171,7 @@ class ExperimentSpec:
     message_limit_bits: Optional[int] = None
     seed: int = 0
     fault_model: Optional[FaultModel] = None
+    batch_replicas: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -180,6 +209,7 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"seed must be a non-negative int, got {self.seed!r}"
             )
+        validate_batch_replicas(self.batch_replicas)
         # Lazy import: the registry imports this module.
         from .registry import algorithm_names
 
@@ -228,8 +258,12 @@ class ExperimentSpec:
 
         ``include_fault_model=False`` reproduces the schema-v1 spec
         shape (no ``fault_model`` key) and is only valid for fault-free
-        specs — :meth:`RunResult.to_dict` uses it to re-emit v1
+        specs — :meth:`~repro.experiments.results.RunResult.to_dict` uses it to re-emit v1
         documents byte-identically.
+
+        The ``batch_replicas`` execution hint is never serialized: it
+        does not affect what a run computes, so the canonical document
+        (and hence ``spec_hash``) must not depend on it.
         """
         doc = {
             "topology": self.topology,

@@ -6,6 +6,7 @@ from .decay import (
     DecayReceiver,
     DecaySender,
     run_decay_local_broadcast,
+    run_decay_local_broadcast_batch,
 )
 from .decay_lb_graph import DecayLBGraph
 from .detection import DetectionReport, detect_with_cd, detect_without_cd
@@ -46,6 +47,7 @@ __all__ = [
     "flooding_broadcast",
     "labeled_broadcast",
     "run_decay_local_broadcast",
+    "run_decay_local_broadcast_batch",
     "sweep_down",
     "sweep_up_message",
     "sweep_up_or",

@@ -23,7 +23,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 import networkx as nx
 import numpy as np
@@ -32,7 +42,10 @@ from ..radio.channel import Reception
 from ..radio.device import Action, Device
 from ..radio.engine import Engine, coerce_network
 from ..radio.message import Message
-from ..rng import geometric_decay_slot
+from ..rng import SeedLike, geometric_decay_slot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..radio.batch_engine import ReplicaBatchedNetwork
 
 
 @dataclass(frozen=True)
@@ -180,4 +193,72 @@ def run_decay_local_broadcast(
         out = devices[v].output()
         if out is not None:
             results[v] = out
+    return results
+
+
+def run_decay_local_broadcast_batch(
+    network: "ReplicaBatchedNetwork",
+    rounds: Mapping[int, Tuple[Mapping[Hashable, Message], Iterable[Hashable]]],
+    failure_probability: float = 1e-3,
+    seeds: Optional[Mapping[int, SeedLike]] = None,
+) -> Dict[int, Dict[Hashable, Message]]:
+    """One Decay Local-Broadcast per replica lane, in lockstep.
+
+    ``rounds`` maps a lane index of ``network`` (a
+    :class:`~repro.radio.batch_engine.ReplicaBatchedNetwork`) to that
+    lane's ``(messages, receivers)`` round; ``seeds`` optionally maps
+    lane index to the lane's protocol stream.  Every lane executes the
+    standard :func:`run_decay_local_broadcast` — same parameters (the
+    topology, and hence ``Delta``, is shared), same device populations,
+    same per-lane randomness — but all lanes advance through the
+    protocol's slots together, one fused sparse product per slot.
+
+    Returns ``{lane: {receiver: message}}`` for every lane, exactly the
+    per-lane result the serial primitive would have produced.
+    """
+    seeds = seeds or {}
+    params = DecayParameters.for_network(network.max_degree, failure_probability)
+    populations: Dict[int, Dict[Hashable, Device]] = {}
+    receiver_sets: Dict[int, Set[Hashable]] = {}
+    for lane_index in sorted(rounds):
+        messages, receivers = rounds[lane_index]
+        receiver_set = set(receivers)
+        sender_set = set(messages)
+        overlap = sender_set & receiver_set
+        if overlap:
+            raise ValueError(
+                f"senders and receivers must be disjoint; overlap={overlap}"
+            )
+        start_slot = network.lane(lane_index).slot
+
+        def factory(
+            vertex: Hashable,
+            rng: np.random.Generator,
+            messages: Mapping[Hashable, Message] = messages,
+            sender_set: Set[Hashable] = sender_set,
+            receiver_set: Set[Hashable] = receiver_set,
+            start_slot: int = start_slot,
+        ) -> Device:
+            if vertex in sender_set:
+                return DecaySender(vertex, rng, messages[vertex], params, start_slot)
+            if vertex in receiver_set:
+                return DecayReceiver(vertex, rng, params, start_slot)
+            return _SleepingDevice(vertex, rng)
+
+        populations[lane_index] = network.spawn_devices(
+            factory, seed=seeds.get(lane_index)
+        )
+        receiver_sets[lane_index] = receiver_set
+
+    network.run_lockstep(populations, max_slots=params.total_slots)
+
+    results: Dict[int, Dict[Hashable, Message]] = {}
+    for lane_index, receiver_set in receiver_sets.items():
+        heard: Dict[Hashable, Message] = {}
+        devices = populations[lane_index]
+        for v in receiver_set:
+            out = devices[v].output()
+            if out is not None:
+                heard[v] = out
+        results[lane_index] = heard
     return results

@@ -7,7 +7,8 @@ tiers: any algorithm written against :class:`LBGraph` (trivial BFS,
 distributed clustering, casts, the full Recursive-BFS) can be executed
 with true slot-level channel semantics, collisions and all, and its
 *measured slot energy* compared against the LB-unit accounting of
-:class:`PhysicalLBGraph` via :class:`LBCostModel`.
+:class:`~repro.primitives.lb_graph.PhysicalLBGraph` via
+:class:`~repro.primitives.local_broadcast.LBCostModel`.
 
 Intended for small instances: each LB call costs
 ``O(log Delta log 1/f)`` simulated slots across the whole network.

@@ -19,13 +19,27 @@ ledgers, and event traces — enforced by the differential suite in
 additionally exposes a named scenario registry
 (``topology.scenario(name, n, seed)``) so experiments can sweep diverse
 graph families by name.
+
+A third executor, :class:`ReplicaBatchedNetwork`
+(:mod:`repro.radio.batch_engine`), advances ``R`` independent replicas
+of one topology in lockstep — one compiled topology and one sparse
+product per slot shared by all replicas — with each replica lane
+bit-identical to its own serial run.  It is the engine behind
+seed-sweep replica batching in :mod:`repro.experiments`.
 """
 
+from .batch_engine import ReplicaBatchedNetwork, ReplicaLane
 from .channel import CollisionModel, Feedback, Reception
 from .device import Action, ActionKind, Device
 from .energy import DeviceEnergy, EnergyLedger
-from .engine import ENGINES, Engine, available_engines, make_network
-from .fast_engine import FastRadioNetwork
+from .engine import (
+    ENGINES,
+    Engine,
+    SlotExecutorView,
+    available_engines,
+    make_network,
+)
+from .fast_engine import CompiledTopology, FastRadioNetwork
 from .faults import (
     ChurnSchedule,
     FaultCounters,
@@ -34,6 +48,7 @@ from .faults import (
     GilbertElliott,
     IIDDrop,
     Jammer,
+    ReplicaFaultRuntimes,
     SlotFaultPlan,
     coerce_fault_model,
     named_fault_models,
@@ -54,6 +69,7 @@ __all__ = [
     "ActionKind",
     "ChurnSchedule",
     "CollisionModel",
+    "CompiledTopology",
     "Device",
     "DeviceEnergy",
     "ENGINES",
@@ -73,7 +89,11 @@ __all__ = [
     "MessageSizePolicy",
     "RadioNetwork",
     "Reception",
+    "ReplicaBatchedNetwork",
+    "ReplicaFaultRuntimes",
+    "ReplicaLane",
     "SlotEngineBase",
+    "SlotExecutorView",
     "SlotFaultPlan",
     "UNBOUNDED",
     "available_engines",

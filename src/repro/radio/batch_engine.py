@@ -1,0 +1,370 @@
+"""Replica-batched slot execution: R seeds per sparse product.
+
+The dominant workload of this repo is sweeps over many seeds of the
+*same* (topology, algorithm, faults) cell — every result in the paper
+is a statement about distributions over random coin flips.  The
+single-replica engines pay one topology build, one CSR compile, and one
+sparse product per slot **per seed**; :class:`ReplicaBatchedNetwork`
+amortizes all three by advancing ``R`` independent replicas of one
+topology in lockstep:
+
+- the topology is compiled once
+  (:class:`~repro.radio.fast_engine.CompiledTopology`) and shared by
+  every replica lane;
+- each slot, the lanes' transmitter indicators are stacked into one
+  sparse ``(2R, n)`` matrix and resolved against the shared adjacency
+  with **one** sparse product
+  (:meth:`~repro.radio.fast_engine.CompiledTopology.counts_codes_many`)
+  — per-lane counts and sender codes come back exactly as the fast
+  engine would have computed them one replica at a time;
+- each lane keeps fully private state: its own device population, its
+  own :class:`~repro.radio.energy.EnergyLedger`, its own fault stream
+  (via :class:`~repro.radio.faults.ReplicaFaultRuntimes`), its own
+  collision resolution, and its own slot clock.
+
+Bit-identity contract
+---------------------
+A replica lane produces **byte-identical** results to the same seed
+executed alone on either serial engine: identical executed slot
+counts, per-device energy counters, fault counters, and delivered
+messages.  Nothing about a lane's randomness, fault draws, or channel
+outcomes depends on any other lane — batching is purely an execution
+strategy (enforced by ``tests/radio/test_batch_engine.py`` and
+``tests/experiments/test_batch_equivalence.py``).
+
+Lanes do not all have to run at once:
+:meth:`ReplicaBatchedNetwork.run_lockstep` advances
+whichever subset of lanes the caller supplies populations for, so a
+multi-phase protocol (e.g. the batched Decay-BFS of
+:func:`repro.core.simple_bfs.decay_bfs_batch`) keeps only its
+still-active replicas in the product as wavefronts finish at different
+depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import networkx as nx
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from ..rng import SeedLike
+from .channel import CollisionModel, Feedback, Reception
+from .device import ActionKind, Device
+from .energy import EnergyLedger
+from .fast_engine import _NOISE, _NOTHING, _SILENCE, CompiledTopology
+from .faults import FaultCounters, FaultModel, ReplicaFaultRuntimes
+from .message import Message, MessageSizePolicy
+from .network import (
+    jam_reception_for,
+    spawn_device_map,
+    validate_population,
+    validate_topology,
+)
+
+
+@dataclass
+class ReplicaLane:
+    """The per-replica slice of a :class:`ReplicaBatchedNetwork`.
+
+    Everything a single serial engine would own per run lives here:
+    the energy ledger, the fault/delivery counters, and the slot clock.
+    Exposes the same ``slot``/``ledger``/``fault_counters`` attributes
+    the :class:`~repro.radio.engine.Engine` protocol names, so the
+    experiment layer can read a lane exactly like a network.
+    """
+
+    index: int
+    ledger: EnergyLedger
+    fault_counters: FaultCounters = field(default_factory=FaultCounters)
+    slot: int = 0
+
+
+class _LaneRun:
+    """Mutable per-lane state for one
+    :meth:`ReplicaBatchedNetwork.run_lockstep` call."""
+
+    __slots__ = ("lane", "live", "executed", "tx_counts", "listen_counts",
+                 "msgs", "tx_idx", "listeners", "resolved")
+
+    def __init__(self, lane: ReplicaLane, live: List[Tuple[Hashable, Device]],
+                 n: int) -> None:
+        self.lane = lane
+        self.live = live
+        self.executed = 0
+        self.tx_counts = np.zeros(n, dtype=np.int64)
+        self.listen_counts = np.zeros(n, dtype=np.int64)
+        self.msgs: List[Optional[Message]] = [None] * n
+        self.tx_idx: List[int] = []
+        # (index, device, jammed) per listener, rebuilt every slot.
+        self.listeners: List[Tuple[int, Device, bool]] = []
+        # This slot's (counts, codes) pair from the fused product.
+        self.resolved: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+
+class ReplicaBatchedNetwork:
+    """R replica lanes of one topology, one sparse product per slot.
+
+    Parameters
+    ----------
+    graph:
+        The shared communication topology (one compile serves every
+        lane).
+    replicas:
+        Number of independent replica lanes.
+    collision_model, size_policy:
+        Channel semantics, shared by all lanes (replicas of one spec
+        always agree on these).
+    ledgers:
+        One :class:`EnergyLedger` per lane; fresh ledgers are created
+        when omitted.
+    faults:
+        Optional shared :class:`~repro.radio.faults.FaultModel`; each
+        lane draws from its *own* ``fault_seeds`` stream, so the same
+        model meets per-replica randomness exactly as in serial runs.
+    fault_seeds:
+        One dedicated fault stream (or seed) per lane; defaults to
+        ``None`` per lane.
+    """
+
+    name = "fast-batch"
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        replicas: int,
+        collision_model: CollisionModel = CollisionModel.NO_CD,
+        size_policy: Optional[MessageSizePolicy] = None,
+        ledgers: Optional[Sequence[EnergyLedger]] = None,
+        faults: Optional[FaultModel] = None,
+        fault_seeds: Optional[Sequence[SeedLike]] = None,
+    ) -> None:
+        validate_topology(graph)
+        if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be a positive int, got {replicas!r}"
+            )
+        self.graph = graph
+        self.replicas = replicas
+        self.collision_model = collision_model
+        self.size_policy = size_policy or MessageSizePolicy.unbounded()
+        self._topology = CompiledTopology(graph)
+        self._node_set: Set[Hashable] = set(graph.nodes)
+        if ledgers is None:
+            ledgers = [EnergyLedger() for _ in range(replicas)]
+        elif len(ledgers) != replicas:
+            raise ConfigurationError(
+                f"need one ledger per replica: got {len(ledgers)} "
+                f"for {replicas} replicas"
+            )
+        if fault_seeds is None:
+            fault_seeds = [None] * replicas
+        elif len(fault_seeds) != replicas:
+            raise ConfigurationError(
+                f"need one fault seed per replica: got {len(fault_seeds)} "
+                f"for {replicas} replicas"
+            )
+        self.lanes: List[ReplicaLane] = [
+            ReplicaLane(index=r, ledger=ledgers[r]) for r in range(replicas)
+        ]
+        self._fault_runtimes = ReplicaFaultRuntimes(
+            faults, graph, seeds=list(fault_seeds),
+            counters=[lane.fault_counters for lane in self.lanes],
+        )
+        self._jam_reception = jam_reception_for(collision_model)
+
+    # ------------------------------------------------------------------
+    def lane(self, replica: int) -> ReplicaLane:
+        """The per-replica state slice (ledger, counters, slot clock)."""
+        return self.lanes[replica]
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum degree of the shared topology (the Delta of Lemma 2.4)."""
+        return max((d for _, d in self.graph.degree), default=0)
+
+    def spawn_devices(
+        self,
+        factory: Callable[[Hashable, np.random.Generator], Device],
+        seed: SeedLike = None,
+    ) -> Dict[Hashable, Device]:
+        """Instantiate one device per vertex with independent RNG streams.
+
+        Same shared derivation as
+        :meth:`~repro.radio.network.SlotEngineBase.spawn_devices`
+        (:func:`~repro.radio.network.spawn_device_map`): pass a lane's
+        protocol stream as ``seed`` and the lane's devices draw exactly
+        the randomness its serial run would.
+        """
+        return spawn_device_map(self._topology.vertices, factory, seed)
+
+    # ------------------------------------------------------------------
+    def _check_population(self, replica: int, devices: Mapping[Hashable, Device]) -> None:
+        """The same exact-cover validation the serial engines apply."""
+        if not isinstance(replica, int) or not (0 <= replica < self.replicas):
+            raise ConfigurationError(
+                f"unknown replica lane {replica!r}; "
+                f"this network has {self.replicas} lanes"
+            )
+        validate_population(self._node_set, devices)
+
+    def run_lockstep(
+        self,
+        populations: Mapping[int, Mapping[Hashable, Device]],
+        max_slots: int,
+    ) -> Dict[int, int]:
+        """Advance every supplied lane for up to ``max_slots`` slots.
+
+        ``populations`` maps lane index -> that lane's device mapping
+        (exact vertex cover, as on the serial engines).  Per slot, every
+        still-running lane collects its device actions, all lanes'
+        channels are resolved with one fused sparse product, and each
+        lane's receptions are dispatched with its own collision model
+        outcome.  A lane stops early when all its devices have halted —
+        exactly the serial ``run`` loop's stop rule, applied per lane —
+        without holding up the others.  Returns the executed slot count
+        per lane.
+        """
+        states: List[_LaneRun] = []
+        for replica in sorted(populations):
+            devices = populations[replica]
+            self._check_population(replica, devices)
+            live = [(v, d) for v, d in devices.items() if not d.halted]
+            states.append(_LaneRun(self.lanes[replica], live, self._topology.n))
+        running = [s for s in states if s.live]
+        for _ in range(max_slots):
+            if not running:
+                break
+            self._step_all(running)
+            still_running: List[_LaneRun] = []
+            for s in running:
+                s.executed += 1
+                s.lane.slot += 1
+                # Drop devices that halted this slot so the all-halted
+                # check stays O(live) and exact.
+                s.live = [(v, d) for v, d in s.live if not d.halted]
+                if s.live:
+                    still_running.append(s)
+            running = still_running
+        for s in states:
+            s.lane.ledger.charge_slot_counts(
+                self._topology.vertices, s.tx_counts, s.listen_counts
+            )
+            s.lane.ledger.advance_time(s.executed)
+        return {s.lane.index: s.executed for s in states}
+
+    # ------------------------------------------------------------------
+    def _step_all(self, running: List[_LaneRun]) -> None:
+        """Execute one synchronous slot across all running lanes."""
+        index = self._topology.index
+        receiver_cd = self.collision_model is CollisionModel.RECEIVER_CD
+        silent = _SILENCE if receiver_cd else _NOTHING
+        noisy = _NOISE if receiver_cd else _NOTHING
+        jam = self._jam_reception
+        idle_kind = ActionKind.IDLE
+        transmit_kind = ActionKind.TRANSMIT
+
+        # Phase A: per lane, collect this slot's actions (device
+        # callbacks and fault application, exactly as the fast engine).
+        for s in running:
+            lane = s.lane
+            plan = self._fault_runtimes.plan(lane.index, lane.slot)
+            counters = lane.fault_counters
+            slot = lane.slot
+            tx_counts = s.tx_counts
+            listen_counts = s.listen_counts
+            msgs = s.msgs
+            tx_idx = s.tx_idx = []
+            listeners = s.listeners = []
+            for vertex, device in s.live:
+                if device.halted:
+                    continue
+                if plan is not None and vertex in plan.dead:
+                    continue
+                action = device.step(slot)
+                kind = action.kind
+                if kind is idle_kind:
+                    continue
+                i = index[vertex]
+                if kind is transmit_kind:
+                    message = action.message
+                    if message is None:
+                        raise SimulationError(
+                            f"device {vertex!r} transmitted no message"
+                        )
+                    self.size_policy.check(message)
+                    # Dropped transmitters are charged like the serial
+                    # engines but never enter the channel math.
+                    if plan is not None and vertex in plan.dropped:
+                        counters.dropped += 1
+                    else:
+                        tx_idx.append(i)
+                        msgs[i] = message
+                    tx_counts[i] += 1
+                else:  # LISTEN
+                    listen_counts[i] += 1
+                    listeners.append(
+                        (i, device, plan is not None and vertex in plan.jammed)
+                    )
+
+        # Phase B: one fused sparse product covering every lane that has
+        # both transmitters and listeners this slot.
+        need = [s for s in running if s.listeners and s.tx_idx]
+        if need:
+            resolved = self._topology.counts_codes_many(
+                [np.asarray(s.tx_idx, dtype=np.int64) for s in need]
+            )
+            for s, pair in zip(need, resolved):
+                s.resolved = pair
+
+        # Phase C: per lane, dispatch receptions under its own collision
+        # model outcome and fault plan.
+        for s in running:
+            counters = s.lane.fault_counters
+            if s.listeners:
+                if s.tx_idx:
+                    counts, codes = s.resolved
+                    gather = np.asarray(
+                        [i for i, _, _ in s.listeners], dtype=np.int64
+                    )
+                    listen_counts_slot = counts[gather].tolist()
+                    listen_codes = codes[gather].tolist()
+                    msgs = s.msgs
+                    slot = s.lane.slot
+                    for (i, device, jammed), c, code in zip(
+                        s.listeners, listen_counts_slot, listen_codes
+                    ):
+                        if jammed:
+                            counters.jammed += 1
+                            device.receive(slot, jam)
+                        elif c == 1:
+                            counters.delivered += 1
+                            device.receive(
+                                slot, Reception(Feedback.MESSAGE, msgs[code - 1])
+                            )
+                        elif c == 0:
+                            device.receive(slot, silent)
+                        else:
+                            device.receive(slot, noisy)
+                else:
+                    slot = s.lane.slot
+                    for _, device, jammed in s.listeners:
+                        if jammed:
+                            counters.jammed += 1
+                            device.receive(slot, jam)
+                        else:
+                            device.receive(slot, silent)
+            for i in s.tx_idx:
+                s.msgs[i] = None

@@ -83,6 +83,31 @@ class EnergyLedger:
         for v in listeners:
             devices[v].listen_slots += 1
 
+    def charge_slot_counts(
+        self,
+        vertices: Iterable[Hashable],
+        transmit_counts: Iterable[int],
+        listen_counts: Iterable[int],
+    ) -> None:
+        """Bulk-charge accumulated slot totals in one pass.
+
+        ``transmit_counts[i]``/``listen_counts[i]`` are the slots vertex
+        ``vertices[i]`` spent transmitting/listening since the last
+        flush.  Equivalent to the corresponding sequence of per-slot
+        :meth:`charge_slot_batch` calls (slot charges are additive and
+        commutative); vertices with zero activity are never touched, so
+        the set of devices the ledger knows about matches per-slot
+        charging exactly.  Used by the replica-batched engine, which
+        accumulates per-lane counters in NumPy arrays during a lockstep
+        run and flushes them here once per run.
+        """
+        devices = self._devices
+        for v, tx, listen in zip(vertices, transmit_counts, listen_counts):
+            if tx or listen:
+                d = devices[v]
+                d.transmit_slots += int(tx)
+                d.listen_slots += int(listen)
+
     def charge_lb(self, senders: Iterable[Hashable], receivers: Iterable[Hashable]) -> None:
         """Charge one Local-Broadcast participation to each participant.
 

@@ -37,6 +37,23 @@ from .trace import EventTrace
 
 
 @runtime_checkable
+class SlotExecutorView(Protocol):
+    """The minimal read surface any slot executor exposes.
+
+    What the experiment layer needs to *account* for a run — the slot
+    clock and the fault/delivery tally — without being able to drive
+    it.  Every :class:`Engine` satisfies it; so does a replica lane of
+    the batched engine
+    (:class:`~repro.radio.batch_engine.ReplicaLane`), which is exactly
+    why it exists: accounting reads accept either, driving requires a
+    real :class:`Engine`.
+    """
+
+    slot: int
+    fault_counters: FaultCounters
+
+
+@runtime_checkable
 class Engine(Protocol):
     """Structural interface of a slot-level executor.
 

@@ -28,7 +28,7 @@ dependency beyond NumPy.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -55,8 +55,112 @@ _SILENCE = Reception(Feedback.SILENCE)
 _NOISE = Reception(Feedback.NOISE)
 
 
+class CompiledTopology:
+    """A topology compiled once for vectorized channel arbitration.
+
+    Owns the contiguous ``0..n-1`` vertex indexing and the CSR adjacency
+    matrix that both the single-replica fast engine and the
+    replica-batched engine (:mod:`repro.radio.batch_engine`) resolve
+    slots against.  When :mod:`scipy` is unavailable a pure-NumPy CSR
+    (index arrays plus fancy-indexed accumulation) stands in, so neither
+    engine has a hard dependency beyond NumPy.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.vertices: List[Hashable] = list(graph.nodes)
+        self.index: Dict[Hashable, int] = {
+            v: i for i, v in enumerate(self.vertices)
+        }
+        n = len(self.vertices)
+        self.n = n
+        if _sparse is not None:
+            self._adj = nx.to_scipy_sparse_array(
+                graph, nodelist=self.vertices, dtype=np.int64,
+                weight=None, format="csr",
+            )
+            self._csr_indptr = None
+            self._csr_indices = None
+        else:
+            self._adj = None
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            rows: List[np.ndarray] = []
+            for i, v in enumerate(self.vertices):
+                nbrs = np.fromiter(
+                    (self.index[u] for u in graph.neighbors(v)),
+                    dtype=np.int64,
+                )
+                rows.append(nbrs)
+                indptr[i + 1] = indptr[i] + len(nbrs)
+            self._csr_indptr = indptr
+            self._csr_indices = (
+                np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
+            )
+
+    # ------------------------------------------------------------------
+    def counts_codes(self, tx_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-vertex (transmitting-neighbor count, summed sender codes).
+
+        Sender codes are 1-based transmitter indices; where the count is
+        exactly 1 the code minus one *is* the unique sender's index.
+        One sparse product over the transmitters' adjacency rows covers
+        both quantities.
+        """
+        if self._adj is not None:
+            sub = self._adj[tx_idx]
+            stacked = np.vstack(
+                [np.ones(len(tx_idx), dtype=np.int64), tx_idx + 1]
+            )
+            out = stacked @ sub
+            return out[0], out[1]
+        counts = np.zeros(self.n, dtype=np.int64)
+        codes = np.zeros(self.n, dtype=np.int64)
+        indptr, indices = self._csr_indptr, self._csr_indices
+        for i in tx_idx:
+            nbrs = indices[indptr[i]:indptr[i + 1]]
+            counts[nbrs] += 1
+            codes[nbrs] += i + 1
+        return counts, codes
+
+    def counts_codes_many(
+        self, tx_lists: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """:meth:`counts_codes` for many independent replicas at once.
+
+        ``tx_lists[r]`` holds replica ``r``'s transmitter indices; the
+        per-replica (counts, codes) pairs come back in the same order,
+        computed with **one** sparse product: the replicas' indicator and
+        code rows are stacked into a ``(2R, n)`` sparse matrix and
+        multiplied against the shared adjacency in a single call —
+        exactly the flops of R separate products, none of the per-call
+        overhead.  Entries of distinct replicas never mix (each lives in
+        its own pair of rows), so each replica's result is bit-identical
+        to its own :meth:`counts_codes` call.
+        """
+        if self._adj is None:
+            return [self.counts_codes(tx) for tx in tx_lists]
+        replicas = len(tx_lists)
+        sizes = [len(tx) for tx in tx_lists]
+        indptr = np.zeros(2 * replicas + 1, dtype=np.int64)
+        for r, size in enumerate(sizes):
+            indptr[2 * r + 1] = indptr[2 * r] + size
+            indptr[2 * r + 2] = indptr[2 * r + 1] + size
+        indices = np.concatenate(
+            [col for tx in tx_lists for col in (tx, tx)]
+        ) if replicas else np.zeros(0, dtype=np.int64)
+        data = np.concatenate(
+            [col for tx in tx_lists
+             for col in (np.ones(len(tx), dtype=np.int64), tx + 1)]
+        ) if replicas else np.zeros(0, dtype=np.int64)
+        stacked = _sparse.csr_matrix(
+            (data, indices, indptr), shape=(2 * replicas, self.n)
+        )
+        out = np.asarray((stacked @ self._adj).todense())
+        return [(out[2 * r], out[2 * r + 1]) for r in range(replicas)]
+
+
 class FastRadioNetwork(SlotEngineBase):
-    """Batch slot executor, interchangeable with :class:`RadioNetwork`.
+    """Batch slot executor, interchangeable with
+    :class:`~repro.radio.network.RadioNetwork`.
 
     Accepts the same constructor arguments and runs the same
     :class:`~repro.radio.device.Device` populations; only the internal
@@ -79,36 +183,10 @@ class FastRadioNetwork(SlotEngineBase):
     ) -> None:
         super().__init__(graph, collision_model, size_policy, ledger, trace,
                          faults=faults, fault_seed=fault_seed)
-        self._vertices: List[Hashable] = list(graph.nodes)
-        self._index: Dict[Hashable, int] = {
-            v: i for i, v in enumerate(self._vertices)
-        }
-        n = len(self._vertices)
-        self._n = n
-        if _sparse is not None:
-            self._adj = nx.to_scipy_sparse_array(
-                graph, nodelist=self._vertices, dtype=np.int64,
-                weight=None, format="csr",
-            )
-            self._csr_indptr = None
-            self._csr_indices = None
-        else:
-            self._adj = None
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            rows: List[np.ndarray] = []
-            for i, v in enumerate(self._vertices):
-                nbrs = np.fromiter(
-                    (self._index[u] for u in graph.neighbors(v)),
-                    dtype=np.int64,
-                )
-                rows.append(nbrs)
-                indptr[i + 1] = indptr[i] + len(nbrs)
-            self._csr_indptr = indptr
-            self._csr_indices = (
-                np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
-            )
+        self._topology = CompiledTopology(graph)
+        self._index = self._topology.index
         # Per-slot message staging area, reused across slots.
-        self._msg_buf: List[Optional[Message]] = [None] * n
+        self._msg_buf: List[Optional[Message]] = [None] * self._topology.n
 
     # ------------------------------------------------------------------
     def _transmitter_counts(
@@ -116,26 +194,9 @@ class FastRadioNetwork(SlotEngineBase):
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-vertex (transmitting-neighbor count, summed sender codes).
 
-        Sender codes are 1-based transmitter indices; where the count is
-        exactly 1 the code minus one *is* the unique sender's index.
-        One sparse product over the transmitters' adjacency rows covers
-        both quantities.
-        """
-        if self._adj is not None:
-            sub = self._adj[tx_idx]
-            stacked = np.vstack(
-                [np.ones(len(tx_idx), dtype=np.int64), tx_idx + 1]
-            )
-            out = stacked @ sub
-            return out[0], out[1]
-        counts = np.zeros(self._n, dtype=np.int64)
-        codes = np.zeros(self._n, dtype=np.int64)
-        indptr, indices = self._csr_indptr, self._csr_indices
-        for i in tx_idx:
-            nbrs = indices[indptr[i]:indptr[i + 1]]
-            counts[nbrs] += 1
-            codes[nbrs] += i + 1
-        return counts, codes
+        Delegates to the compiled topology (see
+        :meth:`CompiledTopology.counts_codes`)."""
+        return self._topology.counts_codes(tx_idx)
 
     # ------------------------------------------------------------------
     def step(self, devices: Mapping[Hashable, Device]) -> None:

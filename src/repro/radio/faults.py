@@ -87,6 +87,7 @@ class IIDDrop:
         object.__setattr__(self, "p", _check_probability("IIDDrop.p", self.p))
 
     def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-native form (see :func:`layer_from_dict`)."""
         return {"kind": self.KIND, "p": self.p}
 
 
@@ -116,6 +117,7 @@ class GilbertElliott:
             )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-native form (see :func:`layer_from_dict`)."""
         return {
             "kind": self.KIND,
             "p_good": self.p_good,
@@ -157,6 +159,7 @@ class Jammer:
             )
 
     def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-native form (see :func:`layer_from_dict`)."""
         return {
             "kind": self.KIND,
             "k": self.k,
@@ -222,6 +225,7 @@ class ChurnSchedule:
         object.__setattr__(self, "events", tuple(canon))
 
     def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-native form (see :func:`layer_from_dict`)."""
         return {"kind": self.KIND, "events": [list(e) for e in self.events]}
 
 
@@ -564,3 +568,53 @@ class FaultRuntime:
 
 
 _TRIVIAL_PLAN = SlotFaultPlan()
+
+
+class ReplicaFaultRuntimes:
+    """The batched fault-draw path: one runtime per replica lane.
+
+    The replica-batched engine (:mod:`repro.radio.batch_engine`) runs
+    ``R`` independent replicas of one topology in lockstep.  Each
+    replica carries its *own* dedicated fault stream (stream 3 of its
+    spec seed), so fault draws cannot be fused into one vectorized call
+    across replicas — instead this wrapper owns one serial-identical
+    :class:`FaultRuntime` per lane and draws each lane's slot plan with
+    the exact per-slot shape the serial engines use.  A lane that stops
+    early simply stops drawing, precisely as its serial run would, so a
+    batched replica consumes a bit-identical fault-randomness sequence
+    to the same spec executed alone (enforced by
+    ``tests/radio/test_batch_engine.py`` and
+    ``tests/experiments/test_batch_equivalence.py``).
+    """
+
+    def __init__(
+        self,
+        faults: Optional[FaultModel],
+        graph: nx.Graph,
+        seeds: Sequence[SeedLike],
+        counters: Sequence[FaultCounters],
+    ) -> None:
+        if len(seeds) != len(counters):
+            raise ConfigurationError(
+                f"need one fault seed per replica counter set: "
+                f"{len(seeds)} seeds vs {len(counters)} counters"
+            )
+        self._runtimes: List[Optional[FaultRuntime]] = [
+            FaultRuntime.build(faults, graph, seed=seed, counters=tally)
+            for seed, tally in zip(seeds, counters)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._runtimes)
+
+    def plan(self, replica: int, slot: int) -> Optional[SlotFaultPlan]:
+        """Draw replica ``replica``'s plan for ``slot`` (in slot order).
+
+        Returns ``None`` when there is no fault model; each lane's
+        in-order consumption is enforced by its own runtime, exactly as
+        on the serial engines.
+        """
+        runtime = self._runtimes[replica]
+        if runtime is None:
+            return None
+        return runtime.plan(slot)

@@ -43,6 +43,77 @@ from .message import Message, MessageSizePolicy
 from .trace import EventTrace
 
 
+def validate_topology(graph: nx.Graph) -> None:
+    """Reject graphs no RN executor can run (empty or directed).
+
+    Shared by every executor tier so the accepted topology class can
+    never drift between the serial engines and the batched lanes.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ConfigurationError("radio network requires at least one vertex")
+    if graph.is_directed():
+        raise ConfigurationError(
+            "radio network topologies must be undirected (the RN model "
+            "has symmetric links); got a directed graph"
+        )
+
+
+def jam_reception_for(collision_model: CollisionModel) -> Reception:
+    """The channel outcome a jammed listener perceives.
+
+    Indistinguishable from a collision under the active collision model
+    (``NOISE`` with receiver-side CD, ``NOTHING`` without); shared by
+    every executor tier so jam semantics stay engine-independent.
+    """
+    return Reception(
+        Feedback.NOISE
+        if collision_model is CollisionModel.RECEIVER_CD
+        else Feedback.NOTHING
+    )
+
+
+def validate_population(
+    node_set: Set[Hashable], devices: Mapping[Hashable, Device]
+) -> None:
+    """Reject a device mapping that is not an exact vertex cover.
+
+    A missing device would silently never act, and a device keyed by a
+    vertex absent from the graph could never transmit to or hear anyone
+    — both are configuration bugs.  Shared by every executor (serial
+    engines and the replica-batched lanes) so the validation can never
+    drift between them.
+    """
+    missing = node_set - set(devices)
+    if missing:
+        raise ConfigurationError(
+            f"devices missing for {len(missing)} vertices (e.g. {next(iter(missing))!r})"
+        )
+    extra = set(devices) - node_set
+    if extra:
+        raise ConfigurationError(
+            f"devices supplied for {len(extra)} vertices absent from the "
+            f"graph (e.g. {next(iter(extra))!r})"
+        )
+
+
+def spawn_device_map(
+    vertices: List[Hashable],
+    factory: Callable[[Hashable, np.random.Generator], Device],
+    seed: SeedLike = None,
+) -> Dict[Hashable, Device]:
+    """One device per vertex, each with an independent derived stream.
+
+    The single implementation of the determinism-critical derivation
+    (``make_rng`` then one ``spawn_streams`` child per vertex, in vertex
+    order) that both the serial engines and the batched lanes build
+    populations with — the engines' bit-identity contract depends on
+    every executor deriving device randomness identically.
+    """
+    rng = make_rng(seed)
+    streams = spawn_streams(rng, len(vertices))
+    return {v: factory(v, s) for v, s in zip(vertices, streams)}
+
+
 class SlotEngineBase:
     """Shared slot-loop driver for both engine tiers.
 
@@ -88,13 +159,7 @@ class SlotEngineBase:
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
     ) -> None:
-        if graph.number_of_nodes() == 0:
-            raise ConfigurationError("radio network requires at least one vertex")
-        if graph.is_directed():
-            raise ConfigurationError(
-                "radio network topologies must be undirected (the RN model "
-                "has symmetric links); got a directed graph"
-            )
+        validate_topology(graph)
         self.graph = graph
         self.collision_model = collision_model
         self.size_policy = size_policy or MessageSizePolicy.unbounded()
@@ -108,13 +173,7 @@ class SlotEngineBase:
         self._fault_runtime: Optional[FaultRuntime] = FaultRuntime.build(
             faults, graph, seed=fault_seed, counters=self.fault_counters
         )
-        # The channel outcome a jammed listener perceives (indistinct
-        # from a collision under the active collision model).
-        self._jam_reception = Reception(
-            Feedback.NOISE
-            if collision_model is CollisionModel.RECEIVER_CD
-            else Feedback.NOTHING
-        )
+        self._jam_reception = jam_reception_for(collision_model)
 
     def _next_fault_plan(self) -> Optional[SlotFaultPlan]:
         """The fault plan for the current slot (``None`` = no faults).
@@ -145,17 +204,7 @@ class SlotEngineBase:
         ``stop_when()`` returns True (checked once per slot).  Returns
         the number of slots executed.
         """
-        missing = self._node_set - set(devices)
-        if missing:
-            raise ConfigurationError(
-                f"devices missing for {len(missing)} vertices (e.g. {next(iter(missing))!r})"
-            )
-        extra = set(devices) - self._node_set
-        if extra:
-            raise ConfigurationError(
-                f"devices supplied for {len(extra)} vertices absent from the "
-                f"graph (e.g. {next(iter(extra))!r})"
-            )
+        validate_population(self._node_set, devices)
         executed = 0
         for _ in range(max_slots):
             if all(d.halted for d in devices.values()):
@@ -177,10 +226,7 @@ class SlotEngineBase:
         seed: SeedLike = None,
     ) -> Dict[Hashable, Device]:
         """Instantiate one device per vertex with independent RNG streams."""
-        rng = make_rng(seed)
-        vertices = list(self.graph.nodes)
-        streams = spawn_streams(rng, len(vertices))
-        return {v: factory(v, s) for v, s in zip(vertices, streams)}
+        return spawn_device_map(list(self.graph.nodes), factory, seed)
 
     @property
     def max_degree(self) -> int:

@@ -345,25 +345,55 @@ ScenarioFactory = Callable[[int, SeedLike], nx.Graph]
 
 _SCENARIOS: Dict[str, ScenarioFactory] = {}
 
+#: Families whose factory ignores the seed: every seed yields the same
+#: graph for a given ``n``.  The experiment layer only fuses replicas
+#: of such families into one batched engine run (the batched engine
+#: shares one compiled topology across all replica lanes).
+_DETERMINISTIC: set = set()
+
 
 def register_scenario(name: str, factory: ScenarioFactory,
-                      overwrite: bool = False) -> None:
+                      overwrite: bool = False,
+                      deterministic: bool = False) -> None:
     """Register a named graph family for :func:`scenario` lookup.
 
     Factories must return a connected graph with contiguous integer
     labels ``0..m-1`` (the property-test suite enforces this for every
-    registered family).
+    registered family).  Declare ``deterministic=True`` when the factory
+    ignores its seed (same ``n`` -> same graph, always); deterministic
+    families are eligible for replica batching in seed sweeps (see
+    :func:`scenario_is_deterministic`), so only declare it when it truly
+    holds — the registry property suite verifies the claim.
     """
     if not name:
         raise ConfigurationError("scenario name must be non-empty")
     if not overwrite and name in _SCENARIOS:
         raise ConfigurationError(f"scenario {name!r} is already registered")
     _SCENARIOS[name] = factory
+    if deterministic:
+        _DETERMINISTIC.add(name)
+    else:
+        _DETERMINISTIC.discard(name)
 
 
 def scenario_names() -> Tuple[str, ...]:
     """All registered scenario names, sorted."""
     return tuple(sorted(_SCENARIOS))
+
+
+def scenario_is_deterministic(name: str) -> bool:
+    """Whether the named family is seed-independent (same ``n``, same graph).
+
+    Deterministic families are the ones the sweep runner may fuse into
+    replica-batched engine runs: all seeds of a cell share one topology,
+    so one compiled adjacency serves every replica.  Raises
+    :class:`~repro.errors.ConfigurationError` for unknown names.
+    """
+    if name not in _SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        )
+    return name in _DETERMINISTIC
 
 
 def scenario(name: str, n: int, seed: SeedLike = None) -> nx.Graph:
@@ -397,10 +427,14 @@ def _register_default_scenarios() -> None:
     natural parameters; minimum sizes are clamped so every family is
     well-defined for any ``n >= 1``.
     """
-    register_scenario("path", lambda n, seed=None: path_graph(n))
-    register_scenario("cycle", lambda n, seed=None: cycle_graph(max(3, n)))
-    register_scenario("grid", lambda n, seed=None: grid_graph(*_near_square(n)))
-    register_scenario("complete", lambda n, seed=None: complete_graph(max(2, n)))
+    register_scenario("path", lambda n, seed=None: path_graph(n),
+                      deterministic=True)
+    register_scenario("cycle", lambda n, seed=None: cycle_graph(max(3, n)),
+                      deterministic=True)
+    register_scenario("grid", lambda n, seed=None: grid_graph(*_near_square(n)),
+                      deterministic=True)
+    register_scenario("complete", lambda n, seed=None: complete_graph(max(2, n)),
+                      deterministic=True)
     register_scenario("tree", lambda n, seed=None: random_tree(n, seed=seed))
     register_scenario(
         "geometric", lambda n, seed=None: random_geometric(n, seed=seed)
@@ -414,27 +448,34 @@ def _register_default_scenarios() -> None:
     register_scenario(
         "caterpillar",
         lambda n, seed=None: caterpillar(max(1, n // 3), 2),
+        deterministic=True,
     )
     register_scenario(
         "barbell",
         lambda n, seed=None: barbell(max(3, n // 3), max(0, n - 2 * max(3, n // 3))),
+        deterministic=True,
     )
-    register_scenario("star", lambda n, seed=None: star_graph(max(1, n - 1)))
+    register_scenario("star", lambda n, seed=None: star_graph(max(1, n - 1)),
+                      deterministic=True)
     register_scenario(
         "lollipop",
         lambda n, seed=None: lollipop(max(3, n // 2), max(0, n - max(3, n // 2))),
+        deterministic=True,
     )
     register_scenario(
         "binary_tree",
         lambda n, seed=None: binary_tree(
             max(0, int(math.log2(max(1, n) + 1)) - 1)
         ),
+        deterministic=True,
     )
     register_scenario(
         "hypercube",
         lambda n, seed=None: hypercube(max(1, int(math.log2(max(2, n))))),
+        deterministic=True,
     )
-    register_scenario("wheel", lambda n, seed=None: wheel(max(3, n - 1)))
+    register_scenario("wheel", lambda n, seed=None: wheel(max(3, n - 1)),
+                      deterministic=True)
     register_scenario(
         "expander", lambda n, seed=None: expander(max(6, n), 4, seed=seed)
     )
@@ -447,6 +488,7 @@ def _register_default_scenarios() -> None:
             max(2, int(math.isqrt(max(4, n)))),
             max(1, (n - 1) // max(2, int(math.isqrt(max(4, n))))),
         ),
+        deterministic=True,
     )
     register_scenario(
         "power_law", lambda n, seed=None: power_law(max(3, n), seed=seed)

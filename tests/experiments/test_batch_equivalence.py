@@ -1,0 +1,234 @@
+"""Batched-vs-serial equivalence at the experiment layer.
+
+The acceptance contract of replica batching: for every fault preset ×
+collision model, R batched replicas produce ``RunResult.to_dict()``
+documents **byte-identical** to R per-seed serial runs — and a batched
+sweep writes store shards byte-identical to a serial sweep.  Batching
+must be invisible everywhere except the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ExperimentSpec,
+    batched_algorithm_names,
+    run_experiment,
+    run_experiment_batch,
+    run_specs,
+    run_sweep,
+    spec_hash,
+    spec_is_batchable,
+)
+from repro.experiments.runner import DEFAULT_BATCH_REPLICAS, _plan_units
+from repro.experiments.spec import COLLISION_MODELS
+from repro.radio.faults import named_fault_models
+
+REPLICAS = 8
+PRESETS = sorted(named_fault_models())
+
+
+def _cell_specs(preset, collision_model, seeds=range(REPLICAS), **overrides):
+    base = dict(
+        topology="star_of_paths",
+        n=24,
+        algorithm="decay_bfs",
+        algorithm_params={"depth_budget": 24},
+        engine="fast",
+        collision_model=collision_model,
+        fault_model=None if preset == "none" else preset,
+    )
+    base.update(overrides)
+    return [ExperimentSpec(seed=s, **base) for s in seeds]
+
+
+def _canonical(result):
+    return json.dumps(result.to_dict(), sort_keys=True, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# The headline matrix: fault preset x collision model, R=8, byte-for-byte
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("collision_model", COLLISION_MODELS)
+@pytest.mark.parametrize("preset", PRESETS)
+def test_batched_results_byte_identical(preset, collision_model):
+    specs = _cell_specs(preset, collision_model)
+    serial = [run_experiment(spec) for spec in specs]
+    batched = run_experiment_batch(specs)
+    assert len(batched) == len(serial)
+    for ref, got in zip(serial, batched):
+        assert _canonical(got) == _canonical(ref)
+        # Energy counters specifically (they are inside to_dict too, but
+        # a failure here names the diverging metric directly).
+        assert got.metrics() == ref.metrics()
+        assert got.fault_counts() == ref.fault_counts()
+        assert got.status == ref.status
+
+
+# ---------------------------------------------------------------------------
+# Runner-level dispatch
+# ---------------------------------------------------------------------------
+
+def test_run_specs_batched_equals_opt_out():
+    specs = _cell_specs("drop10", "no_cd")
+    batched = run_specs(specs, parallel=False)
+    serial = run_specs(specs, parallel=False, batch_replicas=1)
+    assert tuple(batched.results) == tuple(serial.results)
+    assert [r.spec.seed for r in batched] == list(range(REPLICAS))
+
+
+def test_run_sweep_batches_the_seed_axis():
+    """A grid sweep groups its innermost (seed) axis without reordering."""
+    batched = run_sweep(["star_of_paths", "grid"], ["decay_bfs"],
+                        sizes=16, seeds=4, engine="fast", parallel=False)
+    serial = run_sweep(["star_of_paths", "grid"], ["decay_bfs"],
+                       sizes=16, seeds=4, engine="fast", parallel=False,
+                       batch_replicas=1)
+    assert tuple(batched.results) == tuple(serial.results)
+
+
+def test_plan_units_groups_only_adjacent_batchable_replicas():
+    cell = _cell_specs("none", "no_cd", seeds=range(4))
+    other = _cell_specs("none", "no_cd", seeds=range(2), n=16)
+    reference = _cell_specs("none", "no_cd", seeds=range(2), engine="reference")
+    stochastic = _cell_specs("none", "no_cd", seeds=range(2),
+                             topology="geometric")
+    lb_level = _cell_specs("none", "no_cd", seeds=range(2),
+                           algorithm="trivial_bfs")
+    specs = cell + other + reference + stochastic + lb_level
+    units = _plan_units(specs, None)
+    assert [len(u) for u in units] == [4, 2, 1, 1, 1, 1, 1, 1]
+    assert [s for unit in units for s in unit] == specs
+    # Caps: the argument bounds group size; the per-spec hint wins.
+    assert [len(u) for u in _plan_units(cell, 3)] == [3, 1]
+    hinted = _cell_specs("none", "no_cd", seeds=range(4))
+    hinted = [ExperimentSpec.from_dict(s.to_dict()) for s in hinted]
+    import dataclasses
+    hinted = [dataclasses.replace(s, batch_replicas=2) for s in hinted]
+    assert [len(u) for u in _plan_units(hinted, None)] == [2, 2]
+
+
+def test_spec_is_batchable_conditions():
+    spec = _cell_specs("none", "no_cd", seeds=[0])[0]
+    assert spec_is_batchable(spec)
+    assert "decay_bfs" in batched_algorithm_names()
+    import dataclasses
+    assert not spec_is_batchable(dataclasses.replace(spec, engine="reference"))
+    assert not spec_is_batchable(dataclasses.replace(spec, topology="geometric"))
+    assert not spec_is_batchable(
+        dataclasses.replace(spec, algorithm="trivial_bfs")
+    )
+
+
+def test_run_experiment_batch_rejects_mixed_cells():
+    specs = _cell_specs("none", "no_cd", seeds=range(2))
+    other = _cell_specs("none", "no_cd", seeds=[5], n=16)
+    with pytest.raises(ConfigurationError, match="identical up to seed"):
+        run_experiment_batch(specs + other)
+    with pytest.raises(ConfigurationError, match="not\\s+batchable"):
+        run_experiment_batch(
+            _cell_specs("none", "no_cd", seeds=range(2), engine="reference")
+        )
+
+
+def test_run_experiment_batch_edge_arities():
+    assert run_experiment_batch([]) == []
+    spec = _cell_specs("none", "no_cd", seeds=[7])[0]
+    (single,) = run_experiment_batch([spec])
+    assert _canonical(single) == _canonical(run_experiment(spec))
+
+
+# ---------------------------------------------------------------------------
+# The batch_replicas spec hint: execution-only, never identity
+# ---------------------------------------------------------------------------
+
+def test_batch_replicas_hint_excluded_from_identity():
+    plain = ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
+                           engine="fast", seed=1)
+    hinted = ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
+                            engine="fast", seed=1, batch_replicas=4)
+    assert hinted == plain
+    assert spec_hash(hinted) == spec_hash(plain)
+    assert "batch_replicas" not in hinted.to_dict()
+    # from_dict accepts the key (picklable hint survives worker round
+    # trips) even though to_dict never emits it.
+    doc = plain.to_dict()
+    doc["batch_replicas"] = 4
+    assert ExperimentSpec.from_dict(doc).batch_replicas == 4
+
+
+@pytest.mark.parametrize("bad", [0, -1, True, 2.5, "8"])
+def test_batch_replicas_hint_validated(bad):
+    with pytest.raises(ConfigurationError, match="batch_replicas"):
+        ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
+                       seed=0, batch_replicas=bad)
+
+
+def test_default_batch_replicas_is_sane():
+    assert isinstance(DEFAULT_BATCH_REPLICAS, int)
+    assert DEFAULT_BATCH_REPLICAS >= 2
+
+
+def test_runner_batch_replicas_validated():
+    specs = _cell_specs("none", "no_cd", seeds=range(2))
+    for bad in (0, -1, True, 2.5):
+        with pytest.raises(ConfigurationError, match="batch_replicas"):
+            run_specs(specs, parallel=False, batch_replicas=bad)
+
+
+def test_adopted_slot_view_is_accounting_only():
+    """After a lane is adopted, ctx.network() fails loudly (no drivable
+    engine exists inside a batched run) and a second adoption is refused."""
+    from repro.experiments.registry import BatchRunContext, RunContext
+    from repro.radio.energy import EnergyLedger
+
+    spec = _cell_specs("none", "no_cd", seeds=[0])[0]
+    graph = spec.build_graph()
+    ctxs = [RunContext(spec=spec, graph=graph, ledger=EnergyLedger())
+            for _ in range(2)]
+    bctx = BatchRunContext(ctxs)
+    net = bctx.batched_network()
+    assert bctx.batched_network() is net  # built once
+    for ctx in ctxs:
+        with pytest.raises(ConfigurationError, match="batched adapters"):
+            ctx.network()
+        with pytest.raises(ConfigurationError, match="at most once"):
+            ctx.adopt_slot_view(net.lane(0))
+
+
+# ---------------------------------------------------------------------------
+# Store byte-identity: a batched sweep writes the same shards
+# ---------------------------------------------------------------------------
+
+def _shard_bytes(store_dir):
+    return {
+        p.name: p.read_bytes()
+        for p in sorted(pathlib.Path(store_dir, "shards").glob("*.jsonl"))
+    }
+
+
+def test_batched_sweep_store_byte_identical(tmp_path):
+    specs = _cell_specs("lossy_mixed", "receiver_cd")
+    run_specs(specs, parallel=False, store=str(tmp_path / "serial"),
+              batch_replicas=1)
+    run_specs(specs, parallel=False, store=str(tmp_path / "batched"))
+    assert _shard_bytes(tmp_path / "serial") == _shard_bytes(tmp_path / "batched")
+
+
+def test_batched_resume_store_byte_identical(tmp_path):
+    """Completed cells drop out of the batch group; bytes still match."""
+    specs = _cell_specs("drop30", "no_cd")
+    run_specs(specs, parallel=False, store=str(tmp_path / "reference"),
+              batch_replicas=1)
+    resumed = str(tmp_path / "resumed")
+    run_specs(specs[:5], parallel=False, store=resumed)
+    sweep = run_specs(specs, parallel=False, store=resumed)
+    assert len(sweep) == REPLICAS
+    assert [r.spec.seed for r in sweep] == list(range(REPLICAS))
+    assert _shard_bytes(tmp_path / "reference") == _shard_bytes(resumed)

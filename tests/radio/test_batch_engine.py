@@ -1,0 +1,185 @@
+"""Replica-batched engine: bit-identity to serial runs, lane semantics.
+
+The contract under test (see ``src/repro/radio/batch_engine.py``): a
+replica lane of :class:`ReplicaBatchedNetwork` produces **byte-identical**
+state to the same seed executed alone on a serial engine — labels,
+executed slot counts, per-device energy snapshots, and fault counters —
+for every fault preset and collision model.  Batching is an execution
+strategy, never an observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simple_bfs import decay_bfs, decay_bfs_batch
+from repro.errors import ConfigurationError
+from repro.primitives.decay import (
+    run_decay_local_broadcast,
+    run_decay_local_broadcast_batch,
+)
+from repro.radio import (
+    CollisionModel,
+    EnergyLedger,
+    ReplicaBatchedNetwork,
+    make_network,
+    topology,
+)
+from repro.radio.faults import named_fault_models
+from repro.radio.message import message_of_ints
+from repro.rng import make_rng, spawn_streams
+
+PRESETS = sorted(named_fault_models())
+COLLISION_MODELS = [CollisionModel.NO_CD, CollisionModel.RECEIVER_CD]
+REPLICAS = 4
+
+
+def _fault_model(preset):
+    model = named_fault_models()[preset]
+    return None if model.is_null() else model
+
+
+def _replica_streams(seed):
+    """The (fault stream, protocol stream) pair one replica derives.
+
+    Mirrors the experiment layer's derivation: stream 3 of the master
+    seed feeds fault injection (its first child drives the slot view),
+    stream 2 drives the protocol.
+    """
+    streams = spawn_streams(make_rng(seed), 4)
+    slot_faults, _ = spawn_streams(streams[3], 2)
+    return slot_faults, streams[2]
+
+
+def _serial_bfs(graph, seed, collision_model, faults, depth):
+    fault_seed, protocol_rng = _replica_streams(seed)
+    net = make_network(graph, engine="fast", collision_model=collision_model,
+                       faults=faults, fault_seed=fault_seed)
+    labels = decay_bfs(net, [0], depth, seed=protocol_rng)
+    return (labels, net.slot, net.ledger.snapshot(),
+            net.fault_counters.as_dict(), net.ledger.time_slots)
+
+
+def _batched_bfs(graph, seeds, collision_model, faults, depth):
+    ledgers = [EnergyLedger() for _ in seeds]
+    fault_seeds, rngs = [], []
+    for seed in seeds:
+        fault_seed, protocol_rng = _replica_streams(seed)
+        fault_seeds.append(fault_seed)
+        rngs.append(protocol_rng)
+    net = ReplicaBatchedNetwork(graph, len(seeds),
+                                collision_model=collision_model,
+                                ledgers=ledgers, faults=faults,
+                                fault_seeds=fault_seeds)
+    labels = decay_bfs_batch(net, [0], depth, seeds=rngs)
+    return net, ledgers, labels
+
+
+@pytest.mark.parametrize("collision_model", COLLISION_MODELS,
+                         ids=[m.value for m in COLLISION_MODELS])
+@pytest.mark.parametrize("preset", PRESETS)
+def test_batched_bfs_bit_identical_to_serial(preset, collision_model):
+    """Labels, slots, ledgers, and fault counters match per replica."""
+    graph = topology.scenario("star_of_paths", 24)
+    faults = _fault_model(preset)
+    seeds = list(range(REPLICAS))
+    net, ledgers, labels = _batched_bfs(graph, seeds, collision_model,
+                                        faults, depth=24)
+    for r, seed in enumerate(seeds):
+        ref_labels, ref_slot, ref_snapshot, ref_faults, ref_time = _serial_bfs(
+            graph, seed, collision_model, faults, depth=24
+        )
+        assert labels[r] == ref_labels
+        assert net.lane(r).slot == ref_slot
+        assert ledgers[r].snapshot() == ref_snapshot
+        assert ledgers[r].time_slots == ref_time
+        assert net.lane(r).fault_counters.as_dict() == ref_faults
+
+
+def test_batched_local_broadcast_matches_serial():
+    """One Decay round: per-lane heard maps equal the serial primitive."""
+    graph = topology.scenario("wheel", 20)
+    messages = {0: message_of_ints(0, 7, kind="bfs")}
+    receivers = [v for v in graph.nodes if v != 0]
+    seeds = list(range(REPLICAS))
+
+    serial = []
+    for seed in seeds:
+        net = make_network(graph, engine="fast")
+        heard = run_decay_local_broadcast(net, messages, receivers,
+                                          seed=make_rng(seed))
+        serial.append((heard, net.slot, net.ledger.snapshot()))
+
+    ledgers = [EnergyLedger() for _ in seeds]
+    net = ReplicaBatchedNetwork(graph, REPLICAS, ledgers=ledgers)
+    heard_by_lane = run_decay_local_broadcast_batch(
+        net,
+        {r: (messages, receivers) for r in range(REPLICAS)},
+        seeds={r: make_rng(seed) for r, seed in enumerate(seeds)},
+    )
+    for r in range(REPLICAS):
+        ref_heard, ref_slot, ref_snapshot = serial[r]
+        assert heard_by_lane[r] == ref_heard
+        assert net.lane(r).slot == ref_slot
+        assert ledgers[r].snapshot() == ref_snapshot
+
+
+def test_lanes_can_finish_at_different_depths():
+    """A lane whose wavefront exhausts early freezes its slot clock."""
+    from repro.radio.faults import FaultModel, IIDDrop
+
+    # 90% loss on a path: most wavefronts stall at seed-dependent
+    # depths, so replica slot clocks genuinely diverge.
+    graph = topology.scenario("path", 12)
+    faults = FaultModel((IIDDrop(0.9),))
+    seeds = [0, 1, 3]
+    net, _, labels = _batched_bfs(graph, seeds, CollisionModel.NO_CD,
+                                  faults, depth=12)
+    for r, seed in enumerate(seeds):
+        ref_labels, ref_slot, _, _, _ = _serial_bfs(
+            graph, seed, CollisionModel.NO_CD, faults, depth=12
+        )
+        assert labels[r] == ref_labels
+        assert net.lane(r).slot == ref_slot
+    # The lockstep driver must not equalize clocks across lanes.
+    slots = {net.lane(r).slot for r in range(len(seeds))}
+    assert len(slots) > 1
+
+
+def test_population_validation_mirrors_serial_engines():
+    graph = topology.scenario("path", 6)
+    net = ReplicaBatchedNetwork(graph, 2)
+    devices = net.spawn_devices(lambda v, rng: __import__(
+        "repro.radio.device", fromlist=["Device"]).Device(v, rng))
+    incomplete = {v: d for v, d in devices.items() if v != 0}
+    with pytest.raises(ConfigurationError, match="missing"):
+        net.run_lockstep({0: incomplete}, max_slots=1)
+    with pytest.raises(ConfigurationError, match="unknown replica"):
+        net.run_lockstep({5: devices}, max_slots=1)
+
+
+def test_constructor_validation():
+    graph = topology.scenario("path", 4)
+    with pytest.raises(ConfigurationError, match="replicas"):
+        ReplicaBatchedNetwork(graph, 0)
+    with pytest.raises(ConfigurationError, match="ledger"):
+        ReplicaBatchedNetwork(graph, 3, ledgers=[EnergyLedger()])
+    with pytest.raises(ConfigurationError, match="fault seed"):
+        ReplicaBatchedNetwork(graph, 3, fault_seeds=[None])
+    import networkx as nx
+    with pytest.raises(ConfigurationError, match="undirected"):
+        ReplicaBatchedNetwork(nx.DiGraph([(0, 1)]), 2)
+
+
+def test_single_replica_batch_degenerates_to_fast_engine():
+    """R=1 is legal and still bit-identical to a serial run."""
+    graph = topology.scenario("barbell", 18)
+    net, ledgers, labels = _batched_bfs(graph, [3], CollisionModel.RECEIVER_CD,
+                                        _fault_model("jam_hubs"), depth=18)
+    ref_labels, ref_slot, ref_snapshot, ref_faults, _ = _serial_bfs(
+        graph, 3, CollisionModel.RECEIVER_CD, _fault_model("jam_hubs"), depth=18
+    )
+    assert labels[0] == ref_labels
+    assert net.lane(0).slot == ref_slot
+    assert ledgers[0].snapshot() == ref_snapshot
+    assert net.lane(0).fault_counters.as_dict() == ref_faults

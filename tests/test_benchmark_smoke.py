@@ -42,6 +42,16 @@ def test_bench_bfs_energy_smoke():
     assert engines[0]["metrics"] == engines[1]["metrics"]
 
 
+def test_bench_batch_smoke():
+    module = _load("bench_batch")
+    row = module.smoke(n=48, replicas=4)
+    assert row["replicas"] == 4
+    assert row["topology"] == "complete"
+    # Byte-identity is asserted inside smoke(); here pin the row shape
+    # the committed BENCH_batch.json relies on.
+    assert {"serial_s", "batched_s", "speedup", "time_slots"} <= set(row)
+
+
 def test_bench_diameter_approx_smoke():
     module = _load("bench_diameter_approx")
     two, th = module.smoke()
