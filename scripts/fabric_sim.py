@@ -1,0 +1,272 @@
+#!/usr/bin/env python
+"""End-to-end fabric simulation: split, kill a worker, rebalance, merge.
+
+The acceptance criterion this script enforces (CI job ``fabric-sim``):
+
+    A grid split across 3 workers on the spec-hash ring — one worker
+    SIGKILLed mid-run, the survivors rebalanced with --exclude, and all
+    shard stores merged — yields a store byte-identical per sorted
+    shard to the same grid swept serially on one host, with no
+    duplicate and no shifted-seed cells; and a tampered shard record
+    makes the merge fail loudly instead of corrupting the union.
+
+It drives the real CLI in subprocesses — no in-process shortcuts — so
+the whole fabric stack (ring assignment, per-worker stores, SIGKILL
+recovery, orphan rebalancing, store union, conflict detection) is
+exercised exactly as a fleet would hit it.
+
+Usage:  python scripts/fabric_sim.py [--workdir DIR] [--keep]
+Exit status 0 on success, 1 with a diagnosis on any violated guarantee.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+GRID = [
+    "--topologies", "path", "grid", "expander",
+    "--algorithms", "trivial_bfs", "leader_election", "decay_bfs",
+    "--sizes", "64",
+    "--seeds", "2",
+    "--base-seed", "0",
+]
+TOTAL_CELLS = 3 * 3 * 2
+NUM_WORKERS = 3
+VICTIM = 0
+
+# Serial + one-cell chunks: a durable checkpoint after every cell, so
+# SIGKILL reliably lands with the victim's store part-way written.
+WORKER_FLAGS = ["--serial", "--chunk-size", "1"]
+
+
+def cli(*args):
+    return [sys.executable, "-m", "repro.experiments", *args]
+
+
+def run(*args, check=True):
+    proc = subprocess.run(cli(*args), capture_output=True, text=True)
+    if check and proc.returncode != 0:
+        fail(f"command {' '.join(args[:2])} exited {proc.returncode}:\n"
+             f"{proc.stdout}{proc.stderr}")
+    return proc
+
+
+def fail(message):
+    print(f"fabric_sim: FAIL — {message}")
+    sys.exit(1)
+
+
+def worker_args(worker_id, out, exclude=()):
+    args = ["worker", *GRID, *WORKER_FLAGS, "--out", out,
+            "--worker-id", str(worker_id),
+            "--num-workers", str(NUM_WORKERS)]
+    if exclude:
+        args += ["--exclude", *map(str, exclude)]
+    return args
+
+
+def count_records(store_dir):
+    shard_dir = os.path.join(store_dir, "shards")
+    if not os.path.isdir(shard_dir):
+        return 0
+    total = 0
+    for name in os.listdir(shard_dir):
+        with open(os.path.join(shard_dir, name), "rb") as handle:
+            total += handle.read().count(b"\n")
+    return total
+
+
+def sorted_shard_lines(store_dir):
+    """shard filename -> canonically sorted record lines."""
+    shard_dir = os.path.join(store_dir, "shards")
+    out = {}
+    for name in sorted(os.listdir(shard_dir)):
+        with open(os.path.join(shard_dir, name), "rb") as handle:
+            out[name] = sorted(handle.read().splitlines())
+    return out
+
+
+def executing_count(stdout):
+    """The ``executing N`` count a worker/sweep invocation printed."""
+    for line in stdout.splitlines():
+        if "executing " in line:
+            return int(line.rsplit("executing ", 1)[1].split()[0])
+    fail(f"no 'executing N' line in output:\n{stdout}")
+
+
+def expected_partition():
+    """member -> owned cell hashes, computed with the library ring."""
+    from repro.experiments import HashRing, iter_grid, spec_hash
+
+    specs = list(iter_grid(["path", "grid", "expander"],
+                           ["trivial_bfs", "leader_election", "decay_bfs"],
+                           sizes=64, seeds=2, base_seed=0))
+    assert len(specs) == TOTAL_CELLS
+    ring = HashRing.from_count(NUM_WORKERS)
+    owned = {m: set() for m in ring.members}
+    for spec in specs:
+        h = spec_hash(spec)
+        owned[ring.owner(h)].add(h)
+    return ring, specs, owned
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", default=None,
+                        help="scratch directory (default: a fresh tempdir)")
+    parser.add_argument("--keep", action="store_true",
+                        help="leave the scratch directory behind")
+    parser.add_argument("--timeout", type=float, default=180.0,
+                        help="seconds to wait for checkpoints/processes")
+    args = parser.parse_args()
+
+    ring, specs, owned = expected_partition()
+    from repro.experiments import SweepStore, member_name, spec_hash
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="fabric_sim_")
+    os.makedirs(workdir, exist_ok=True)
+    ref_store = os.path.join(workdir, "reference_store")
+    shard_store = {i: os.path.join(workdir, f"worker-{i}")
+                   for i in range(NUM_WORKERS)}
+    merged_store = os.path.join(workdir, "merged")
+    try:
+        # ---- 1. Uninterrupted single-host reference -----------------
+        run("sweep", *GRID, *WORKER_FLAGS, "--out", ref_store)
+        reference_report = run("report", ref_store).stdout
+        if count_records(ref_store) != TOTAL_CELLS:
+            fail(f"reference store holds {count_records(ref_store)} records, "
+                 f"expected {TOTAL_CELLS}")
+        print(f"serial reference complete: {TOTAL_CELLS} cells")
+
+        # ---- 2. Split across 3 workers; SIGKILL one mid-run ---------
+        victim_owned = len(owned[member_name(VICTIM)])
+        if victim_owned < 2:
+            fail(f"victim worker owns {victim_owned} cell(s); the grid "
+                 f"gives no kill window — adjust GRID")
+        procs = {
+            i: subprocess.Popen(
+                cli(*worker_args(i, shard_store[i])),
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            for i in range(NUM_WORKERS)
+        }
+        deadline = time.monotonic() + args.timeout
+        while count_records(shard_store[VICTIM]) < 1:
+            if procs[VICTIM].poll() is not None:
+                fail("victim worker finished before it could be killed; "
+                     "grid too small or machine too fast")
+            if time.monotonic() > deadline:
+                for proc in procs.values():
+                    proc.kill()
+                fail("timed out waiting for the victim's first checkpoint")
+            time.sleep(0.01)
+        procs[VICTIM].send_signal(signal.SIGKILL)
+        procs[VICTIM].wait()
+        for i, proc in procs.items():
+            if i != VICTIM and proc.wait(timeout=args.timeout) != 0:
+                fail(f"worker {i} exited non-zero")
+        survivors = count_records(shard_store[VICTIM])
+        if not (0 < survivors < victim_owned):
+            fail(f"SIGKILL landed too late: {survivors}/{victim_owned} of "
+                 f"the victim's cells completed")
+        print(f"killed worker {VICTIM} mid-run: {survivors}/{victim_owned} "
+              f"of its cells durably checkpointed; "
+              f"workers 1..{NUM_WORKERS - 1} finished clean")
+
+        # ---- 3. Rebalance the survivors (--exclude the victim) ------
+        # Ownership on the surviving ring moves ONLY the victim's arcs,
+        # so each survivor re-runs exactly the orphans it adopted —
+        # verified against the library ring's own prediction.
+        survivor_ring = ring.without(member_name(VICTIM))
+        for i in range(NUM_WORKERS):
+            if i == VICTIM:
+                continue
+            member = member_name(i)
+            have = SweepStore(shard_store[i], read_only=True).completed_hashes()
+            now_owned = {spec_hash(s) for s in specs
+                         if survivor_ring.owner_of(s) == member}
+            if not now_owned - have:
+                fail(f"worker {i} adopted no orphans; the grid gives no "
+                     f"rebalance coverage — adjust GRID")
+            rebalance = run(*worker_args(i, shard_store[i],
+                                         exclude=[VICTIM]))
+            executed = executing_count(rebalance.stdout)
+            if executed != len(now_owned - have):
+                fail(f"rebalanced worker {i} executed {executed} cell(s), "
+                     f"expected exactly its {len(now_owned - have)} "
+                     f"orphaned cell(s) — rebalance must never re-run "
+                     f"completed or foreign cells")
+            print(f"rebalanced worker {i}: re-ran {executed} orphaned "
+                  f"cell(s) only")
+
+        # ---- 4. Merge every shard store (victim's partial one too) --
+        merge = run("merge", "--into", merged_store,
+                    *(shard_store[i] for i in range(NUM_WORKERS)))
+        print(merge.stdout.strip().splitlines()[-1])
+        merged_records = count_records(merged_store)
+        if merged_records != TOTAL_CELLS:
+            fail(f"merged store holds {merged_records} records, expected "
+                 f"{TOTAL_CELLS} — a duplicate or lost cell slipped "
+                 f"through the union")
+
+        # ---- 5. Byte-identical store + report -----------------------
+        reference = sorted_shard_lines(ref_store)
+        merged = sorted_shard_lines(merged_store)
+        if merged != reference:
+            differing = [name for name in reference
+                         if merged.get(name) != reference[name]]
+            fail(f"merged store differs from the serial reference in "
+                 f"shard(s) {differing} — the fabric broke byte "
+                 f"determinism")
+        print("merged store is byte-identical per sorted shard to the "
+              "serial reference")
+        merged_report = run("report", merged_store).stdout
+        if merged_report != reference_report:
+            fail("report over the merged store differs from the serial "
+                 f"reference:\n--- reference\n{reference_report}"
+                 f"--- merged\n{merged_report}")
+        print("report over the merged store is byte-identical to the "
+              "serial reference")
+
+        # ---- 6. A tampered record must fail the merge loudly --------
+        tampered = os.path.join(workdir, "tampered")
+        shutil.copytree(shard_store[1 if VICTIM != 1 else 2], tampered)
+        shard_dir = os.path.join(tampered, "shards")
+        for name in sorted(os.listdir(shard_dir)):
+            path = os.path.join(shard_dir, name)
+            with open(path, "rb") as handle:
+                lines = handle.read().splitlines(keepends=True)
+            if not lines:
+                continue
+            record = json.loads(lines[0])
+            record["result"]["metrics"]["time_slots"] += 1
+            lines[0] = json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")).encode() + b"\n"
+            with open(path, "wb") as handle:
+                handle.write(b"".join(lines))
+            break
+        clash = run("merge", "--into", merged_store, tampered, check=False)
+        if clash.returncode == 0:
+            fail("merging a tampered store succeeded; determinism "
+                 "violations must raise, not corrupt the union")
+        if "merge conflict" not in clash.stdout + clash.stderr:
+            fail(f"tampered merge failed without naming the conflict:\n"
+                 f"{clash.stdout}{clash.stderr}")
+        if sorted_shard_lines(merged_store) != reference:
+            fail("a failed merge modified the destination store")
+        print("tampered shard record: merge refused with a conflict "
+              "diagnosis, destination untouched")
+        print("fabric_sim: OK")
+    finally:
+        if not args.keep and args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -24,10 +24,27 @@ lockstep over one compiled topology, one sparse product per slot —
 without changing a single result byte (``batch_replicas=1`` opts out;
 see EXPERIMENTS.md and ARCHITECTURE.md).
 
+Sweeps too big for one host shard across a fleet with no coordinator:
+:mod:`repro.experiments.fabric` assigns grid cells to workers by
+consistent hashing of the canonical spec hash (a pure function — every
+host derives the same assignment), each worker checkpoints into a
+local :class:`~repro.experiments.store.SweepStore`, and
+:meth:`~repro.experiments.store.SweepStore.merge` unions the shard
+stores byte-identically, detecting determinism violations.
+
 ``python -m repro.experiments`` exposes the same harness on the
-command line (``run``, ``sweep``, ``report``, ``validate``, ``list``).
+command line (``run``, ``sweep``, ``worker``, ``merge``, ``report``,
+``validate``, ``list``).
 """
 
+from .fabric import (
+    DEFAULT_VIRTUAL_NODES,
+    HashRing,
+    member_name,
+    owned_specs,
+    partition_specs,
+    run_partition,
+)
 from .registry import (
     AlgorithmAdapter,
     BatchAlgorithmAdapter,
@@ -76,7 +93,9 @@ __all__ = [
     "BatchRunContext",
     "DEFAULT_BATCH_REPLICAS",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_VIRTUAL_NODES",
     "ExperimentSpec",
+    "HashRing",
     "FAULT_FIELDS",
     "RESULT_KIND",
     "RESULT_STATUSES",
@@ -96,10 +115,14 @@ __all__ = [
     "get_algorithm",
     "get_batched_algorithm",
     "iter_grid",
+    "member_name",
+    "owned_specs",
+    "partition_specs",
     "register_algorithm",
     "register_batched_algorithm",
     "run_experiment",
     "run_experiment_batch",
+    "run_partition",
     "run_specs",
     "run_sweep",
     "spec_hash",

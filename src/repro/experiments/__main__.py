@@ -7,6 +7,14 @@ Subcommands:
 - ``sweep`` — like ``run``, but resumable: execute the grid through an
   on-disk store (``--out``), checkpointing after every chunk; re-invoke
   with ``--resume`` to skip already-completed cells after a crash;
+- ``worker`` — one member of a distributed sweep: run only the grid
+  cells this worker owns on the spec-hash ring (worker ``I`` of ``W``,
+  no coordination needed) into a local shard store; re-invoke with
+  ``--exclude`` naming dead workers to rebalance, re-running only
+  orphaned cells;
+- ``merge`` — union worker shard stores into one store, byte-identical
+  (per sorted shard) to a single-host run of the same grid; identical
+  replays dedupe, conflicting results raise;
 - ``report`` — aggregate a store into summary tables (completion rate,
   energy, wall time by topology/algorithm/fault);
 - ``validate`` — check JSON files (sweep outputs, ``BENCH_*.json``)
@@ -29,6 +37,7 @@ from ..errors import ConfigurationError, ReproError
 from ..radio.engine import available_engines
 from ..radio.faults import coerce_fault_model, named_fault_models
 from ..radio.topology import scenario_is_deterministic, scenario_names
+from .fabric import HashRing, member_name, owned_specs
 from .registry import algorithm_names, batched_algorithm_names
 from .results import spec_hash
 from .runner import (
@@ -39,7 +48,7 @@ from .runner import (
     validate_file,
 )
 from .spec import COLLISION_MODELS
-from .store import SweepStore
+from .store import DEFAULT_SHARDS, SweepStore
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +113,50 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="record wall-clock timing in store records "
                             "(trades byte-identical store contents for "
                             "wall-time columns in `report`)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="distributed sweep: run only the grid cells this worker "
+             "owns on the spec-hash ring",
+    )
+    _add_grid_arguments(worker)
+    worker.add_argument("--out", metavar="DIR", required=True,
+                        help="this worker's local shard store (created if "
+                             "missing; re-invoking resumes it)")
+    worker.add_argument("--worker-id", type=int, required=True, metavar="I",
+                        help="this worker's index on the ring (0-based)")
+    worker.add_argument("--num-workers", type=int, required=True, metavar="W",
+                        help="total ring membership the fleet was launched "
+                             "with (every worker must agree)")
+    worker.add_argument("--exclude", type=int, nargs="+", default=[],
+                        metavar="ID",
+                        help="rebalance pass: treat these worker ids as "
+                             "departed — their cells re-assign to the "
+                             "survivors, and only orphans not already in "
+                             "--out are re-run")
+    worker.add_argument("--chunk-size", type=int, default=None,
+                        help="cells per durable checkpoint (default: 16)")
+    worker.add_argument("--timing", action="store_true",
+                        help="record wall-clock timing in store records "
+                             "(all stores of one fleet must agree)")
+
+    merge = sub.add_parser(
+        "merge",
+        help="union worker shard stores into one store (byte-identical "
+             "per sorted shard to a single-host run)",
+    )
+    merge.add_argument("--into", metavar="DIR", required=True,
+                       help="destination store (created if missing; may "
+                            "already hold results — identical replays "
+                            "dedupe, conflicts raise)")
+    merge.add_argument("sources", nargs="+", metavar="STORE",
+                       help="source store directories (opened read-only; "
+                            "a dead worker's torn trailing record is "
+                            "dropped from the merged view)")
+    merge.add_argument("--num-shards", type=int, default=DEFAULT_SHARDS,
+                       help="shard count if the destination is created "
+                            f"(default: {DEFAULT_SHARDS}; an existing "
+                            "store keeps its geometry)")
 
     report = sub.add_parser(
         "report", help="aggregate a sweep store into summary tables"
@@ -210,6 +263,78 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    ring = HashRing.from_count(args.num_workers)
+    if args.exclude:
+        ring = ring.without(*{member_name(i) for i in args.exclude})
+    member = member_name(args.worker_id)
+    if member not in ring:
+        raise ConfigurationError(
+            f"worker {args.worker_id} is not on the ring: it must be "
+            f"< --num-workers ({args.num_workers}) and not in --exclude"
+        )
+    # Workers are inherently resumable: a relaunch (or a rebalance
+    # pass) continues the local store, skipping completed cells.
+    store = SweepStore(args.out, include_timing=args.timing)
+    if store.torn_records_dropped:
+        print(f"recovered store: dropped {store.torn_records_dropped} torn "
+              f"trailing record(s) from an interrupted writer")
+    specs = list(iter_grid(
+        args.topologies,
+        args.algorithms,
+        sizes=args.sizes,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        engine=args.engine,
+        collision_model=args.collision_model,
+        fault_model=_parse_fault_model(args.fault_model),
+    ))
+    mine = owned_specs(specs, ring, member)
+    done = store.completed_hashes()
+    complete = sum(spec_hash(spec) in done for spec in mine)
+    print(f"ring: {len(ring.members)} live member(s) of {args.num_workers}; "
+          f"{member} owns {len(mine)}/{len(specs)} cell(s); "
+          f"{complete} already complete; executing {len(mine) - complete}")
+    sweep = run_specs(
+        mine,
+        parallel=not args.serial,
+        max_workers=args.max_workers,
+        store=store,
+        chunk_size=args.chunk_size,
+        batch_replicas=args.batch_replicas,
+    )
+    print(sweep.table(
+        title=f"{member}: {len(sweep)} cell(s) ({sweep.execution})"
+    ))
+    print(f"store {args.out} now holds {len(store)} result(s)")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    sources = []
+    for path in args.sources:
+        src = SweepStore(path, read_only=True)
+        if src.torn_records_dropped:
+            print(f"{path}: dropped {src.torn_records_dropped} torn trailing "
+                  f"record(s) from an interrupted writer")
+        sources.append(src)
+    timings = {src.include_timing for src in sources}
+    if len(timings) > 1:
+        raise ConfigurationError(
+            "cannot merge stores with mixed include_timing record shapes; "
+            "a fleet must agree on --timing"
+        )
+    dest = SweepStore(args.into, num_shards=args.num_shards,
+                      include_timing=timings.pop())
+    for src in sources:
+        counts = dest.merge(src)
+        print(f"{src.path}: merged {counts['merged']} record(s), "
+              f"{counts['deduplicated']} identical replay(s) deduplicated")
+    print(f"store {args.into} now holds {len(dest)} result(s) "
+          f"in {dest.num_shards} shard(s)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     by = tuple(field.strip() for field in args.by.split(",") if field.strip())
     store = SweepStore(args.store, read_only=True)
@@ -279,6 +404,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         if args.command == "report":
             return _cmd_report(args)
         if args.command == "validate":

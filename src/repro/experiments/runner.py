@@ -679,8 +679,16 @@ def validate_document(data: Mapping[str, Any]) -> List[RunResult]:
         return [validate_result_dict(data)]
     if "results" in data:
         entries = data["results"]
-        if not isinstance(entries, list) or not entries:
-            raise ConfigurationError("document 'results' must be a non-empty list")
+        if not isinstance(entries, list):
+            raise ConfigurationError("document 'results' must be a list")
+        if not entries and data.get("kind") != SWEEP_KIND:
+            # An empty grid is a legal sweep — ``run_specs([])`` must
+            # round-trip through its own canonical document — but a
+            # benchmark record with nothing measured is a broken run.
+            raise ConfigurationError(
+                "document 'results' must be a non-empty list "
+                f"(only a {SWEEP_KIND!r} document may be empty)"
+            )
         parsed = []
         for i, entry in enumerate(entries):
             try:

@@ -19,7 +19,10 @@ shard's lines (the pool-vs-serial equivalence test relies on this).
 Crash-recovery contract (the ``kill -9`` guarantee):
 
 - every ``add`` appends a complete line and fsyncs before returning, so
-  an acknowledged record survives process death;
+  an acknowledged record survives process death; appends that *create*
+  a shard file (and the index rename at creation) additionally fsync
+  the containing directory, so the file's very existence survives power
+  loss, not just its contents;
 - a crash *during* an append leaves at most one torn trailing line in
   one shard (record lines never contain interior newlines); on open,
   any bytes after a shard's final newline are detected, dropped, and —
@@ -60,6 +63,24 @@ DEFAULT_SHARDS = 8
 
 _INDEX_NAME = "index.json"
 _SHARD_DIR = "shards"
+
+
+def _fsync_dir(path: str) -> None:
+    """Flush a directory's entry table to disk.
+
+    ``os.fsync`` on a file makes its *contents* durable; making the
+    file's existence (a fresh create, or an ``os.replace`` into place)
+    durable additionally requires fsyncing the directory that holds the
+    entry.  Without this, a power loss can revert a rename or make a
+    freshly-created shard file vanish even though its bytes were
+    fsynced — the two holes the store's ``kill -9`` guarantee must
+    cover once many writers exist.
+    """
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def _record_line(h: str, result_doc: Mapping[str, Any]) -> bytes:
@@ -188,6 +209,11 @@ class SweepStore:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, index_path)
+            # The rename (and the shards/ entry) is only durable once
+            # the store directory itself is fsynced; without this a
+            # power loss can leave a store whose acknowledged creation
+            # never happened.
+            _fsync_dir(self.path)
         except OSError as exc:
             raise ConfigurationError(
                 f"cannot create sweep store at {self.path}: {exc}"
@@ -229,6 +255,17 @@ class SweepStore:
     def _load_shards(self) -> None:
         for shard_path in self._existing_shards():
             shard_index = self._shard_index(shard_path)  # rejects strays
+            if shard_index >= self.num_shards:
+                # Likely a shard copied in from a store with different
+                # geometry (merge mistakes make this easy); loading it
+                # would silently mis-file or garble its records.
+                raise ConfigurationError(
+                    f"shard file {shard_path} has index {shard_index}, "
+                    f"out of range for this store's geometry: "
+                    f"{self.num_shards} shard(s), indexes "
+                    f"00..{self.num_shards - 1:02d}; merge stores with "
+                    f"`SweepStore.merge` instead of copying shard files"
+                )
             try:
                 with open(shard_path, "rb") as handle:
                     data = handle.read()
@@ -360,7 +397,6 @@ class SweepStore:
             raise ConfigurationError(
                 f"store at {self.path} is open read-only"
             )
-        by_shard: Dict[int, List[bytes]] = {}
         staged: Dict[str, Dict[str, Any]] = {}
         for result in results:
             h = spec_hash(result.spec)
@@ -375,16 +411,93 @@ class SweepStore:
                     )
                 continue
             staged[h] = doc
+        self._append_docs(staged)
+        return len(staged)
+
+    def _append_docs(self, staged: Mapping[str, Mapping[str, Any]]) -> None:
+        """Durably append staged ``hash -> result document`` records.
+
+        The single write path under :meth:`add_many` and :meth:`merge`:
+        records are grouped by shard (preserving ``staged`` order within
+        a shard), each touched shard gets one append + fsync, and a
+        shard file that did not exist before its append gets its
+        directory fsynced too — otherwise the *first* record of a shard
+        can vanish on power loss despite the file-level fsync, because
+        the file's directory entry was never made durable.  Callers
+        must have deduplicated/conflict-checked ``staged`` already.
+        """
+        by_shard: Dict[int, List[bytes]] = {}
+        for h, doc in staged.items():
             by_shard.setdefault(self.shard_of(h), []).append(
                 _record_line(h, doc)
             )
+        shard_dir = os.path.join(self.path, _SHARD_DIR)
         for shard in sorted(by_shard):
-            with open(self._shard_path(shard), "ab") as handle:
+            shard_path = self._shard_path(shard)
+            created = not os.path.exists(shard_path)
+            with open(shard_path, "ab") as handle:
                 handle.write(b"".join(by_shard[shard]))
                 handle.flush()
                 os.fsync(handle.fileno())
-        self._records.update(staged)
-        return len(staged)
+            if created:
+                _fsync_dir(shard_dir)
+        self._records.update({h: dict(doc) for h, doc in staged.items()})
+
+    def merge(self, other: Union[str, "SweepStore"]) -> Dict[str, int]:
+        """Union another store's records into this one, shard by shard.
+
+        The multi-writer combining step of the distributed sweep fabric
+        (:mod:`repro.experiments.fabric`): every record of ``other``
+        that this store lacks is durably appended (filed under *this*
+        store's geometry, so the two stores may differ in shard count);
+        a record both stores hold must match byte-for-byte (timing
+        aside) — identical replays dedupe silently, while a conflicting
+        result for one hash means the determinism contract broke
+        between writers and raises
+        :class:`~repro.errors.ConfigurationError` instead of corrupting
+        either store.  Merging is therefore commutative and idempotent:
+        any merge order over any partition (even an overlapping one) of
+        a sweep's cells yields a store whose shards are byte-identical,
+        after a per-shard line sort, to the same sweep run serially on
+        one host.
+
+        ``other`` may be a :class:`SweepStore` or a path (opened
+        read-only, so a dead worker's torn trailing line is dropped
+        from the merged view but its shard is left untouched).  Both
+        stores must agree on ``include_timing`` — record shapes never
+        mix.  Returns ``{"merged": ..., "deduplicated": ...}`` counts.
+        """
+        if self.read_only:
+            raise ConfigurationError(
+                f"store at {self.path} is open read-only"
+            )
+        if isinstance(other, str):
+            other = SweepStore(other, read_only=True)
+        if other.include_timing != self.include_timing:
+            raise ConfigurationError(
+                f"cannot merge {other.path} (include_timing="
+                f"{other.include_timing}) into {self.path} "
+                f"(include_timing={self.include_timing}); one store "
+                f"never mixes record shapes"
+            )
+        staged: Dict[str, Mapping[str, Any]] = {}
+        deduplicated = 0
+        for h in sorted(other._records):
+            doc = other._records[h]
+            mine = self._records.get(h)
+            if mine is not None:
+                if _strip_timing(mine) != _strip_timing(doc):
+                    raise ConfigurationError(
+                        f"merge conflict: hash {h[:12]}… has different "
+                        f"results in {self.path} and {other.path}; "
+                        f"determinism contract violated — refusing to "
+                        f"merge conflicting records"
+                    )
+                deduplicated += 1
+                continue
+            staged[h] = doc
+        self._append_docs(staged)
+        return {"merged": len(staged), "deduplicated": deduplicated}
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, Any]:

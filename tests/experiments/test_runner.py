@@ -197,8 +197,22 @@ class TestValidateDocument:
             validate_document({"hello": "world"})
 
     def test_rejects_empty_results(self):
-        with pytest.raises(ConfigurationError):
+        # No sweep ``kind``: a BENCH-shaped record with nothing measured
+        # is a broken run, not an empty grid.
+        with pytest.raises(ConfigurationError, match="non-empty"):
             validate_document({"results": []})
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            validate_document({"results": [], "kind": "benchmark"})
+
+    def test_empty_sweep_document_round_trips(self):
+        """An empty grid is a legal sweep: ``run_specs([])`` must
+        validate and round-trip through its own canonical document."""
+        sweep = run_specs([], parallel=False)
+        assert len(sweep) == 0
+        doc = sweep.to_dict()
+        assert doc["results"] == []
+        assert validate_document(doc) == []
+        assert SweepResult.from_dict(doc) == sweep
 
     def test_rejects_tampered_result(self):
         sweep = run_sweep(["path"], ["trivial_bfs"], sizes=6, seeds=1,

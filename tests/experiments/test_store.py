@@ -147,6 +147,25 @@ class TestStoreBasics:
         with pytest.raises(ConfigurationError, match="unexpected file"):
             SweepStore(str(tmp_path / "st"))
 
+    def test_out_of_range_shard_index_names_geometry(self, tmp_path, executed):
+        """A shard index past the store's geometry — e.g. shard-08 in an
+        8-shard store, the easy mixed-geometry copy mistake — must be
+        rejected at open with the geometry named, even when the stray
+        file is empty (never silently loaded) and even when non-empty
+        (never a confusing "filed in the wrong shard" error)."""
+        store = SweepStore(str(tmp_path / "st"), num_shards=8)
+        store.add(executed.results[0])
+        stray = tmp_path / "st" / "shards" / "shard-08.jsonl"
+        stray.write_bytes(b"")
+        with pytest.raises(ConfigurationError,
+                           match=r"8 shard\(s\), indexes 00\.\.07"):
+            SweepStore(str(tmp_path / "st"))
+        # Non-empty stray (a record copied from a 16-shard store).
+        valid_line = shard_lines(store)[0] + b"\n"
+        stray.write_bytes(valid_line)
+        with pytest.raises(ConfigurationError, match="out of range"):
+            SweepStore(str(tmp_path / "st"))
+
     def test_shards_without_index_rejected(self, tmp_path):
         os.makedirs(tmp_path / "st" / "shards")
         (tmp_path / "st" / "shards" / "shard-00.jsonl").write_bytes(b"")
@@ -259,3 +278,110 @@ class TestPoolSerialEquivalence:
             a = (tmp_path / "pool" / "shards" / shard).read_bytes()
             b = (tmp_path / "serial" / "shards" / shard).read_bytes()
             assert a == b, f"shard {shard} differs between pool and serial"
+
+
+class TestMerge:
+    """Store-level union: the combining step of the distributed fabric."""
+
+    def split(self, executed, pieces):
+        """Deal the executed results round-robin into ``pieces`` lists."""
+        dealt = [[] for _ in range(pieces)]
+        for i, result in enumerate(executed.results):
+            dealt[i % pieces].append(result)
+        return dealt
+
+    def test_disjoint_merge_equals_direct_store(self, tmp_path, executed):
+        direct = SweepStore(str(tmp_path / "direct"))
+        direct.add_many(list(executed.results))
+        merged = SweepStore(str(tmp_path / "merged"))
+        for i, piece in enumerate(self.split(executed, 3)):
+            src = SweepStore(str(tmp_path / f"w{i}"))
+            src.add_many(piece)
+            counts = merged.merge(src)
+            assert counts == {"merged": len(piece), "deduplicated": 0}
+        assert shard_lines(merged) == shard_lines(direct)
+        assert merged.completed_hashes() == direct.completed_hashes()
+
+    def test_merge_accepts_paths_and_mixed_geometry(self, tmp_path, executed):
+        """Sources re-file under the destination's geometry, so worker
+        stores need not share a shard count with the merged store."""
+        direct = SweepStore(str(tmp_path / "direct"), num_shards=8)
+        direct.add_many(list(executed.results))
+        merged = SweepStore(str(tmp_path / "merged"), num_shards=8)
+        for i, piece in enumerate(self.split(executed, 2)):
+            src = SweepStore(str(tmp_path / f"w{i}"), num_shards=3 + i)
+            src.add_many(piece)
+            merged.merge(str(tmp_path / f"w{i}"))  # by path, read-only
+        assert shard_lines(merged) == shard_lines(direct)
+
+    def test_identical_replays_dedupe(self, tmp_path, executed):
+        """Overlapping assignments (or a re-run of a dead worker's
+        cells) merge silently: same bytes, one record."""
+        a = SweepStore(str(tmp_path / "a"))
+        a.add_many(list(executed.results))
+        b = SweepStore(str(tmp_path / "b"))
+        b.add_many(list(executed.results)[:4])  # full overlap with a
+        counts = a.merge(b)
+        assert counts == {"merged": 0, "deduplicated": 4}
+        assert len(a) == len(executed.results)
+        # Merging a store into itself is a no-op, not an error.
+        assert a.merge(a) == {"merged": 0, "deduplicated": len(a)}
+
+    def test_conflicting_record_raises_and_leaves_dest_untouched(
+            self, tmp_path, executed):
+        from repro.experiments import RunResult
+
+        dest = SweepStore(str(tmp_path / "dest"))
+        dest.add_many(list(executed.results))
+        before = shard_lines(dest)
+        tampered_doc = executed.results[0].to_dict()
+        tampered_doc["metrics"]["time_slots"] += 1
+        src = SweepStore(str(tmp_path / "src"))
+        src.add(RunResult.from_dict(tampered_doc))
+        src.add(executed.results[1])  # a mergeable record alongside
+        with pytest.raises(ConfigurationError, match="merge conflict"):
+            dest.merge(src)
+        # Conflict detection runs before any append: nothing — not even
+        # the non-conflicting record — reached the destination.
+        assert shard_lines(dest) == before
+        assert SweepStore(str(tmp_path / "dest")).completed_hashes() == \
+            dest.completed_hashes()
+
+    def test_timing_shape_mismatch_rejected(self, tmp_path, executed):
+        timed = SweepStore(str(tmp_path / "timed"), include_timing=True)
+        timed.add(executed.results[0])
+        plain = SweepStore(str(tmp_path / "plain"))
+        with pytest.raises(ConfigurationError, match="include_timing"):
+            plain.merge(timed)
+        with pytest.raises(ConfigurationError, match="include_timing"):
+            timed.merge(plain)
+
+    def test_read_only_destination_rejected(self, tmp_path, executed):
+        src = SweepStore(str(tmp_path / "src"))
+        src.add(executed.results[0])
+        dest = SweepStore(str(tmp_path / "dest"))
+        dest.add(executed.results[1])
+        ro = SweepStore(str(tmp_path / "dest"), read_only=True)
+        with pytest.raises(ConfigurationError, match="read-only"):
+            ro.merge(src)
+
+    def test_merge_drops_source_torn_tail(self, tmp_path, executed):
+        """A dead worker's store may end in a torn line; merging by
+        path opens it read-only — the torn record is excluded from the
+        union and the source shard is left untouched."""
+        src = SweepStore(str(tmp_path / "src"))
+        src.add_many(list(executed.results)[:2])
+        # Tear the final record of one shard (drop its last 3 bytes).
+        torn_path = None
+        for name in sorted(os.listdir(tmp_path / "src" / "shards")):
+            path = tmp_path / "src" / "shards" / name
+            if path.stat().st_size:
+                torn_path = path
+        size = torn_path.stat().st_size
+        with open(torn_path, "r+b") as handle:
+            handle.truncate(size - 3)
+        dest = SweepStore(str(tmp_path / "dest"))
+        counts = dest.merge(str(tmp_path / "src"))
+        assert counts == {"merged": 1, "deduplicated": 0}
+        # Read-only open never repaired the source bytes.
+        assert torn_path.stat().st_size == size - 3

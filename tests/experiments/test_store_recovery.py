@@ -18,6 +18,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments import SweepStore, expand_grid, run_specs, spec_hash
 import repro.experiments.runner as runner_module
+import repro.experiments.store as store_module
 
 # Small records (no label lists) keep the per-offset loop fast while
 # still exercising every code path of the recovery logic.
@@ -177,3 +178,67 @@ class TestRecoveryEdges:
         reopened = SweepStore(str(tmp_path / "st"))
         assert len(reopened) == 0
         assert reopened.torn_records_dropped == 0
+
+
+class TestDirectoryDurability:
+    """The directory-entry half of the ``kill -9`` contract: fsyncing a
+    file makes its *contents* durable, but the file's very existence
+    (the index written at creation, a shard created by its first
+    append) is a directory entry, durable only once the containing
+    directory is fsynced.  These tests pin exactly when the store pays
+    that cost — at the windows where a crash could otherwise lose a
+    whole file — and that the recovery path covers the loss."""
+
+    @pytest.fixture
+    def fsynced_dirs(self, monkeypatch):
+        """Record every directory handed to the store's _fsync_dir."""
+        calls = []
+        original = store_module._fsync_dir
+
+        def recording(path):
+            calls.append(os.path.normpath(path))
+            original(path)
+
+        monkeypatch.setattr(store_module, "_fsync_dir", recording)
+        return calls
+
+    def test_create_fsyncs_store_directory(self, tmp_path, fsynced_dirs):
+        """The index rename at creation is followed by a directory
+        fsync, so a fresh store cannot vanish wholesale after __init__
+        returns."""
+        path = str(tmp_path / "st")
+        SweepStore(path)
+        assert os.path.normpath(path) in fsynced_dirs
+
+    def test_first_append_fsyncs_shard_directory_once(self, tmp_path,
+                                                      fsynced_dirs,
+                                                      ground_truth):
+        """Creating a shard file fsyncs the shards directory; appending
+        to an existing shard must not (the entry is already durable and
+        the extra fsync would tax every checkpoint)."""
+        results = list(ground_truth.values())
+        store = SweepStore(str(tmp_path / "st"), num_shards=1)
+        shard_dir = os.path.normpath(os.path.join(store.path, "shards"))
+        fsynced_dirs.clear()
+        store.add(results[0])        # first append creates shard-00.jsonl
+        assert fsynced_dirs == [shard_dir]
+        fsynced_dirs.clear()
+        store.add(results[1])        # same shard file already exists
+        assert fsynced_dirs == []
+
+    def test_vanished_first_append_recovers_on_resume(self, tmp_path):
+        """The failure mode the fsync closes, end to end: if the first
+        append's shard file is lost wholesale (its directory entry was
+        never durable), the store must reopen empty, report every cell
+        incomplete, and a resumed sweep must rebuild the reference
+        bytes."""
+        path = str(tmp_path / "st")
+        store = SweepStore(path, num_shards=1)
+        run_specs(SPECS, parallel=False, store=store)
+        reference = store_bytes(path)
+        os.remove(os.path.join(path, "shards", "shard-00.jsonl"))
+        reopened = SweepStore(path)
+        assert len(reopened) == 0
+        assert all(s not in reopened for s in SPECS)
+        run_specs(SPECS, parallel=False, store=reopened)
+        assert store_bytes(path) == reference

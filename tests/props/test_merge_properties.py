@@ -1,0 +1,178 @@
+"""Property-based tests: store merge reproduces the serial bytes.
+
+The fabric's closing guarantee is that *any* way of splitting a grid
+across workers — including overlapping assignments, a worker killed
+mid-run (partial store, torn trailing record), arbitrary per-worker
+shard geometries, and any merge order — unions back to a store
+byte-identical per sorted shard to the serial single-host store; and
+that the only thing that can break the union, a record whose result
+bytes differ, always raises instead of merging.
+"""
+
+import json
+import os
+import tempfile
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments import SweepStore, expand_grid, run_specs, spec_hash
+
+# Small and fault-free: the property space is in the *splits*, not the
+# cells, so the grid only needs enough cells to make overlap, kill
+# windows, and multi-shard layouts all reachable.
+SPECS = expand_grid(
+    ["path", "grid", "expander"], ["trivial_bfs", "leader_election"],
+    sizes=8, seeds=2, base_seed=7,
+    algorithm_params={"trivial_bfs": {"record_labels": False}},
+)
+GEOMETRIES = (1, 2, 3, 8)
+TORN_BYTES = b'{"spec_hash":"torn-mid-write'   # no newline: a torn tail
+
+
+@lru_cache(maxsize=1)
+def ground_truth():
+    """hash -> RunResult for every cell, computed once."""
+    return {spec_hash(r.spec): r for r in run_specs(SPECS, parallel=False)}
+
+
+@lru_cache(maxsize=None)
+def reference_lines(num_shards):
+    """The serial store's sorted shard lines under a given geometry."""
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SweepStore(os.path.join(tmp, "ref"), num_shards=num_shards)
+        store.add_many([ground_truth()[spec_hash(s)] for s in SPECS])
+        return sorted_shard_lines(store.path)
+
+
+def sorted_shard_lines(path):
+    shard_dir = os.path.join(path, "shards")
+    return {
+        name: sorted(open(os.path.join(shard_dir, name), "rb")
+                     .read().splitlines())
+        for name in sorted(os.listdir(shard_dir))
+    }
+
+
+@st.composite
+def merge_scenarios(draw):
+    """An arbitrary split of the grid across 2-4 simulated workers.
+
+    Overlap is allowed (a cell may be assigned to several workers — the
+    fabric's churn path does exactly that), one worker may be killed
+    mid-run (it keeps only a prefix of its cells, optionally with a
+    torn trailing record on disk), worker stores draw independent shard
+    geometries, and the merge order is an arbitrary permutation.
+    """
+    n_workers = draw(st.integers(min_value=2, max_value=4))
+    owners = [
+        draw(st.sets(st.sampled_from(range(n_workers)), min_size=1))
+        for _ in SPECS
+    ]
+    victim = draw(st.one_of(st.none(),
+                            st.integers(min_value=0, max_value=n_workers - 1)))
+    prefix_frac = draw(st.floats(min_value=0.0, max_value=1.0))
+    torn_tail = draw(st.booleans())
+    geometries = [draw(st.sampled_from(GEOMETRIES)) for _ in range(n_workers)]
+    dest_shards = draw(st.sampled_from((2, 8)))
+    merge_order = draw(st.permutations(range(n_workers)))
+    return (n_workers, owners, victim, prefix_frac, torn_tail, geometries,
+            dest_shards, merge_order)
+
+
+@given(scenario=merge_scenarios())
+@settings(max_examples=40, deadline=None)
+def test_any_split_merges_to_the_serial_bytes(scenario):
+    (n_workers, owners, victim, prefix_frac, torn_tail, geometries,
+     dest_shards, merge_order) = scenario
+    truth = ground_truth()
+
+    # Resolve the kill: the victim durably completed only a prefix of
+    # its cells; cells that thereby lost their only owner re-assign to
+    # an adopter (the fabric's rebalance pass).
+    assigned = [set(cell_owners) for cell_owners in owners]
+    if victim is not None:
+        mine = [i for i, cell in enumerate(assigned) if victim in cell]
+        kept = mine[: int(prefix_frac * len(mine))]
+        for i in mine:
+            if i not in kept:
+                assigned[i].discard(victim)
+                if not assigned[i]:
+                    assigned[i].add((victim + 1) % n_workers)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        expected_records = 0
+        stores = []
+        for w in range(n_workers):
+            store = SweepStore(os.path.join(tmp, f"w{w}"),
+                               num_shards=geometries[w])
+            results = [truth[spec_hash(s)]
+                       for i, s in enumerate(SPECS) if w in assigned[i]]
+            store.add_many(results)
+            expected_records += len(results)
+            stores.append(store.path)
+        if victim is not None and torn_tail:
+            # The kill landed mid-append: a torn, newline-less tail on
+            # one shard.  Read-only merge must drop it, not choke.
+            shard = os.path.join(stores[victim], "shards", "shard-00.jsonl")
+            with open(shard, "ab") as handle:
+                handle.write(TORN_BYTES)
+
+        dest = SweepStore(os.path.join(tmp, "merged"),
+                          num_shards=dest_shards)
+        merged = deduplicated = 0
+        for w in merge_order:
+            counts = dest.merge(stores[w])
+            merged += counts["merged"]
+            deduplicated += counts["deduplicated"]
+
+        # Every cell exactly once; every extra copy deduped; bytes
+        # identical to the serial store of the same geometry.
+        assert merged == len(SPECS)
+        assert deduplicated == expected_records - len(SPECS)
+        assert len(dest) == len(SPECS)
+        assert sorted_shard_lines(dest.path) == reference_lines(dest_shards)
+
+
+@given(
+    cell=st.integers(min_value=0, max_value=len(SPECS) - 1),
+    delta=st.integers(min_value=1, max_value=100),
+    dest_shards=st.sampled_from((2, 8)),
+)
+@settings(max_examples=25, deadline=None)
+def test_conflicting_record_always_raises(cell, delta, dest_shards):
+    """A record whose result differs — any cell, any perturbation —
+    fails the merge with a conflict diagnosis and leaves the
+    destination store untouched."""
+    truth = ground_truth()
+    with tempfile.TemporaryDirectory() as tmp:
+        tampered = SweepStore(os.path.join(tmp, "tampered"))
+        tampered.add_many([truth[spec_hash(s)] for s in SPECS])
+        h = spec_hash(SPECS[cell])
+        shard = os.path.join(
+            tampered.path, "shards",
+            f"shard-{tampered.shard_of(h):02d}.jsonl",
+        )
+        with open(shard, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if record["spec_hash"] == h:
+                record["result"]["metrics"]["time_slots"] += delta
+                lines[i] = json.dumps(
+                    record, sort_keys=True, separators=(",", ":")
+                ).encode() + b"\n"
+                break
+        with open(shard, "wb") as handle:
+            handle.write(b"".join(lines))
+
+        dest = SweepStore(os.path.join(tmp, "merged"),
+                          num_shards=dest_shards)
+        dest.merge(SweepStore(os.path.join(tmp, "w0")).path)  # empty: fine
+        dest.add_many([truth[spec_hash(s)] for s in SPECS])
+        before = sorted_shard_lines(dest.path)
+        with pytest.raises(ConfigurationError, match="merge conflict"):
+            dest.merge(tampered.path)
+        assert sorted_shard_lines(dest.path) == before
