@@ -1,18 +1,14 @@
 #!/usr/bin/env python
 """Fail on broken Sphinx-style cross-references in repro docstrings.
 
-The public API is documented with ``:class:`~repro.x.Y``` /
-``:func:`...``` / ``:mod:`...``` / ``:meth:`X.y``` references.  pdoc
-renders them as plain text, but a reference that names a moved or
-deleted object is still a doc bug — this script walks every module
-under ``repro``, extracts each reference, and resolves it:
+Thin shim kept for existing CI invocations: the checker itself now
+lives in the lint engine as rule DOC001
+(``repro.lintkit.rules.CrossReferenceRule``), which walks docstrings
+statically and resolves each ``:class:`~repro.x.Y``` / ``:meth:`...```
+reference dynamically — owner class first, then the defining module,
+then the longest importable absolute prefix.  Equivalent to::
 
-- absolute targets (``repro.radio.faults.FaultModel``,
-  ``numpy.random.Generator``) must import/getattr cleanly;
-- relative targets (``FaultRuntime.plan`` inside ``repro.radio.faults``)
-  must resolve against the defining module's namespace;
-- unresolvable references are listed with their location, and the
-  script exits non-zero.
+    PYTHONPATH=src python -m repro.lintkit --select DOC001 src/repro
 
 Run locally or in the docs CI job:
 ``PYTHONPATH=src python scripts/check_crossrefs.py``.
@@ -20,112 +16,15 @@ Run locally or in the docs CI job:
 
 from __future__ import annotations
 
-import importlib
-import inspect
-import pkgutil
-import re
+import os
 import sys
 
-ROLE_RE = re.compile(
-    r":(?:py:)?(?:class|func|meth|mod|data|attr|exc|obj):`~?([^`<>]+)`"
-)
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
-#: ``:meth:`plan``-style bare names resolve against these namespaces in
-#: order: the defining module, then builtins.
-_BUILTINS = {"None", "True", "False"}
-
-
-def _iter_modules(package_name: str):
-    package = importlib.import_module(package_name)
-    yield package_name, package
-    for info in pkgutil.walk_packages(package.__path__, prefix=package_name + "."):
-        try:
-            yield info.name, importlib.import_module(info.name)
-        except Exception as exc:  # import failure is itself a doc-build bug
-            print(f"FAIL import {info.name}: {exc}")
-            yield info.name, None
-
-
-def _docstrings(module):
-    """(location, docstring, owner_class) for the module's own members."""
-    if module.__doc__:
-        yield module.__name__, module.__doc__, None
-    for name, member in vars(module).items():
-        if not (inspect.isclass(member) or inspect.isfunction(member)):
-            continue
-        if getattr(member, "__module__", None) != module.__name__:
-            continue  # re-export: checked where it is defined
-        owner = member if inspect.isclass(member) else None
-        if member.__doc__:
-            yield f"{module.__name__}.{name}", member.__doc__, owner
-        if inspect.isclass(member):
-            for attr_name, attr in vars(member).items():
-                if (inspect.isfunction(attr) or isinstance(attr, property)) \
-                        and getattr(attr, "__doc__", None):
-                    yield (f"{module.__name__}.{name}.{attr_name}",
-                           attr.__doc__, member)
-
-
-def _resolve(target: str, module, owner) -> bool:
-    """Can ``target`` be imported / attribute-chained to a real object?
-
-    Resolution mirrors Sphinx: try the enclosing class (for
-    ``:meth:`sibling``` references), then the defining module's
-    namespace, then as an absolute dotted path.
-    """
-    target = target.strip()
-    if not target or target in _BUILTINS:
-        return True
-    parts = target.split(".")
-    # Relative to the enclosing class, then the defining module.
-    for namespace in (owner, module):
-        if namespace is None:
-            continue
-        obj = namespace
-        try:
-            for attr in parts:
-                obj = getattr(obj, attr)
-            return True
-        except AttributeError:
-            pass
-    # Absolute: longest importable module prefix, then getattr the rest.
-    for cut in range(len(parts), 0, -1):
-        prefix = ".".join(parts[:cut])
-        try:
-            obj = importlib.import_module(prefix)
-        except ImportError:
-            continue
-        try:
-            for attr in parts[cut:]:
-                obj = getattr(obj, attr)
-            return True
-        except AttributeError:
-            break
-    return False
-
-
-def main() -> int:
-    failures = []
-    checked = 0
-    for module_name, module in _iter_modules("repro"):
-        if module is None:
-            failures.append((module_name, "<module failed to import>"))
-            continue
-        for location, doc, owner in _docstrings(module):
-            for match in ROLE_RE.finditer(doc):
-                checked += 1
-                target = match.group(1)
-                if not _resolve(target, module, owner):
-                    failures.append((location, target))
-    if failures:
-        print(f"{len(failures)} broken cross-reference(s) "
-              f"(of {checked} checked):")
-        for location, target in failures:
-            print(f"  {location}: unresolved reference {target!r}")
-        return 1
-    print(f"all {checked} cross-references resolve")
-    return 0
-
+from repro.lintkit.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(
+        ["--select", "DOC001", "--root", _REPO_ROOT, "src/repro"]
+    ))

@@ -47,7 +47,7 @@ from ..radio.energy import EnergyLedger
 from ..radio.engine import Engine, SlotExecutorView, make_network
 from ..radio.faults import FaultCounters
 from ..rng import spawn_streams
-from .results import encode_labels
+from .results import encode_labels, labels_digest
 from .spec import ExperimentSpec
 
 #: Adapter protocol: consume a run context, return the output payload.
@@ -381,11 +381,7 @@ def _labels_output(ctx: RunContext, labels: Mapping[Any, float]) -> Dict[str, An
     if ctx.params.get("record_labels", True):
         out["labels"] = encoded
     else:
-        import hashlib
-        import json
-
-        canonical = json.dumps(encoded, sort_keys=True, allow_nan=False)
-        out["labels_sha256"] = hashlib.sha256(canonical.encode()).hexdigest()
+        out["labels_sha256"] = labels_digest(encoded)
     return out
 
 

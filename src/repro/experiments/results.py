@@ -154,6 +154,19 @@ def decode_labels(pairs: List[List[Any]]) -> Dict[Hashable, float]:
     }
 
 
+def labels_digest(encoded: List[List[Any]]) -> str:
+    """SHA-256 hex digest of an :func:`encode_labels` document.
+
+    The preimage is pinned here, in the canonical-serialization module,
+    because committed BENCH digests (``labels_sha256``) compare against
+    these exact bytes — including ``json.dumps``'s *default* separators.
+    Changing any kwarg silently invalidates every stored digest, so the
+    call must not be "fixed" to the compact canonical separators.
+    """
+    canonical = json.dumps(encoded, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 @dataclass(frozen=True)
 class RunResult:
     """The uniform outcome of executing one :class:`ExperimentSpec`.

@@ -1,0 +1,117 @@
+"""Findings, the rule protocol, and the rule registry.
+
+A *rule* is a named invariant checker: it receives one parsed module
+(:class:`~repro.lintkit.engine.ModuleContext`) and yields
+:class:`Finding` objects for every violation it can prove from the
+AST.  Rules register themselves with :func:`register_rule` exactly the
+way algorithms register with
+:func:`~repro.experiments.registry.register_algorithm`: the registry is
+the extension point, so future invariants (SINR arbitration purity,
+dynamic-membership safety checks) become new rule classes, not engine
+changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Tuple, Type
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import ModuleContext
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordering is ``(path, line, col, rule)`` so reports are stable
+    regardless of rule execution order — the linter's own output is
+    held to the determinism discipline it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The ruff-style report line: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The identity used by baseline matching.
+
+        Deliberately excludes line/column so a grandfathered finding
+        survives unrelated edits above it; see
+        :mod:`repro.lintkit.baseline`.
+        """
+        return (self.path, self.rule, self.message)
+
+
+class Rule(ABC):
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, then implement
+    :meth:`check`.  A rule instance is constructed once per run and
+    invoked once per in-scope module.
+    """
+
+    #: Stable identifier, e.g. ``"DET001"`` — what suppressions,
+    #: baselines, ``--select``, and scope configuration refer to.
+    rule_id: str = ""
+
+    #: One-line description shown by ``--list-rules``.
+    summary: str = ""
+
+    @abstractmethod
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        """Yield findings for one module."""
+
+    def finding(self, ctx: "ModuleContext", line: int, col: int,
+                message: str) -> Finding:
+        """Build a finding for this rule at a location in ``ctx``."""
+        return Finding(path=ctx.relpath, line=line, col=col,
+                       rule=self.rule_id, message=message)
+
+
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator installing a rule under its ``rule_id``."""
+    if not cls.rule_id:
+        raise ConfigurationError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _RULES:
+        raise ConfigurationError(f"rule {cls.rule_id!r} is already registered")
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def rule_ids() -> Tuple[str, ...]:
+    """All registered rule ids, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look up a rule class, failing loudly for unknown ids."""
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown rule {rule_id!r}; registered: {', '.join(rule_ids())}"
+        ) from None
+
+
+def make_rules(select: Tuple[str, ...] = ()) -> List[Rule]:
+    """Instantiate the selected rules (all registered ones by default)."""
+    ids = select or rule_ids()
+    return [get_rule(rule_id)() for rule_id in ids]
+
+
+#: Signature of the hook third-party extensions use to add rules:
+#: decorate a :class:`Rule` subclass with :func:`register_rule`.
+RuleFactory = Callable[[], Rule]

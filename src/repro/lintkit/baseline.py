@@ -1,0 +1,95 @@
+"""Baseline I/O: grandfathered findings that don't fail the build.
+
+A baseline line is ``path::RULE::message`` — deliberately *without*
+line/column, so a grandfathered finding keeps matching while unrelated
+edits move it around the file.  Matching is multiplicity-aware: a
+baseline entry absorbs at most as many findings as it occurs in the
+file, so adding a *second* instance of a grandfathered violation still
+fails.
+
+The committed baseline (``.lintkit-baseline``) is empty: every real
+violation in the tree was fixed, not grandfathered.  The file exists so
+the mechanism stays exercised and documented.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from ..errors import ConfigurationError
+from .base import Finding
+
+_SEP = "::"
+
+_HEADER = (
+    "# lintkit baseline: grandfathered findings, one `path::RULE::message`\n"
+    "# per line.  Kept empty on purpose — fix violations, don't baseline\n"
+    "# them.  Regenerate with `python -m repro.lintkit --write-baseline`.\n"
+)
+
+BaselineKey = Tuple[str, str, str]
+
+
+def parse_baseline(text: str, source: str) -> "Counter[BaselineKey]":
+    """Parse baseline text into a multiset of finding keys."""
+    entries: "Counter[BaselineKey]" = Counter()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(_SEP, 2)
+        if len(parts) != 3 or not all(parts[:2]):
+            raise ConfigurationError(
+                f"{source}:{lineno}: malformed baseline entry "
+                f"(expected path{_SEP}RULE{_SEP}message): {raw!r}"
+            )
+        entries[(parts[0], parts[1], parts[2])] += 1
+    return entries
+
+
+def load_baseline(path: str) -> "Counter[BaselineKey]":
+    """Load a baseline file; a missing file is an empty baseline."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except FileNotFoundError:
+        return Counter()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from None
+    return parse_baseline(text, path)
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the baseline for the given findings; returns entry count.
+
+    The linter's own output obeys the determinism discipline it
+    enforces: entries are sorted, duplicates preserved.
+    """
+    keys = sorted(f.baseline_key() for f in findings)
+    lines = [_HEADER]
+    lines.extend(_SEP.join(key) + "\n" for key in keys)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    return len(keys)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: "Counter[BaselineKey]"
+) -> Tuple[List[Finding], "Counter[BaselineKey]"]:
+    """Split findings into (new, absorbed-count-per-key).
+
+    Findings are consumed in sorted report order, so which duplicate of
+    an over-budget key gets reported is deterministic.
+    """
+    remaining = Counter(baseline)
+    fresh: List[Finding] = []
+    absorbed: "Counter[BaselineKey]" = Counter()
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            absorbed[key] += 1
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

@@ -435,15 +435,19 @@ def _register_default_scenarios() -> None:
                       deterministic=True)
     register_scenario("complete", lambda n, seed=None: complete_graph(max(2, n)),
                       deterministic=True)
-    register_scenario("tree", lambda n, seed=None: random_tree(n, seed=seed))
+    register_scenario("tree", lambda n, seed=None: random_tree(n, seed=seed),
+                      deterministic=False)
     register_scenario(
-        "geometric", lambda n, seed=None: random_geometric(n, seed=seed)
+        "geometric", lambda n, seed=None: random_geometric(n, seed=seed),
+        deterministic=False,
     )
     register_scenario(
-        "dense_geometric", lambda n, seed=None: dense_geometric(n, seed=seed)
+        "dense_geometric", lambda n, seed=None: dense_geometric(n, seed=seed),
+        deterministic=False,
     )
     register_scenario(
-        "erdos_renyi", lambda n, seed=None: erdos_renyi(n, seed=seed)
+        "erdos_renyi", lambda n, seed=None: erdos_renyi(n, seed=seed),
+        deterministic=False,
     )
     register_scenario(
         "caterpillar",
@@ -477,10 +481,12 @@ def _register_default_scenarios() -> None:
     register_scenario("wheel", lambda n, seed=None: wheel(max(3, n - 1)),
                       deterministic=True)
     register_scenario(
-        "expander", lambda n, seed=None: expander(max(6, n), 4, seed=seed)
+        "expander", lambda n, seed=None: expander(max(6, n), 4, seed=seed),
+        deterministic=False,
     )
     register_scenario(
-        "small_world", lambda n, seed=None: small_world(max(5, n), seed=seed)
+        "small_world", lambda n, seed=None: small_world(max(5, n), seed=seed),
+        deterministic=False,
     )
     register_scenario(
         "star_of_paths",
@@ -491,7 +497,8 @@ def _register_default_scenarios() -> None:
         deterministic=True,
     )
     register_scenario(
-        "power_law", lambda n, seed=None: power_law(max(3, n), seed=seed)
+        "power_law", lambda n, seed=None: power_law(max(3, n), seed=seed),
+        deterministic=False,
     )
 
 

@@ -1,0 +1,56 @@
+"""Shared helpers for the lintkit test suite."""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, List, Mapping, Optional
+
+import pytest
+
+from repro.lintkit import make_rules
+from repro.lintkit.base import Finding
+from repro.lintkit.config import DEFAULT_OPTIONS, LintConfig
+from repro.lintkit.engine import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+FIXTURE_DIR = pathlib.Path(__file__).parent / "fixtures"
+
+
+def _lint_one(rule_id: str, path: pathlib.Path,
+              options: Optional[Mapping[str, Mapping[str, Any]]] = None,
+              ) -> List[Finding]:
+    """Run one rule over one file, scoped to match everything."""
+    config = LintConfig(
+        root=str(path.parent),
+        scopes={rule_id: ("**",)},
+        options=dict(DEFAULT_OPTIONS) if options is None else dict(options),
+    )
+    findings, checked = lint_paths([str(path)], config, make_rules((rule_id,)))
+    assert checked == 1
+    return findings
+
+
+@pytest.fixture
+def lint_one():
+    """The single-rule, single-file lint helper."""
+    return _lint_one
+
+
+@pytest.fixture
+def fixture_dir() -> pathlib.Path:
+    return FIXTURE_DIR
+
+
+@pytest.fixture
+def repo_root() -> pathlib.Path:
+    return REPO_ROOT
+
+
+@pytest.fixture
+def write_module(tmp_path):
+    """Write a source snippet to a temp module and return its path."""
+    def _write(source: str, name: str = "mod.py") -> pathlib.Path:
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return path
+    return _write

@@ -1,0 +1,10 @@
+"""DET001 clean fixture: explicit generators and monotonic timers."""
+
+import time
+
+import numpy as np
+
+
+def jitter(rng: np.random.Generator) -> float:
+    gen = np.random.default_rng(7)
+    return rng.random() + gen.random() + time.perf_counter()

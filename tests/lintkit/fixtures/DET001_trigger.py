@@ -1,0 +1,11 @@
+"""DET001 trigger fixture: ambient randomness and wall-clock calls."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter():
+    np.random.seed(7)
+    return random.random() + time.time()

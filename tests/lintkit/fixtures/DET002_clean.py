@@ -1,0 +1,11 @@
+"""DET002 clean fixture: every unordered source goes through sorted()."""
+
+
+def serialize(doc):
+    out = []
+    for key in sorted(doc.keys()):
+        out.append(key)
+    names = {str(n) for n in out}
+    ordered = sorted(names)
+    total = sum(x for x in {1, 2, 3})
+    return ordered + [total]

@@ -1,0 +1,10 @@
+"""DET002 trigger fixture: unordered iteration on a serialized path."""
+
+
+def serialize(doc):
+    out = []
+    for key in doc.keys():
+        out.append(key)
+    names = {str(n) for n in out}
+    listed = list(names)
+    return [x for x in {1, 2, 3}] + listed

@@ -1,0 +1,12 @@
+"""DET003 clean fixture: canonical kwargs (or an opaque splat)."""
+
+import json
+
+CANON = {"sort_keys": True, "separators": (",", ":")}
+
+
+def dump(doc):
+    compact = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    pretty = json.dumps(doc, sort_keys=True, indent=2)
+    splat = json.dumps(doc, **CANON)
+    return compact + pretty + splat

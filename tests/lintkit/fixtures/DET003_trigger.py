@@ -1,0 +1,9 @@
+"""DET003 trigger fixture: json.dumps without canonical kwargs."""
+
+import json
+
+
+def dump(doc):
+    bare = json.dumps(doc)
+    unsorted_bytes = json.dumps(doc, sort_keys=True)
+    return bare + unsorted_bytes

@@ -1,0 +1,17 @@
+"""DOC001 clean fixture: :func:`helper` and :class:`Widget` resolve."""
+
+
+class Widget:
+    """Owns :meth:`ping`, referenced from its own docstring."""
+
+    def ping(self):
+        """Returns via :class:`Widget` and sibling :meth:`ping`."""
+        return None
+
+
+def helper():
+    """See :func:`helper` and :data:`VALUE`."""
+    return VALUE
+
+
+VALUE = 3

@@ -1,0 +1,6 @@
+"""DOC001 trigger fixture: :func:`missing_function` does not exist."""
+
+
+def helper():
+    """See :meth:`also_missing` for details."""
+    return None

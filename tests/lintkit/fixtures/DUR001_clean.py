@@ -1,0 +1,16 @@
+"""DUR001 clean fixture: writes confined to an allowed-writer helper."""
+
+import os
+
+
+class SweepStore:
+    def _create(self, path, tmp, payload):
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def read(self, path):
+        with open(path, "rb") as handle:
+            return handle.read()

@@ -1,0 +1,10 @@
+"""DUR001 trigger fixture: raw writes outside the allowed helpers."""
+
+import os
+
+
+def save(path, tmp, data):
+    with open(tmp, "w") as handle:
+        handle.write(data)
+    path.write_text(data)
+    os.replace(tmp, path)

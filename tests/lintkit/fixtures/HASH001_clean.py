@@ -1,0 +1,17 @@
+"""HASH001 clean fixture: identity fields == serialized keys."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    topology: str
+    seed: int
+    fault_model: Optional[str] = None
+    batch_replicas: Optional[int] = field(default=None, compare=False)
+
+    def to_dict(self):
+        doc = {"topology": self.topology, "seed": self.seed}
+        doc["fault_model"] = self.fault_model
+        return doc

@@ -1,0 +1,17 @@
+"""HASH001 trigger fixture: spec fields drifted from the serializer."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    topology: str
+    seed: int
+    drift: int
+    batch_replicas: Optional[int] = field(default=None, compare=False)
+
+    def to_dict(self):
+        doc = {"topology": self.topology, "seed": self.seed}
+        doc["batch_replicas"] = self.batch_replicas
+        return doc

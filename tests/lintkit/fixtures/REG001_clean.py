@@ -1,0 +1,13 @@
+"""REG001 clean fixture: contracts stated explicitly."""
+
+from repro.experiments.registry import register_algorithm
+from repro.radio.topology import register_scenario
+
+
+@register_algorithm("good")
+def _run_good(ctx):
+    return {}
+
+
+register_scenario("fixture_tree", lambda n, seed=None: None,
+                  deterministic=False)

@@ -1,0 +1,12 @@
+"""REG001 trigger fixture: adapter/scenario contract violations."""
+
+from repro.experiments.registry import register_algorithm
+from repro.radio.topology import register_scenario
+
+
+@register_algorithm("bad")
+def _run_bad(ctx, extra_knob):
+    return {"extra": extra_knob}
+
+
+register_scenario("fixture_tree", lambda n, seed=None: None)

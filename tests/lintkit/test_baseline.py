@@ -1,0 +1,62 @@
+"""Baseline round-trips: write, load, absorb — with multiplicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lintkit.base import Finding
+from repro.lintkit.baseline import (
+    apply_baseline,
+    load_baseline,
+    parse_baseline,
+    write_baseline,
+)
+
+
+def _finding(line, message="msg", path="pkg/mod.py", rule="DET001"):
+    return Finding(path=path, line=line, col=1, rule=rule, message=message)
+
+
+def test_round_trip_absorbs_everything(tmp_path):
+    findings = [_finding(2), _finding(9, message="other")]
+    baseline_file = tmp_path / "baseline"
+    assert write_baseline(str(baseline_file), findings) == 2
+    baseline = load_baseline(str(baseline_file))
+    fresh, absorbed = apply_baseline(findings, baseline)
+    assert fresh == []
+    assert sum(absorbed.values()) == 2
+
+
+def test_baseline_survives_line_moves(tmp_path):
+    baseline_file = tmp_path / "baseline"
+    write_baseline(str(baseline_file), [_finding(2)])
+    moved = _finding(40)  # same path/rule/message, different line
+    fresh, _ = apply_baseline([moved], load_baseline(str(baseline_file)))
+    assert fresh == []
+
+
+def test_multiplicity_second_instance_still_fails(tmp_path):
+    baseline_file = tmp_path / "baseline"
+    write_baseline(str(baseline_file), [_finding(2)])
+    duplicated = [_finding(2), _finding(7)]  # identical baseline keys
+    fresh, absorbed = apply_baseline(sorted(duplicated),
+                                     load_baseline(str(baseline_file)))
+    assert [f.line for f in fresh] == [7]
+    assert sum(absorbed.values()) == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(str(tmp_path / "nope")) == {}
+
+
+def test_comments_and_blanks_are_ignored():
+    parsed = parse_baseline(
+        "# header\n\npkg/mod.py::DET001::msg\n", "inline"
+    )
+    assert sum(parsed.values()) == 1
+
+
+def test_malformed_entry_raises():
+    with pytest.raises(ConfigurationError):
+        parse_baseline("not-a-baseline-line\n", "inline")
