@@ -24,9 +24,11 @@ from typing import (
     Hashable,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
+    Tuple,
     Union,
 )
 
@@ -36,6 +38,7 @@ from ..errors import ConfigurationError
 from ..primitives.decay import (
     run_decay_local_broadcast,
     run_decay_local_broadcast_batch,
+    run_decay_local_broadcast_mega,
 )
 from ..primitives.lb_graph import LBGraph
 from ..radio.engine import Engine, coerce_network
@@ -43,7 +46,7 @@ from ..radio.message import message_of_ints
 from ..rng import SeedLike, make_rng
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..radio.batch_engine import ReplicaBatchedNetwork
+    from ..radio.batch_engine import MegaBatchedNetwork, ReplicaBatchedNetwork
 
 
 def trivial_bfs(
@@ -229,5 +232,86 @@ def decay_bfs_batch(
 
     for labels in dist:
         for v in vertices:
+            labels.setdefault(v, math.inf)
+    return dist
+
+
+def decay_bfs_mega(
+    network: "MegaBatchedNetwork",
+    sources: Mapping[int, Union[Hashable, Iterable[Hashable]]],
+    depth_budgets: Mapping[int, int],
+    failure_probabilities: Union[float, Mapping[int, float]] = 1e-3,
+    seeds: Optional[Mapping[Tuple[int, int], SeedLike]] = None,
+) -> Dict[Tuple[int, int], Dict[Hashable, float]]:
+    """:func:`decay_bfs` for every lane of a heterogeneous mega batch.
+
+    The cross-topology sibling of :func:`decay_bfs_batch`: ``network``
+    is a :class:`~repro.radio.batch_engine.MegaBatchedNetwork` whose
+    members carry *different* topologies; ``sources``,
+    ``depth_budgets``, and (optionally) ``failure_probabilities`` are
+    keyed by member index, while ``seeds`` maps each
+    ``(member, replica)`` lane to its protocol stream.  Every Decay
+    phase fuses all still-active lanes — of every member — into one
+    block-diagonal sparse product per slot
+    (:func:`~repro.primitives.decay.run_decay_local_broadcast_mega`),
+    with each member running its own
+    :class:`~repro.primitives.decay.DecayParameters`.
+
+    Per lane, the wavefront, randomness, executed slot count, and
+    distance labels are **bit-identical** to a serial :func:`decay_bfs`
+    run of that lane alone; lanes retire individually as their depth
+    budget or wavefront is exhausted.  Returns ``{(member, replica):
+    labels}`` covering every lane of every member.
+    """
+    seeds = seeds or {}
+    source_sets: Dict[int, Set[Hashable]] = {}
+    vertices: Dict[int, List[Hashable]] = {}
+    for m, member in enumerate(network.members):
+        if m not in depth_budgets:
+            raise ConfigurationError(f"no depth budget for member {m}")
+        source_sets[m] = _coerce_sources(member.graph, sources[m])
+        vertices[m] = list(member.graph.nodes)
+    keys = [
+        (m, r)
+        for m, member in enumerate(network.members)
+        for r in range(member.replicas)
+    ]
+    rngs = {key: make_rng(seeds.get(key)) for key in keys}
+    dist: Dict[Tuple[int, int], Dict[Hashable, float]] = {
+        (m, r): {s: 0.0 for s in source_sets[m]} for m, r in keys
+    }
+    active = list(keys)
+    d = 0
+    while active:
+        rounds = {}
+        for key in active:
+            m, _ = key
+            if d >= depth_budgets[m]:
+                continue
+            frontier = {u for u, du in dist[key].items() if du == d}
+            if not frontier:
+                continue
+            receivers = [v for v in vertices[m] if v not in dist[key]]
+            if not receivers:
+                continue
+            messages = {u: message_of_ints(u, d, kind="bfs") for u in frontier}
+            rounds[key] = (messages, receivers)
+        if not rounds:
+            break
+        active = sorted(rounds)
+        heard_by_lane = run_decay_local_broadcast_mega(
+            network,
+            rounds,
+            failure_probability=failure_probabilities,
+            seeds={key: rngs[key] for key in active},
+        )
+        for key, heard in heard_by_lane.items():
+            for v, msg in heard.items():
+                hop = msg.payload[0]
+                dist[key][v] = float(hop) + 1.0
+        d += 1
+
+    for (m, _), labels in dist.items():
+        for v in vertices[m]:
             labels.setdefault(v, math.inf)
     return dist

@@ -49,13 +49,18 @@ from .registry import (
     AlgorithmAdapter,
     BatchAlgorithmAdapter,
     BatchRunContext,
+    MegaAlgorithmAdapter,
+    MegaRunContext,
     RunContext,
     algorithm_names,
     batched_algorithm_names,
     get_algorithm,
     get_batched_algorithm,
+    get_mega_algorithm,
+    mega_algorithm_names,
     register_algorithm,
     register_batched_algorithm,
+    register_mega_algorithm,
 )
 from .results import (
     FAULT_FIELDS,
@@ -73,18 +78,21 @@ from .results import (
 from .runner import (
     DEFAULT_BATCH_REPLICAS,
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_MEGA_BATCH,
     SweepResult,
     expand_grid,
     iter_grid,
     run_experiment,
     run_experiment_batch,
+    run_experiment_mega,
     run_specs,
     run_sweep,
     spec_is_batchable,
+    spec_is_mega_batchable,
     validate_document,
     validate_file,
 )
-from .spec import ExperimentSpec
+from .spec import ExecutionPolicy, ExperimentSpec, execution_backends
 from .store import STORE_VERSION, SweepStore
 
 __all__ = [
@@ -93,10 +101,14 @@ __all__ = [
     "BatchRunContext",
     "DEFAULT_BATCH_REPLICAS",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_MEGA_BATCH",
     "DEFAULT_VIRTUAL_NODES",
+    "ExecutionPolicy",
     "ExperimentSpec",
     "HashRing",
     "FAULT_FIELDS",
+    "MegaAlgorithmAdapter",
+    "MegaRunContext",
     "RESULT_KIND",
     "RESULT_STATUSES",
     "RunContext",
@@ -111,22 +123,28 @@ __all__ = [
     "batched_algorithm_names",
     "decode_labels",
     "encode_labels",
+    "execution_backends",
     "expand_grid",
     "get_algorithm",
     "get_batched_algorithm",
+    "get_mega_algorithm",
     "iter_grid",
+    "mega_algorithm_names",
     "member_name",
     "owned_specs",
     "partition_specs",
     "register_algorithm",
     "register_batched_algorithm",
+    "register_mega_algorithm",
     "run_experiment",
     "run_experiment_batch",
+    "run_experiment_mega",
     "run_partition",
     "run_specs",
     "run_sweep",
     "spec_hash",
     "spec_is_batchable",
+    "spec_is_mega_batchable",
     "validate_document",
     "validate_file",
     "validate_result_dict",

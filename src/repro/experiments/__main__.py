@@ -37,8 +37,13 @@ from ..errors import ConfigurationError, ReproError
 from ..radio.engine import available_engines
 from ..radio.faults import coerce_fault_model, named_fault_models
 from ..radio.topology import scenario_is_deterministic, scenario_names
+from ..radio.kernels import get_kernel, kernel_names
 from .fabric import HashRing, member_name, owned_specs
-from .registry import algorithm_names, batched_algorithm_names
+from .registry import (
+    algorithm_names,
+    batched_algorithm_names,
+    mega_algorithm_names,
+)
 from .results import spec_hash
 from .runner import (
     DEFAULT_BATCH_REPLICAS,
@@ -47,7 +52,7 @@ from .runner import (
     run_sweep,
     validate_file,
 )
-from .spec import COLLISION_MODELS
+from .spec import COLLISION_MODELS, ExecutionPolicy, execution_backends
 from .store import DEFAULT_SHARDS, SweepStore
 
 
@@ -80,6 +85,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                              "(1 disables batching; default: "
                              f"{DEFAULT_BATCH_REPLICAS}; results are "
                              "byte-identical either way)")
+    parser.add_argument("--backend", choices=execution_backends(),
+                        default=None,
+                        help="slot-kernel backend for batch-capable cells "
+                             "('megabatch' additionally fuses adjacent "
+                             "cells of different topologies into one "
+                             "block-diagonal engine run; results are "
+                             "byte-identical for every backend)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -196,6 +208,20 @@ def _parse_fault_model(text: Optional[str]):
     return coerce_fault_model(text)
 
 
+def _policy_from_args(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
+    """The sweep-wide :class:`ExecutionPolicy` a CLI invocation implies.
+
+    ``run``, ``sweep``, and ``worker`` share the exact same semantics:
+    ``--backend`` becomes the policy's backend (``--batch-replicas``
+    travels separately, as the runner's replica cap).  ``None`` when no
+    execution knob was given, so defaults stay in one place — the
+    runner.
+    """
+    if args.backend is None:
+        return None
+    return ExecutionPolicy(backend=args.backend)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sweep = run_sweep(
         args.topologies,
@@ -209,6 +235,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         parallel=not args.serial,
         max_workers=args.max_workers,
         batch_replicas=args.batch_replicas,
+        policy=_policy_from_args(args),
     )
     print(sweep.table(
         title=f"sweep: {len(sweep)} cells ({sweep.execution})"
@@ -255,6 +282,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         chunk_size=args.chunk_size,
         batch_replicas=args.batch_replicas,
+        policy=_policy_from_args(args),
     )
     print(sweep.table(
         title=f"sweep: {len(sweep)} cells ({sweep.execution})"
@@ -302,6 +330,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         store=store,
         chunk_size=args.chunk_size,
         batch_replicas=args.batch_replicas,
+        policy=_policy_from_args(args),
     )
     print(sweep.table(
         title=f"{member}: {len(sweep)} cell(s) ({sweep.execution})"
@@ -365,24 +394,34 @@ def _cmd_list() -> int:
 
     Topologies are annotated with ``*`` when seed-deterministic (the
     precondition for replica batching), algorithms with ``*`` when a
-    replica-batched adapter exists; fault presets are expanded to their
-    layer stacks so ``--fault-model`` values are discoverable without
-    reading source.
+    replica-batched adapter exists and ``**`` when a heterogeneous
+    mega-batched adapter exists too; kernel backends that would fall
+    back (their optional dependency is missing) say so; fault presets
+    are expanded to their layer stacks so ``--fault-model`` values are
+    discoverable without reading source.
     """
     def starred(name: str, mark: bool) -> str:
         return f"{name}*" if mark else name
 
     batched = set(batched_algorithm_names())
+    mega = set(mega_algorithm_names())
     print("topologies:      ", ", ".join(
         starred(name, scenario_is_deterministic(name))
         for name in scenario_names()
     ))
     print("                  (* = seed-deterministic: batch-eligible)")
     print("algorithms:      ", ", ".join(
-        starred(name, name in batched) for name in algorithm_names()
+        starred(starred(name, name in batched), name in mega)
+        for name in algorithm_names()
     ))
-    print("                  (* = has a replica-batched adapter)")
+    print("                  (* = has a replica-batched adapter; "
+          "** = mega-batched too)")
     print("engines:         ", ", ".join(available_engines()))
+    print("backends:        ", ", ".join(
+        name if get_kernel(name).available()
+        else f"{name} (unavailable: falls back)"
+        for name in kernel_names()
+    ) + ", megabatch")
     print("collision models:", ", ".join(COLLISION_MODELS))
     print("fault models:")
     for name, model in sorted(named_fault_models().items()):

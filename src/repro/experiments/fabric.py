@@ -59,7 +59,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..errors import ConfigurationError
 from .results import spec_hash
 from .runner import SweepResult, run_specs
-from .spec import ExperimentSpec
+from .spec import ExecutionPolicy, ExperimentSpec
 from .store import SweepStore
 
 #: Virtual nodes per ring member.  More virtual nodes smooth the arc
@@ -273,6 +273,7 @@ def run_partition(
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     batch_replicas: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> SweepResult:
     """Run exactly one worker's cells of a grid into its local store.
 
@@ -298,4 +299,5 @@ def run_partition(
         store=store,
         chunk_size=chunk_size,
         batch_replicas=batch_replicas,
+        policy=policy,
     )

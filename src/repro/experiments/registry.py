@@ -32,7 +32,7 @@ import numpy as np
 from ..clustering.distributed import charged_mpx
 from ..core.parameters import BFSParameters
 from ..core.recursive_bfs import RecursiveBFS
-from ..core.simple_bfs import decay_bfs, decay_bfs_batch, trivial_bfs
+from ..core.simple_bfs import decay_bfs, decay_bfs_batch, decay_bfs_mega, trivial_bfs
 from ..diameter.exact import exact_diameter
 from ..diameter.three_halves import three_halves_diameter
 from ..diameter.two_approx import two_approx_diameter
@@ -42,7 +42,7 @@ from ..primitives.leader_election import (
     ChargedLeaderElection,
     FloodingLeaderElection,
 )
-from ..radio.batch_engine import ReplicaBatchedNetwork
+from ..radio.batch_engine import MegaBatchedNetwork, ReplicaBatchedNetwork
 from ..radio.energy import EnergyLedger
 from ..radio.engine import Engine, SlotExecutorView, make_network
 from ..radio.faults import FaultCounters
@@ -59,8 +59,17 @@ AlgorithmAdapter = Callable[["RunContext"], Mapping[str, Any]]
 #: that replica's spec alone.
 BatchAlgorithmAdapter = Callable[["BatchRunContext"], Sequence[Mapping[str, Any]]]
 
+#: Mega-batched adapter protocol: consume a mega context (several
+#: *different* cells, each with its own replica set), return one list of
+#: payloads per member cell, in member order — every payload
+#: byte-identical to its replica's serial run.
+MegaAlgorithmAdapter = Callable[
+    ["MegaRunContext"], Sequence[Sequence[Mapping[str, Any]]]
+]
+
 _ALGORITHMS: Dict[str, AlgorithmAdapter] = {}
 _BATCHED_ALGORITHMS: Dict[str, BatchAlgorithmAdapter] = {}
+_MEGA_ALGORITHMS: Dict[str, MegaAlgorithmAdapter] = {}
 
 
 def register_algorithm(
@@ -150,6 +159,56 @@ def get_batched_algorithm(name: str) -> BatchAlgorithmAdapter:
         ) from None
 
 
+def register_mega_algorithm(
+    name: str, overwrite: bool = False
+) -> Callable[[MegaAlgorithmAdapter], MegaAlgorithmAdapter]:
+    """Decorator registering a *mega-batched* adapter for ``name``.
+
+    A mega adapter executes several different cells — each a replica
+    group of one (topology, params, channel) signature — in a single
+    block-diagonal engine run (see :class:`MegaRunContext`), returning
+    one payload list per member cell.  The contract is the batched
+    adapters' strict bit-identity, extended across members: every
+    replica's payload, ledger, and fault counters must equal its serial
+    run's.  The replica-batched adapter must already be registered
+    under the same name — mega batching generalizes it, never replaces
+    it.
+    """
+    if not name:
+        raise ConfigurationError("algorithm name must be non-empty")
+
+    def decorator(adapter: MegaAlgorithmAdapter) -> MegaAlgorithmAdapter:
+        if name not in _BATCHED_ALGORITHMS:
+            raise ConfigurationError(
+                f"cannot register mega adapter for {name!r}: no batched "
+                f"adapter under that name (register it first)"
+            )
+        if not overwrite and name in _MEGA_ALGORITHMS:
+            raise ConfigurationError(
+                f"mega algorithm {name!r} is already registered"
+            )
+        _MEGA_ALGORITHMS[name] = adapter
+        return adapter
+
+    return decorator
+
+
+def mega_algorithm_names() -> Tuple[str, ...]:
+    """Algorithms with a mega-batched adapter, sorted."""
+    return tuple(sorted(_MEGA_ALGORITHMS))
+
+
+def get_mega_algorithm(name: str) -> MegaAlgorithmAdapter:
+    """Look up a mega adapter, failing loudly for unknown names."""
+    try:
+        return _MEGA_ALGORITHMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no mega adapter for algorithm {name!r}; available: "
+            f"{', '.join(mega_algorithm_names())}"
+        ) from None
+
+
 @dataclass
 class RunContext:
     """Everything an adapter needs to execute one spec.
@@ -214,6 +273,12 @@ class RunContext:
         """
         if self._network is None:
             start = time.perf_counter()
+            kwargs: Dict[str, Any] = {}
+            # The kernel knob only exists on the vectorized tier; the
+            # reference engine has no channel arithmetic to swap.
+            kernel = self._kernel_hint()
+            if kernel is not None and self.spec.engine == "fast":
+                kwargs["kernel"] = kernel
             self._network = make_network(
                 self.graph,
                 engine=self.spec.engine,
@@ -222,6 +287,7 @@ class RunContext:
                 ledger=self.ledger,
                 faults=self.spec.fault_model,
                 fault_seed=self._slot_faults,
+                **kwargs,
             )
             self.setup_time_s += time.perf_counter() - start
         if not isinstance(self._network, Engine):
@@ -247,6 +313,12 @@ class RunContext:
                 "adopt_slot_view must come first and at most once"
             )
         self._network = view
+
+    def _kernel_hint(self) -> Optional[str]:
+        """The slot-kernel name pinned by the spec's execution policy
+        (``None``: best available)."""
+        policy = self.spec.execution_policy()
+        return None if policy is None else policy.kernel()
 
     def mark_partial(self) -> None:
         """Record that the run completed only partially (e.g. a fault
@@ -348,12 +420,83 @@ class BatchRunContext:
                 ledgers=[ctx.ledger for ctx in self.contexts],
                 faults=spec.fault_model,
                 fault_seeds=[ctx._slot_faults for ctx in self.contexts],
+                kernel=self.contexts[0]._kernel_hint(),
             )
             setup = time.perf_counter() - start
             for ctx, lane in zip(self.contexts, self._batch_net.lanes):
                 ctx.adopt_slot_view(lane)
                 ctx.setup_time_s += setup
         return self._batch_net
+
+
+@dataclass
+class MegaRunContext:
+    """Everything a mega adapter needs: several cells' replica contexts.
+
+    ``members[m]`` is the list of :class:`RunContext` objects for member
+    cell ``m``'s replicas — each member a replica group exactly as
+    :class:`BatchRunContext` would hold, but the members carry
+    *different* (topology, params, channel) signatures.
+    :meth:`mega_network` builds one
+    :class:`~repro.radio.batch_engine.ReplicaBatchedNetwork` per member
+    plus the :class:`~repro.radio.batch_engine.MegaBatchedNetwork`
+    fusing them, wiring every replica's lane back into its context so
+    the runner's uniform result assembly reads through unchanged.
+    """
+
+    members: List[List[RunContext]]
+    _mega_net: Optional[MegaBatchedNetwork] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.members or any(not group for group in self.members):
+            raise ConfigurationError(
+                "MegaRunContext requires at least one member, each with "
+                "at least one replica context"
+            )
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        """Member 0's algorithm parameters (the adapter reads per-member
+        parameters via ``ctx.members[m][0].params``)."""
+        return self.members[0][0].params
+
+    def member_params(self, member: int) -> Dict[str, Any]:
+        """Member ``member``'s algorithm parameters (identical across
+        that member's replicas)."""
+        return self.members[member][0].params
+
+    def mega_network(self) -> MegaBatchedNetwork:
+        """The fused heterogeneous slot network (built once).
+
+        One :class:`~repro.radio.batch_engine.ReplicaBatchedNetwork`
+        per member — each lane wired to its context's ledger and
+        dedicated fault stream — packed into a
+        :class:`~repro.radio.batch_engine.MegaBatchedNetwork`;
+        construction time is recorded as setup on every context.
+        """
+        if self._mega_net is None:
+            start = time.perf_counter()
+            kernel = self.members[0][0]._kernel_hint()
+            member_nets = []
+            for group in self.members:
+                spec = group[0].spec
+                member_nets.append(ReplicaBatchedNetwork(
+                    group[0].graph,
+                    replicas=len(group),
+                    collision_model=spec.collision(),
+                    size_policy=spec.size_policy(),
+                    ledgers=[ctx.ledger for ctx in group],
+                    faults=spec.fault_model,
+                    fault_seeds=[ctx._slot_faults for ctx in group],
+                    kernel=group[0]._kernel_hint(),
+                ))
+            self._mega_net = MegaBatchedNetwork(member_nets, kernel=kernel)
+            setup = time.perf_counter() - start
+            for group, net in zip(self.members, member_nets):
+                for ctx, lane in zip(group, net.lanes):
+                    ctx.adopt_slot_view(lane)
+                    ctx.setup_time_s += setup
+        return self._mega_net
 
 
 # ---------------------------------------------------------------------------
@@ -431,6 +574,46 @@ def _run_decay_bfs_batch(bctx: BatchRunContext) -> List[Dict[str, Any]]:
         out = _labels_output(ctx, labels)
         out["slots"] = lane.slot
         outputs.append(out)
+    return outputs
+
+
+@register_mega_algorithm("decay_bfs")
+def _run_decay_bfs_mega(mctx: MegaRunContext) -> List[List[Dict[str, Any]]]:
+    """Mega-batched ``decay_bfs``: heterogeneous cells, one product/slot.
+
+    Every member cell keeps its own sources, depth budget, failure
+    probability, and Decay parameters (derived from its own topology's
+    ``Delta``); all members' still-active lanes share each slot's
+    block-diagonal product (see
+    :func:`repro.core.simple_bfs.decay_bfs_mega`).  Each replica's
+    payload is byte-identical to its serial run's.
+    """
+    net = mctx.mega_network()
+    labels_by_lane = decay_bfs_mega(
+        net,
+        sources={m: group[0].sources() for m, group in enumerate(mctx.members)},
+        depth_budgets={
+            m: group[0].depth_budget() for m, group in enumerate(mctx.members)
+        },
+        failure_probabilities={
+            m: float(group[0].params.get("failure_probability", 1e-3))
+            for m, group in enumerate(mctx.members)
+        },
+        seeds={
+            (m, r): ctx.rng
+            for m, group in enumerate(mctx.members)
+            for r, ctx in enumerate(group)
+        },
+    )
+    outputs: List[List[Dict[str, Any]]] = []
+    for m, group in enumerate(mctx.members):
+        member_net = net.member(m)
+        member_outputs: List[Dict[str, Any]] = []
+        for r, ctx in enumerate(group):
+            out = _labels_output(ctx, labels_by_lane[(m, r)])
+            out["slots"] = member_net.lane(r).slot
+            member_outputs.append(out)
+        outputs.append(member_outputs)
     return outputs
 
 

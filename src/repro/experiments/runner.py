@@ -39,10 +39,13 @@ from ..radio.topology import scenario_is_deterministic
 from ..rng import make_rng
 from .registry import (
     BatchRunContext,
+    MegaRunContext,
     RunContext,
     batched_algorithm_names,
     get_algorithm,
     get_batched_algorithm,
+    get_mega_algorithm,
+    mega_algorithm_names,
 )
 from .results import (
     RESULT_KIND,
@@ -53,7 +56,7 @@ from .results import (
     spec_hash,
     validate_result_dict,
 )
-from .spec import ExperimentSpec, validate_batch_replicas
+from .spec import ExecutionPolicy, ExperimentSpec, validate_batch_replicas
 from .store import SweepStore
 
 #: Default number of cells per checkpointed chunk when a sweep runs
@@ -65,6 +68,10 @@ DEFAULT_CHUNK_SIZE = 16
 #: single replica-batched engine run (``batch_replicas=None``); pass
 #: ``batch_replicas=1`` to opt out of batching entirely.
 DEFAULT_BATCH_REPLICAS = 32
+
+#: Default cap on the *total* lane count packed into one mega-batched
+#: execution unit when a policy selects ``backend="megabatch"``.
+DEFAULT_MEGA_BATCH = 64
 
 
 def run_experiment(spec: ExperimentSpec) -> RunResult:
@@ -206,10 +213,92 @@ def run_experiment_batch(specs: Sequence[ExperimentSpec]) -> List[RunResult]:
     ]
 
 
+def spec_is_mega_batchable(spec: ExperimentSpec) -> bool:
+    """Whether this cell may join a heterogeneous mega-batched unit.
+
+    Mega batching generalizes replica batching, so the cell must be
+    :func:`spec_is_batchable` *and* its algorithm must have a
+    registered mega adapter
+    (:func:`~repro.experiments.registry.mega_algorithm_names`).
+    """
+    return spec_is_batchable(spec) and spec.algorithm in mega_algorithm_names()
+
+
+def run_experiment_mega(specs: Sequence[ExperimentSpec]) -> List[RunResult]:
+    """Execute several *different* cells in one fused engine run.
+
+    ``specs`` is a concatenation of replica groups — adjacent specs
+    equal up to seed form one member cell; consecutive members may
+    differ in topology, size, parameters, and channel, but must share
+    one algorithm with a mega adapter (see
+    :func:`spec_is_mega_batchable`).  All members' lanes advance on one
+    block-diagonal product per slot
+    (:class:`~repro.radio.batch_engine.MegaBatchedNetwork`).  Returns
+    one :class:`RunResult` per spec, in order, each **byte-identical**
+    (timing aside) to its :func:`run_experiment` run — mega batching,
+    like replica batching, changes wall-clock cost and nothing else.
+    """
+    spec_list = list(specs)
+    if not spec_list:
+        return []
+    groups: List[List[ExperimentSpec]] = []
+    signature: Optional[str] = None
+    for spec in spec_list:
+        sig = _group_signature(spec)
+        if sig != signature:
+            groups.append([])
+            signature = sig
+        groups[-1].append(spec)
+    if len(groups) == 1:
+        return run_experiment_batch(spec_list)
+    algorithms = {spec.algorithm for spec in spec_list}
+    if len(algorithms) != 1:
+        raise ConfigurationError(
+            f"run_experiment_mega needs one algorithm across all member "
+            f"cells; got {sorted(algorithms)}"
+        )
+    for group in groups:
+        if not spec_is_mega_batchable(group[0]):
+            raise ConfigurationError(
+                f"cell (topology={group[0].topology!r}, algorithm="
+                f"{group[0].algorithm!r}, engine={group[0].engine!r}) is "
+                f"not mega-batchable: needs a mega adapter, a "
+                f"seed-deterministic topology, and the 'fast' engine"
+            )
+    member_contexts: List[List[RunContext]] = []
+    for group in groups:
+        graph = group[0].build_graph()  # seed-independent within the group
+        member_contexts.append([
+            RunContext(spec=spec, graph=graph, ledger=EnergyLedger())
+            for spec in group
+        ])
+    adapter = get_mega_algorithm(spec_list[0].algorithm)
+    start = time.perf_counter()
+    outputs = adapter(MegaRunContext(member_contexts))
+    if len(outputs) != len(groups) or any(
+        len(member_out) != len(group)
+        for member_out, group in zip(outputs, groups)
+    ):
+        raise ConfigurationError(
+            f"mega adapter for {spec_list[0].algorithm!r} returned a "
+            f"result shape not matching its {len(groups)} member cells"
+        )
+    setup = max(
+        ctx.setup_time_s for group in member_contexts for ctx in group
+    )
+    wall_each = max(0.0, time.perf_counter() - start - setup) / len(spec_list)
+    results: List[RunResult] = []
+    for group, contexts, member_out in zip(groups, member_contexts, outputs):
+        for spec, ctx, output in zip(group, contexts, member_out):
+            results.append(_assemble_result(spec, ctx, output, wall_each))
+    return results
+
+
 #: One unit of execution: a tuple of specs.  A singleton runs through
-#: :func:`run_experiment`; a longer tuple is a replica batch for
-#: :func:`run_experiment_batch`.  Units are what travels to worker
-#: processes.
+#: :func:`run_experiment`; a longer tuple of one cell's replicas is a
+#: replica batch for :func:`run_experiment_batch`; a tuple spanning
+#: several cells is a mega batch for :func:`run_experiment_mega`.
+#: Units are what travels to worker processes.
 ExecutionUnit = Tuple[ExperimentSpec, ...]
 
 
@@ -217,33 +306,50 @@ def _run_unit(unit: ExecutionUnit) -> List[RunResult]:
     """Execute one unit (module-level so it pickles to pool workers)."""
     if len(unit) == 1:
         return [run_experiment(unit[0])]
+    if len({_group_signature(s) for s in unit}) > 1:
+        return run_experiment_mega(list(unit))
     return run_experiment_batch(list(unit))
+
+
+def _effective_policy(
+    spec: ExperimentSpec, policy: Optional[ExecutionPolicy]
+) -> ExecutionPolicy:
+    """The spec's hint merged knob-by-knob over the sweep-wide policy."""
+    hint = spec.execution_policy()
+    if hint is None:
+        return policy or ExecutionPolicy()
+    return hint.merged_over(policy)
 
 
 def _plan_units(
     specs: Sequence[ExperimentSpec],
     batch_replicas: Optional[int],
+    policy: Optional[ExecutionPolicy] = None,
 ) -> List[ExecutionUnit]:
     """Partition specs into execution units, preserving order.
 
     *Adjacent* specs that are replicas of one batchable cell (equal up
     to seed — exactly how :func:`iter_grid` lays out its innermost seed
     axis) fuse into one unit, capped at the effective replica limit:
-    the specs' own ``batch_replicas`` hint when set, else the
-    ``batch_replicas`` argument, else :data:`DEFAULT_BATCH_REPLICAS`.
-    Everything else stays a singleton.  Concatenating the units yields
-    the input order unchanged, so downstream result assembly (and the
+    the specs' own execution hint when set, else the ``batch_replicas``
+    argument, else :data:`DEFAULT_BATCH_REPLICAS`.  Everything else
+    stays a singleton.  When the effective policy selects
+    ``backend="megabatch"``, adjacent units of mega-batchable cells
+    sharing one algorithm are further fused into heterogeneous units of
+    up to ``mega_batch`` lanes total (default
+    :data:`DEFAULT_MEGA_BATCH`).  Concatenating the units yields the
+    input order unchanged, so downstream result assembly (and the
     store's shard append order) is independent of batching.
     """
     validate_batch_replicas(batch_replicas)
     units: List[ExecutionUnit] = []
     group: List[ExperimentSpec] = []
-    group_key: Optional[Tuple[str, Optional[int]]] = None
+    group_key: Optional[Tuple[str, ExecutionPolicy]] = None
 
     def flush() -> None:
         if not group:
             return
-        limit = group[0].batch_replicas
+        limit = _effective_policy(group[0], policy).batch_replicas
         if limit is None:
             limit = batch_replicas
         if limit is None:
@@ -258,13 +364,62 @@ def _plan_units(
             group_key = None
             units.append((spec,))
             continue
-        key = (_group_signature(spec), spec.batch_replicas)
+        key = (_group_signature(spec), _effective_policy(spec, policy))
         if key != group_key:
             flush()
             group_key = key
         group.append(spec)
     flush()
-    return units
+    return _merge_mega_units(units, policy)
+
+
+def _merge_mega_units(
+    units: List[ExecutionUnit],
+    policy: Optional[ExecutionPolicy],
+) -> List[ExecutionUnit]:
+    """Fuse adjacent mega-eligible units into heterogeneous mega units.
+
+    A unit is mega-eligible when its effective policy asks for
+    ``backend="megabatch"`` and its cell is
+    :func:`spec_is_mega_batchable`; adjacent eligible units sharing one
+    algorithm merge until the next unit would push the merged lane
+    count past the effective ``mega_batch`` cap.  Order is preserved,
+    so results and store shards are laid out exactly as without mega
+    fusion.
+    """
+    merged: List[ExecutionUnit] = []
+    pending: List[ExecutionUnit] = []
+    pending_lanes = 0
+    pending_algorithm: Optional[str] = None
+    pending_cap = DEFAULT_MEGA_BATCH
+
+    def flush_pending() -> None:
+        nonlocal pending_lanes, pending_algorithm
+        if pending:
+            merged.append(tuple(s for unit in pending for s in unit))
+            pending.clear()
+        pending_lanes = 0
+        pending_algorithm = None
+
+    for unit in units:
+        eff = _effective_policy(unit[0], policy)
+        if not (eff.wants_mega() and spec_is_mega_batchable(unit[0])):
+            flush_pending()
+            merged.append(unit)
+            continue
+        cap = eff.mega_batch or DEFAULT_MEGA_BATCH
+        if pending and (
+            unit[0].algorithm != pending_algorithm
+            or pending_lanes + len(unit) > pending_cap
+        ):
+            flush_pending()
+        if not pending:
+            pending_algorithm = unit[0].algorithm
+            pending_cap = cap
+        pending.append(unit)
+        pending_lanes += len(unit)
+    flush_pending()
+    return merged
 
 
 def iter_grid(
@@ -473,6 +628,7 @@ def run_specs(
     store: Union[None, str, SweepStore] = None,
     chunk_size: Optional[int] = None,
     batch_replicas: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> SweepResult:
     """Execute prepared specs, in cell order, optionally on a pool.
 
@@ -481,6 +637,12 @@ def run_specs(
     adapter available — are fused into single replica-batched engine
     runs of up to ``batch_replicas`` seeds each (default
     :data:`DEFAULT_BATCH_REPLICAS`; ``batch_replicas=1`` opts out).
+    ``policy`` (an :class:`~repro.experiments.spec.ExecutionPolicy`)
+    sets sweep-wide execution knobs — kernel backend, replica cap, and
+    mega batching; per-spec ``execution`` hints override it knob by
+    knob.  When the effective policy selects ``backend="megabatch"``,
+    adjacent batchable cells of one algorithm fuse further into
+    heterogeneous mega units (:func:`run_experiment_mega`).
     Batching never changes results: every cell's ``RunResult`` is
     byte-identical (timing aside) to its per-seed execution, so result
     order, store contents, hashes, and resume semantics are unaffected.
@@ -504,7 +666,7 @@ def run_specs(
     """
     spec_list = list(specs)
     if store is None:
-        units = _plan_units(spec_list, batch_replicas)
+        units = _plan_units(spec_list, batch_replicas, policy)
         results, execution = _execute_all(
             units, parallel, max_workers, chunk=len(spec_list) or 1
         )
@@ -535,7 +697,7 @@ def run_specs(
             fresh[spec_hash(r.spec)] = r
 
     _, execution = _execute_all(
-        _plan_units(pending, batch_replicas), parallel, max_workers,
+        _plan_units(pending, batch_replicas, policy), parallel, max_workers,
         chunk=chunk_size or DEFAULT_CHUNK_SIZE,
         on_batch=checkpoint, idle_execution="store",
     )
@@ -637,6 +799,7 @@ def run_sweep(
     store: Union[None, str, SweepStore] = None,
     chunk_size: Optional[int] = None,
     batch_replicas: Optional[int] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> SweepResult:
     """Expand a grid (see :func:`expand_grid`) and execute every cell.
 
@@ -644,7 +807,8 @@ def run_sweep(
     checkpointed; ``batch_replicas`` caps (or, set to 1, disables)
     replica batching of sibling seeds — the grid's seed axis is
     innermost, so each cell's seeds arrive adjacent and batch-eligible.
-    See :func:`run_specs` for both.
+    ``policy`` sets sweep-wide execution knobs (kernel backend, replica
+    cap, mega batching).  See :func:`run_specs` for all three.
     """
     specs = iter_grid(
         topologies,
@@ -660,7 +824,7 @@ def run_sweep(
     )
     return run_specs(specs, parallel=parallel, max_workers=max_workers,
                      store=store, chunk_size=chunk_size,
-                     batch_replicas=batch_replicas)
+                     batch_replicas=batch_replicas, policy=policy)
 
 
 def validate_document(data: Mapping[str, Any]) -> List[RunResult]:

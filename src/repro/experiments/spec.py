@@ -19,6 +19,7 @@ identical random streams regardless of which process executes them.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
@@ -30,6 +31,7 @@ from ..radio import topology
 from ..radio.channel import CollisionModel
 from ..radio.engine import available_engines
 from ..radio.faults import FaultModel, coerce_fault_model
+from ..radio.kernels import kernel_names
 from ..radio.message import MessageSizePolicy
 from ..rng import make_rng, spawn_streams
 
@@ -120,6 +122,128 @@ def _listify(value: ParamValue) -> Any:
     return value
 
 
+def execution_backends() -> Tuple[str, ...]:
+    """Names accepted by :attr:`ExecutionPolicy.backend`.
+
+    Every registered :mod:`repro.radio.kernels` backend, plus
+    ``"megabatch"`` — the block-diagonal packing strategy that fuses
+    heterogeneous cells into one product per slot.
+    """
+    return tuple(sorted(kernel_names() + ("megabatch",)))
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """*How* to execute specs — never part of *what* they compute.
+
+    A frozen bundle of execution hints carried beside
+    :class:`ExperimentSpec` (its ``execution`` field) or passed to the
+    runners (``run_specs(..., policy=...)``).  Every knob is an
+    optimization lever with a bit-identity guarantee: any policy
+    produces byte-identical results, ledgers, fault streams, and store
+    shards to the default one.  Accordingly the policy is excluded from
+    spec equality, hashing, and serialization (enforced by lintkit's
+    HASH001 rule).
+
+    Parameters
+    ----------
+    backend:
+        Channel-arithmetic backend: a kernel name from
+        :func:`repro.radio.kernels.kernel_names` (``"scipy"``,
+        ``"numpy"``, ``"numba"``) selecting the
+        :class:`~repro.radio.kernels.base.SlotKernel` the engines
+        compute on, or ``"megabatch"`` to additionally fuse *different*
+        cells into block-diagonal products
+        (:class:`~repro.radio.batch_engine.MegaBatchedNetwork`).
+        ``None`` defers to the best available kernel, cell by cell.
+    batch_replicas:
+        Cap on sibling seeds of one cell fused into a replica-batched
+        run (``1`` disables replica batching; ``None`` defers to the
+        runner default).
+    mega_batch:
+        Cap on the *total* lane count packed into one mega-batched
+        execution unit (only meaningful with ``backend="megabatch"``;
+        ``None`` defers to the runner default).
+    """
+
+    backend: Optional[str] = None
+    batch_replicas: Optional[int] = None
+    mega_batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None and self.backend not in execution_backends():
+            raise ConfigurationError(
+                f"unknown execution backend {self.backend!r}; available: "
+                f"{', '.join(execution_backends())}"
+            )
+        validate_batch_replicas(self.batch_replicas)
+        validate_batch_replicas(self.mega_batch, where="mega_batch")
+
+    # ------------------------------------------------------------------
+    def kernel(self) -> Optional[str]:
+        """The :class:`~repro.radio.kernels.base.SlotKernel` name this
+        policy pins the engines to (``None``: best available).
+
+        ``"megabatch"`` is a packing strategy, not an arithmetic — it
+        runs on the default kernel, so it maps to ``None`` here.
+        """
+        if self.backend is None or self.backend == "megabatch":
+            return None
+        return self.backend
+
+    def wants_mega(self) -> bool:
+        """Whether this policy asks for cross-cell mega-batch fusion."""
+        return self.backend == "megabatch"
+
+    def merged_over(self, base: "Optional[ExecutionPolicy]") -> "ExecutionPolicy":
+        """This policy with ``None`` knobs filled from ``base``.
+
+        The per-spec hint wins knob-by-knob over a sweep-wide policy.
+        """
+        if base is None:
+            return self
+        return ExecutionPolicy(
+            backend=self.backend if self.backend is not None else base.backend,
+            batch_replicas=(
+                self.batch_replicas
+                if self.batch_replicas is not None else base.batch_replicas
+            ),
+            mega_batch=(
+                self.mega_batch
+                if self.mega_batch is not None else base.mega_batch
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form — for logs and CLI plumbing only.
+
+        Never embedded in spec or result documents: execution policy
+        must not influence ``spec_hash`` or any serialized artifact.
+        """
+        return {
+            "backend": self.backend,
+            "batch_replicas": self.batch_replicas,
+            "mega_batch": self.mega_batch,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (validating)."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"execution policy must be a mapping, got {type(data).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown execution policy fields: {sorted(unknown)}; "
+                f"expected {sorted(known)}"
+            )
+        return cls(**{k: data[k] for k in data})
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One cell of an experiment grid, fully pinned down.
@@ -152,14 +276,21 @@ class ExperimentSpec:
         mapping, or a :func:`~repro.radio.faults.named_fault_models`
         preset name.  ``None`` (and the empty stack, which normalizes
         to ``None``) is the clean channel of the paper's model.
+    execution:
+        Optional :class:`ExecutionPolicy` (or its ``to_dict`` mapping)
+        — an execution *hint*, not part of the cell's identity: how to
+        run this cell (kernel backend, replica-batch cap, mega-batch
+        cap), never what it computes.  Excluded from equality, hashing,
+        and serialization — two specs differing only here are the same
+        cell, produce byte-identical results, and share one
+        ``spec_hash``.
     batch_replicas:
-        Execution *hint*, not part of the cell's identity: caps how
+        Deprecated spelling of ``execution.batch_replicas`` (caps how
         many sibling seeds of this cell the sweep runner may fuse into
-        one replica-batched engine run (``1`` disables batching for the
-        cell; ``None`` defers to the runner's default).  Excluded from
-        equality, hashing, and serialization — two specs differing only
-        here are the same cell, produce byte-identical results, and
-        share one ``spec_hash``.
+        one replica-batched engine run).  Setting it warns; setting it
+        together with an ``execution`` policy that also pins
+        ``batch_replicas`` is an error.  Like ``execution``, it is
+        excluded from equality, hashing, and serialization.
     """
 
     topology: str
@@ -171,6 +302,7 @@ class ExperimentSpec:
     message_limit_bits: Optional[int] = None
     seed: int = 0
     fault_model: Optional[FaultModel] = None
+    execution: Optional[ExecutionPolicy] = field(default=None, compare=False)
     batch_replicas: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -209,7 +341,29 @@ class ExperimentSpec:
             raise ConfigurationError(
                 f"seed must be a non-negative int, got {self.seed!r}"
             )
+        if self.execution is not None and not isinstance(
+            self.execution, ExecutionPolicy
+        ):
+            object.__setattr__(
+                self, "execution", ExecutionPolicy.from_dict(self.execution)
+            )
         validate_batch_replicas(self.batch_replicas)
+        if self.batch_replicas is not None:
+            if (
+                self.execution is not None
+                and self.execution.batch_replicas is not None
+            ):
+                raise ConfigurationError(
+                    "batch_replicas is set both directly and through the "
+                    "execution policy; set it in one place (preferably "
+                    "execution=ExecutionPolicy(batch_replicas=...))"
+                )
+            warnings.warn(
+                "ExperimentSpec.batch_replicas is deprecated; use "
+                "execution=ExecutionPolicy(batch_replicas=...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         # Lazy import: the registry imports this module.
         from .registry import algorithm_names
 
@@ -222,6 +376,23 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     # Derived objects
     # ------------------------------------------------------------------
+    def execution_policy(self) -> Optional[ExecutionPolicy]:
+        """The spec's effective execution hint, legacy knob folded in.
+
+        Merges the deprecated ``batch_replicas`` field into the
+        ``execution`` policy (the two cannot both pin the cap — see
+        ``__post_init__``), so every consumer reads one canonical
+        object.  ``None`` when the spec carries no hint at all.
+        """
+        if self.batch_replicas is None:
+            return self.execution
+        base = self.execution or ExecutionPolicy()
+        return ExecutionPolicy(
+            backend=base.backend,
+            batch_replicas=self.batch_replicas,
+            mega_batch=base.mega_batch,
+        )
+
     def params(self) -> Dict[str, Any]:
         """The algorithm parameters as a plain dict (tuples as lists)."""
         return {k: _listify(v) for k, v in self.algorithm_params}
@@ -261,9 +432,10 @@ class ExperimentSpec:
         specs — :meth:`~repro.experiments.results.RunResult.to_dict` uses it to re-emit v1
         documents byte-identically.
 
-        The ``batch_replicas`` execution hint is never serialized: it
-        does not affect what a run computes, so the canonical document
-        (and hence ``spec_hash``) must not depend on it.
+        The execution hints (``execution`` policy and the deprecated
+        ``batch_replicas``) are never serialized: they do not affect
+        what a run computes, so the canonical document (and hence
+        ``spec_hash``) must not depend on them.
         """
         doc = {
             "topology": self.topology,

@@ -7,6 +7,7 @@ from .decay import (
     DecaySender,
     run_decay_local_broadcast,
     run_decay_local_broadcast_batch,
+    run_decay_local_broadcast_mega,
 )
 from .decay_lb_graph import DecayLBGraph
 from .detection import DetectionReport, detect_with_cd, detect_without_cd
@@ -48,6 +49,7 @@ __all__ = [
     "labeled_broadcast",
     "run_decay_local_broadcast",
     "run_decay_local_broadcast_batch",
+    "run_decay_local_broadcast_mega",
     "sweep_down",
     "sweep_up_message",
     "sweep_up_or",

@@ -45,7 +45,7 @@ from ..radio.message import Message
 from ..rng import SeedLike, geometric_decay_slot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..radio.batch_engine import ReplicaBatchedNetwork
+    from ..radio.batch_engine import MegaBatchedNetwork, ReplicaBatchedNetwork
 
 
 @dataclass(frozen=True)
@@ -261,4 +261,91 @@ def run_decay_local_broadcast_batch(
             if out is not None:
                 heard[v] = out
         results[lane_index] = heard
+    return results
+
+
+def run_decay_local_broadcast_mega(
+    network: "MegaBatchedNetwork",
+    rounds: Mapping[
+        Tuple[int, int],
+        Tuple[Mapping[Hashable, Message], Iterable[Hashable]],
+    ],
+    failure_probability: Union[float, Mapping[int, float]] = 1e-3,
+    seeds: Optional[Mapping[Tuple[int, int], SeedLike]] = None,
+) -> Dict[Tuple[int, int], Dict[Hashable, Message]]:
+    """One Decay Local-Broadcast per lane, fused across *members*.
+
+    The heterogeneous sibling of :func:`run_decay_local_broadcast_batch`:
+    ``rounds`` maps a ``(member, replica)`` lane key of a
+    :class:`~repro.radio.batch_engine.MegaBatchedNetwork` to that lane's
+    ``(messages, receivers)`` round.  Each member derives its **own**
+    :class:`DecayParameters` from its own ``Delta`` (and its own target
+    failure probability, when ``failure_probability`` maps member index
+    to ``f``), so lanes of different members run protocols of different
+    lengths — the per-lane slot budgets passed to
+    :meth:`~repro.radio.batch_engine.MegaBatchedNetwork.run_lockstep`
+    retire each lane exactly when its own serial protocol would end.
+
+    Returns ``{(member, replica): {receiver: message}}``, each lane's
+    mapping byte-identical to its serial
+    :func:`run_decay_local_broadcast` run.
+    """
+    seeds = seeds or {}
+    params_by_member: Dict[int, DecayParameters] = {}
+    populations: Dict[Tuple[int, int], Dict[Hashable, Device]] = {}
+    budgets: Dict[Tuple[int, int], int] = {}
+    receiver_sets: Dict[Tuple[int, int], Set[Hashable]] = {}
+    for key in sorted(rounds):
+        member_index, _ = key
+        member = network.member(member_index)
+        if member_index not in params_by_member:
+            f = (
+                failure_probability
+                if isinstance(failure_probability, float)
+                else failure_probability[member_index]
+            )
+            params_by_member[member_index] = DecayParameters.for_network(
+                member.max_degree, f
+            )
+        params = params_by_member[member_index]
+        messages, receivers = rounds[key]
+        receiver_set = set(receivers)
+        sender_set = set(messages)
+        overlap = sender_set & receiver_set
+        if overlap:
+            raise ValueError(
+                f"senders and receivers must be disjoint; overlap={overlap}"
+            )
+        start_slot = network.lane(key).slot
+
+        def factory(
+            vertex: Hashable,
+            rng: np.random.Generator,
+            messages: Mapping[Hashable, Message] = messages,
+            sender_set: Set[Hashable] = sender_set,
+            receiver_set: Set[Hashable] = receiver_set,
+            params: DecayParameters = params,
+            start_slot: int = start_slot,
+        ) -> Device:
+            if vertex in sender_set:
+                return DecaySender(vertex, rng, messages[vertex], params, start_slot)
+            if vertex in receiver_set:
+                return DecayReceiver(vertex, rng, params, start_slot)
+            return _SleepingDevice(vertex, rng)
+
+        populations[key] = member.spawn_devices(factory, seed=seeds.get(key))
+        budgets[key] = params.total_slots
+        receiver_sets[key] = receiver_set
+
+    network.run_lockstep(populations, max_slots=budgets)
+
+    results: Dict[Tuple[int, int], Dict[Hashable, Message]] = {}
+    for key, receiver_set in receiver_sets.items():
+        heard: Dict[Hashable, Message] = {}
+        devices = populations[key]
+        for v in receiver_set:
+            out = devices[v].output()
+            if out is not None:
+                heard[v] = out
+        results[key] = heard
     return results

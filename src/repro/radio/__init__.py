@@ -25,20 +25,29 @@ A third executor, :class:`ReplicaBatchedNetwork`
 of one topology in lockstep — one compiled topology and one sparse
 product per slot shared by all replicas — with each replica lane
 bit-identical to its own serial run.  It is the engine behind
-seed-sweep replica batching in :mod:`repro.experiments`.
+seed-sweep replica batching in :mod:`repro.experiments`.  On top of it,
+:class:`MegaBatchedNetwork` packs several replica-batched members with
+**different** topologies into one block-diagonal fused product per slot
+(:mod:`repro.radio.kernels.megabatch`), lifting the same-topology
+restriction of replica batching.
+
+Engines self-register by name
+(:func:`~repro.radio.engine_registry.register_engine`); the low-level
+counts/codes arithmetic is pluggable through the
+:class:`~repro.radio.kernels.base.SlotKernel` backend protocol in
+:mod:`repro.radio.kernels`.
 """
 
-from .batch_engine import ReplicaBatchedNetwork, ReplicaLane
+from .batch_engine import MegaBatchedNetwork, ReplicaBatchedNetwork, ReplicaLane
 from .channel import CollisionModel, Feedback, Reception
 from .device import Action, ActionKind, Device
 from .energy import DeviceEnergy, EnergyLedger
 from .engine import (
-    ENGINES,
     Engine,
     SlotExecutorView,
-    available_engines,
     make_network,
 )
+from .engine_registry import available_engines, get_engine, register_engine
 from .fast_engine import CompiledTopology, FastRadioNetwork
 from .faults import (
     ChurnSchedule,
@@ -64,6 +73,20 @@ from .message import (
 from .network import RadioNetwork, SlotEngineBase
 from .trace import Event, EventTrace
 
+
+def __getattr__(name: str):
+    # The deprecated module-level ENGINES dict lives on (with its
+    # one-time warning) in repro.radio.engine; delegate so that
+    # ``repro.radio.ENGINES`` keeps working without firing the warning
+    # at import time.  Intentionally not in __all__, so star-imports
+    # and doc generators never trigger the deprecation path.
+    if name == "ENGINES":
+        from . import engine as _engine
+
+        return _engine.ENGINES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Action",
     "ActionKind",
@@ -72,7 +95,6 @@ __all__ = [
     "CompiledTopology",
     "Device",
     "DeviceEnergy",
-    "ENGINES",
     "Engine",
     "EnergyLedger",
     "Event",
@@ -85,6 +107,7 @@ __all__ = [
     "GilbertElliott",
     "IIDDrop",
     "Jammer",
+    "MegaBatchedNetwork",
     "Message",
     "MessageSizePolicy",
     "RadioNetwork",
@@ -98,9 +121,11 @@ __all__ = [
     "UNBOUNDED",
     "available_engines",
     "coerce_fault_model",
+    "get_engine",
     "id_bits",
     "int_bits",
     "make_network",
+    "register_engine",
     "message_of_ints",
     "named_fault_models",
 ]

@@ -39,6 +39,12 @@ multi-phase protocol (e.g. the batched Decay-BFS of
 :func:`repro.core.simple_bfs.decay_bfs_batch`) keeps only its
 still-active replicas in the product as wavefronts finish at different
 depths.
+
+:class:`MegaBatchedNetwork` goes one step further: several
+replica-batched members with **different** topologies are packed into a
+block-diagonal :class:`~repro.radio.kernels.megabatch.MegaBatchPlan`,
+so heterogeneous sweep cells share one fused product per slot — the
+same bit-identity contract, across mixed topologies.
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 import networkx as nx
@@ -66,6 +73,7 @@ from .device import ActionKind, Device
 from .energy import EnergyLedger
 from .fast_engine import _NOISE, _NOTHING, _SILENCE, CompiledTopology
 from .faults import FaultCounters, FaultModel, ReplicaFaultRuntimes
+from .kernels import MegaBatchPlan, SlotKernel
 from .message import Message, MessageSizePolicy
 from .network import (
     jam_reception_for,
@@ -137,6 +145,9 @@ class ReplicaBatchedNetwork:
     fault_seeds:
         One dedicated fault stream (or seed) per lane; defaults to
         ``None`` per lane.
+    kernel:
+        Optional :mod:`repro.radio.kernels` backend (or its name)
+        resolving the fused product; default: best available.
     """
 
     name = "fast-batch"
@@ -150,6 +161,7 @@ class ReplicaBatchedNetwork:
         ledgers: Optional[Sequence[EnergyLedger]] = None,
         faults: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[SeedLike]] = None,
+        kernel: Union[None, str, SlotKernel] = None,
     ) -> None:
         validate_topology(graph)
         if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
@@ -160,7 +172,7 @@ class ReplicaBatchedNetwork:
         self.replicas = replicas
         self.collision_model = collision_model
         self.size_policy = size_policy or MessageSizePolicy.unbounded()
-        self._topology = CompiledTopology(graph)
+        self._topology = CompiledTopology(graph, kernel=kernel)
         self._node_set: Set[Hashable] = set(graph.nodes)
         if ledgers is None:
             ledgers = [EnergyLedger() for _ in range(replicas)]
@@ -268,16 +280,27 @@ class ReplicaBatchedNetwork:
     # ------------------------------------------------------------------
     def _step_all(self, running: List[_LaneRun]) -> None:
         """Execute one synchronous slot across all running lanes."""
+        self._collect_actions(running)
+        # One fused sparse product covering every lane that has both
+        # transmitters and listeners this slot.
+        need = [s for s in running if s.listeners and s.tx_idx]
+        if need:
+            resolved = self._topology.counts_codes_many(
+                [np.asarray(s.tx_idx, dtype=np.int64) for s in need]
+            )
+            for s, pair in zip(need, resolved):
+                s.resolved = pair
+        self._dispatch(running)
+
+    def _collect_actions(self, running: List[_LaneRun]) -> None:
+        """Phase A of a slot: per lane, collect this slot's actions
+        (device callbacks and fault application, exactly as the fast
+        engine).  Fills each lane state's ``tx_idx``/``listeners``/
+        ``msgs`` staging for channel resolution."""
         index = self._topology.index
-        receiver_cd = self.collision_model is CollisionModel.RECEIVER_CD
-        silent = _SILENCE if receiver_cd else _NOTHING
-        noisy = _NOISE if receiver_cd else _NOTHING
-        jam = self._jam_reception
         idle_kind = ActionKind.IDLE
         transmit_kind = ActionKind.TRANSMIT
 
-        # Phase A: per lane, collect this slot's actions (device
-        # callbacks and fault application, exactly as the fast engine).
         for s in running:
             lane = s.lane
             plan = self._fault_runtimes.plan(lane.index, lane.slot)
@@ -319,18 +342,16 @@ class ReplicaBatchedNetwork:
                         (i, device, plan is not None and vertex in plan.jammed)
                     )
 
-        # Phase B: one fused sparse product covering every lane that has
-        # both transmitters and listeners this slot.
-        need = [s for s in running if s.listeners and s.tx_idx]
-        if need:
-            resolved = self._topology.counts_codes_many(
-                [np.asarray(s.tx_idx, dtype=np.int64) for s in need]
-            )
-            for s, pair in zip(need, resolved):
-                s.resolved = pair
+    def _dispatch(self, running: List[_LaneRun]) -> None:
+        """Phase C of a slot: per lane, dispatch receptions under its
+        own collision model outcome and fault plan.  Expects each lane
+        needing channel resolution (listeners *and* transmitters) to
+        carry this slot's ``resolved`` (counts, codes) pair."""
+        receiver_cd = self.collision_model is CollisionModel.RECEIVER_CD
+        silent = _SILENCE if receiver_cd else _NOTHING
+        noisy = _NOISE if receiver_cd else _NOTHING
+        jam = self._jam_reception
 
-        # Phase C: per lane, dispatch receptions under its own collision
-        # model outcome and fault plan.
         for s in running:
             counters = s.lane.fault_counters
             if s.listeners:
@@ -368,3 +389,153 @@ class ReplicaBatchedNetwork:
                             device.receive(slot, silent)
             for i in s.tx_idx:
                 s.msgs[i] = None
+
+
+#: A mega lane key: (member index, replica lane index within member).
+MegaLaneKey = Tuple[int, int]
+
+
+class MegaBatchedNetwork:
+    """Heterogeneous members, one block-diagonal fused product per slot.
+
+    Where :class:`ReplicaBatchedNetwork` fuses lanes sharing **one**
+    topology, this executor packs several replica-batched *members* —
+    each with its own topology, collision model, fault model, and lane
+    set — into a single
+    :class:`~repro.radio.kernels.megabatch.MegaBatchPlan`, so every
+    running lane of every member joins the same sparse product each
+    slot.  Per-lane semantics are untouched: device callbacks, fault
+    draws, energy charging, and collision outcomes all run through the
+    member's own machinery (:meth:`ReplicaBatchedNetwork._collect_actions`
+    / :meth:`ReplicaBatchedNetwork._dispatch`), and the block-diagonal
+    slices are exactly the per-member products (see
+    :mod:`repro.radio.kernels.megabatch`), so each lane stays
+    **byte-identical** to its own serial run — the same contract as
+    replica batching, now across mixed topologies.
+
+    Because members generally have different Decay parameter budgets
+    (different max degrees), :meth:`run_lockstep` accepts either a
+    single slot budget or one per lane.
+    """
+
+    name = "mega-batch"
+
+    def __init__(
+        self,
+        members: Sequence[ReplicaBatchedNetwork],
+        kernel: Union[None, str, SlotKernel] = None,
+    ) -> None:
+        if not members:
+            raise ConfigurationError(
+                "MegaBatchedNetwork requires at least one member network"
+            )
+        self.members: List[ReplicaBatchedNetwork] = list(members)
+        self._plan = MegaBatchPlan(
+            [m._topology.adjacency for m in self.members], kernel=kernel
+        )
+
+    # ------------------------------------------------------------------
+    def member(self, index: int) -> ReplicaBatchedNetwork:
+        """The member network at ``index`` (its lanes, topology, faults)."""
+        return self.members[index]
+
+    def lane(self, key: MegaLaneKey) -> ReplicaLane:
+        """The per-lane state slice for ``(member, replica)``."""
+        member, replica = key
+        return self.members[member].lane(replica)
+
+    def _check_key(self, key: MegaLaneKey) -> None:
+        if (
+            not isinstance(key, tuple) or len(key) != 2
+            or not isinstance(key[0], int) or isinstance(key[0], bool)
+        ):
+            raise ConfigurationError(
+                f"mega lane keys are (member, replica) int pairs; got {key!r}"
+            )
+        if not 0 <= key[0] < len(self.members):
+            raise ConfigurationError(
+                f"unknown member {key[0]!r}; "
+                f"this network has {len(self.members)} members"
+            )
+
+    # ------------------------------------------------------------------
+    def run_lockstep(
+        self,
+        populations: Mapping[MegaLaneKey, Mapping[Hashable, Device]],
+        max_slots: Union[int, Mapping[MegaLaneKey, int]],
+    ) -> Dict[MegaLaneKey, int]:
+        """Advance every supplied lane, fusing all members per slot.
+
+        ``populations`` maps ``(member, replica)`` -> that lane's device
+        mapping (exact vertex cover of the member's topology).
+        ``max_slots`` is either one budget for every lane or a mapping
+        with one budget per supplied lane — lanes retire individually
+        when their budget is spent or all their devices halt, exactly
+        as in per-member :meth:`ReplicaBatchedNetwork.run_lockstep`
+        calls.  Returns the executed slot count per lane key.
+        """
+        if isinstance(max_slots, int) and not isinstance(max_slots, bool):
+            budgets = {key: max_slots for key in populations}
+        else:
+            try:
+                budgets = {key: int(max_slots[key]) for key in populations}
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"max_slots mapping is missing a budget for lane "
+                    f"{exc.args[0]!r}"
+                ) from None
+        # records: (lane key, member index, per-call lane state, budget)
+        records: List[Tuple[MegaLaneKey, int, _LaneRun, int]] = []
+        for key in sorted(populations):
+            self._check_key(key)
+            member_idx, replica = key
+            member = self.members[member_idx]
+            devices = populations[key]
+            member._check_population(replica, devices)
+            live = [(v, d) for v, d in devices.items() if not d.halted]
+            state = _LaneRun(
+                member.lanes[replica], live, member._topology.n
+            )
+            records.append((key, member_idx, state, budgets[key]))
+        running = [r for r in records if r[2].live and r[3] > 0]
+        while running:
+            by_member: Dict[int, List[_LaneRun]] = {}
+            for _, member_idx, state, _ in running:
+                by_member.setdefault(member_idx, []).append(state)
+            for member_idx, states in by_member.items():
+                self.members[member_idx]._collect_actions(states)
+            # One block-diagonal product for every lane, of every
+            # member, that has both transmitters and listeners.
+            need = [
+                (member_idx, state)
+                for _, member_idx, state, _ in running
+                if state.listeners and state.tx_idx
+            ]
+            if need:
+                resolved = self._plan.counts_codes_many(
+                    [(m, np.asarray(state.tx_idx, dtype=np.int64))
+                     for m, state in need]
+                )
+                for (_, state), pair in zip(need, resolved):
+                    state.resolved = pair
+            for member_idx, states in by_member.items():
+                self.members[member_idx]._dispatch(states)
+            still_running = []
+            for record in running:
+                _, _, state, budget = record
+                state.executed += 1
+                state.lane.slot += 1
+                state.live = [
+                    (v, d) for v, d in state.live if not d.halted
+                ]
+                if state.live and state.executed < budget:
+                    still_running.append(record)
+            running = still_running
+        for key, member_idx, state, _ in records:
+            member = self.members[member_idx]
+            state.lane.ledger.charge_slot_counts(
+                member._topology.vertices,
+                state.tx_counts, state.listen_counts,
+            )
+            state.lane.ledger.advance_time(state.executed)
+        return {key: state.executed for key, _, state, _ in records}

@@ -1,25 +1,37 @@
-"""Engine selection: one protocol, two interchangeable slot executors.
+"""Engine selection: one protocol, interchangeable slot executors.
 
 Every slot-level consumer in the library (the Decay primitives,
 ``DecayLBGraph``, the slot-level BFS baselines, the benchmarks) is
 written against the :class:`Engine` protocol, so any protocol can run
-on either backend unchanged:
+on any backend unchanged:
 
 - ``"reference"`` — :class:`~repro.radio.network.RadioNetwork`, the
   per-device Python transcription of paper Section 1.1; the semantic
   ground truth.
 - ``"fast"`` — :class:`~repro.radio.fast_engine.FastRadioNetwork`, the
-  vectorized engine resolving each slot's channel with one sparse
-  product over a CSR adjacency matrix.
+  vectorized engine resolving each slot's channel through a
+  :mod:`repro.radio.kernels` backend (one sparse product per slot on
+  the default scipy kernel).
 
-The two are bit-for-bit equivalent under identical seeds (enforced by
+Engines self-register by name via
+:func:`~repro.radio.engine_registry.register_engine` (re-exported
+here); :func:`make_network` looks them up with
+:func:`~repro.radio.engine_registry.get_engine`.  All engines are
+bit-for-bit equivalent under identical seeds (enforced by
 ``tests/radio/test_engine_equivalence.py``); pick ``"fast"`` for large
 or dense instances and ``"reference"`` when auditing semantics.
+
+The module-level ``ENGINES`` dict of earlier releases is deprecated:
+reading it still works (it returns a snapshot of the registry) but
+emits a ``DeprecationWarning`` once; use
+:func:`~repro.radio.engine_registry.get_engine` /
+:func:`~repro.radio.engine_registry.available_engines` instead.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Mapping, Optional, Protocol, Tuple, Union, runtime_checkable
+import warnings
+from typing import Callable, Dict, Hashable, Mapping, Optional, Protocol, Union, runtime_checkable
 
 import networkx as nx
 import numpy as np
@@ -28,6 +40,12 @@ from ..errors import ConfigurationError
 from ..rng import SeedLike
 from .channel import CollisionModel
 from .device import Device
+from .engine_registry import (
+    available_engines,
+    engine_registry_snapshot,
+    get_engine,
+    register_engine,
+)
 from .faults import FaultCounters
 from .message import MessageSizePolicy
 from .energy import EnergyLedger
@@ -96,16 +114,28 @@ class Engine(Protocol):
         ...
 
 
-#: Registry of selectable engines, keyed by their public name.
-ENGINES: Dict[str, type] = {
-    RadioNetwork.name: RadioNetwork,
-    FastRadioNetwork.name: FastRadioNetwork,
-}
+# The legacy module-level ENGINES dict is served lazily (and with a
+# one-time DeprecationWarning) by the module __getattr__ below, so that
+# merely importing this module never fires the warning.
+_ENGINES_WARNED = False
 
 
-def available_engines() -> Tuple[str, ...]:
-    """Names accepted by :func:`make_network`'s ``engine`` argument."""
-    return tuple(sorted(ENGINES))
+def __getattr__(name: str) -> "Dict[str, type]":
+    if name == "ENGINES":
+        global _ENGINES_WARNED
+        if not _ENGINES_WARNED:
+            _ENGINES_WARNED = True
+            warnings.warn(
+                "repro.radio.engine.ENGINES is deprecated; use "
+                "get_engine()/available_engines() from "
+                "repro.radio.engine_registry instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return engine_registry_snapshot()
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 
 def make_network(
@@ -117,16 +147,11 @@ def make_network(
 
     ``kwargs`` are forwarded to the engine constructor
     (``collision_model``, ``size_policy``, ``ledger``, ``trace``,
-    ``faults``, ``fault_seed``).  Raises
-    :class:`~repro.errors.ConfigurationError` for unknown engine names.
+    ``faults``, ``fault_seed``; the fast engine also accepts
+    ``kernel``).  Raises :class:`~repro.errors.ConfigurationError` for
+    unknown engine names.
     """
-    try:
-        cls = ENGINES[engine]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; available: {', '.join(available_engines())}"
-        ) from None
-    return cls(graph, **kwargs)
+    return get_engine(engine)(graph, **kwargs)
 
 
 def coerce_network(

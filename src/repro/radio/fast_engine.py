@@ -20,15 +20,17 @@ with the same seed produces bit-for-bit identical slot counts, energy
 ledgers, and event traces on either engine — a guarantee enforced by
 ``tests/radio/test_engine_equivalence.py``.
 
-The collision count is computed through :mod:`scipy.sparse` when
-available; otherwise a pure-NumPy CSR fallback (index arrays plus
-fancy-indexed accumulation) is used, so the engine has no hard
-dependency beyond NumPy.
+The counts/codes arithmetic itself lives behind the
+:class:`~repro.radio.kernels.base.SlotKernel` protocol
+(:mod:`repro.radio.kernels`): the default ``"scipy"`` backend computes
+one sparse product per slot, the ``"numpy"`` backend is the
+dependency-floor fallback, and ``"numba"`` JIT-compiles the loops when
+available — all bit-identical by construction.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
@@ -39,14 +41,11 @@ from .channel import CollisionModel, Feedback, Reception
 from .device import ActionKind, Device
 from .energy import EnergyLedger
 from .faults import FaultModel
+from .engine_registry import register_engine
+from .kernels import CSRAdjacency, SlotKernel, resolve_kernel
 from .message import Message, MessageSizePolicy
 from .network import SlotEngineBase
 from .trace import EventTrace
-
-try:  # pragma: no cover - exercised implicitly by the whole suite
-    from scipy import sparse as _sparse
-except ImportError:  # pragma: no cover - the image bakes scipy in
-    _sparse = None
 
 # Non-delivery receptions carry no message, so one frozen instance per
 # feedback kind can be shared across all listeners and slots.
@@ -59,42 +58,29 @@ class CompiledTopology:
     """A topology compiled once for vectorized channel arbitration.
 
     Owns the contiguous ``0..n-1`` vertex indexing and the CSR adjacency
-    matrix that both the single-replica fast engine and the
-    replica-batched engine (:mod:`repro.radio.batch_engine`) resolve
-    slots against.  When :mod:`scipy` is unavailable a pure-NumPy CSR
-    (index arrays plus fancy-indexed accumulation) stands in, so neither
-    engine has a hard dependency beyond NumPy.
+    (:class:`~repro.radio.kernels.base.CSRAdjacency`) that both the
+    single-replica fast engine and the replica-batched engine
+    (:mod:`repro.radio.batch_engine`) resolve slots against.  The
+    arithmetic itself runs on a
+    :class:`~repro.radio.kernels.base.SlotKernel` backend selected at
+    construction (default: the best available — scipy when importable,
+    pure NumPy otherwise), so neither engine has a hard dependency
+    beyond NumPy and both stay bit-identical across backends.
     """
 
-    def __init__(self, graph: nx.Graph) -> None:
+    def __init__(
+        self,
+        graph: nx.Graph,
+        kernel: Union[None, str, SlotKernel] = None,
+    ) -> None:
         self.vertices: List[Hashable] = list(graph.nodes)
         self.index: Dict[Hashable, int] = {
             v: i for i, v in enumerate(self.vertices)
         }
-        n = len(self.vertices)
-        self.n = n
-        if _sparse is not None:
-            self._adj = nx.to_scipy_sparse_array(
-                graph, nodelist=self.vertices, dtype=np.int64,
-                weight=None, format="csr",
-            )
-            self._csr_indptr = None
-            self._csr_indices = None
-        else:
-            self._adj = None
-            indptr = np.zeros(n + 1, dtype=np.int64)
-            rows: List[np.ndarray] = []
-            for i, v in enumerate(self.vertices):
-                nbrs = np.fromiter(
-                    (self.index[u] for u in graph.neighbors(v)),
-                    dtype=np.int64,
-                )
-                rows.append(nbrs)
-                indptr[i + 1] = indptr[i] + len(nbrs)
-            self._csr_indptr = indptr
-            self._csr_indices = (
-                np.concatenate(rows) if rows else np.zeros(0, dtype=np.int64)
-            )
+        self.n = len(self.vertices)
+        self.adjacency = CSRAdjacency.from_graph(graph, self.index)
+        self.kernel = resolve_kernel(kernel)
+        self._kernel_state = self.kernel.prepare(self.adjacency)
 
     # ------------------------------------------------------------------
     def counts_codes(self, tx_idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -102,24 +88,10 @@ class CompiledTopology:
 
         Sender codes are 1-based transmitter indices; where the count is
         exactly 1 the code minus one *is* the unique sender's index.
-        One sparse product over the transmitters' adjacency rows covers
-        both quantities.
+        Delegates to the backend kernel's
+        :meth:`~repro.radio.kernels.base.SlotKernel.counts_codes`.
         """
-        if self._adj is not None:
-            sub = self._adj[tx_idx]
-            stacked = np.vstack(
-                [np.ones(len(tx_idx), dtype=np.int64), tx_idx + 1]
-            )
-            out = stacked @ sub
-            return out[0], out[1]
-        counts = np.zeros(self.n, dtype=np.int64)
-        codes = np.zeros(self.n, dtype=np.int64)
-        indptr, indices = self._csr_indptr, self._csr_indices
-        for i in tx_idx:
-            nbrs = indices[indptr[i]:indptr[i + 1]]
-            counts[nbrs] += 1
-            codes[nbrs] += i + 1
-        return counts, codes
+        return self.kernel.counts_codes(self._kernel_state, tx_idx)
 
     def counts_codes_many(
         self, tx_lists: Sequence[np.ndarray]
@@ -128,36 +100,15 @@ class CompiledTopology:
 
         ``tx_lists[r]`` holds replica ``r``'s transmitter indices; the
         per-replica (counts, codes) pairs come back in the same order,
-        computed with **one** sparse product: the replicas' indicator and
-        code rows are stacked into a ``(2R, n)`` sparse matrix and
-        multiplied against the shared adjacency in a single call —
-        exactly the flops of R separate products, none of the per-call
-        overhead.  Entries of distinct replicas never mix (each lives in
-        its own pair of rows), so each replica's result is bit-identical
-        to its own :meth:`counts_codes` call.
+        resolved in one backend call (one fused sparse product on the
+        scipy kernel).  Entries of distinct replicas never mix, so each
+        replica's result is bit-identical to its own
+        :meth:`counts_codes` call — on every backend.
         """
-        if self._adj is None:
-            return [self.counts_codes(tx) for tx in tx_lists]
-        replicas = len(tx_lists)
-        sizes = [len(tx) for tx in tx_lists]
-        indptr = np.zeros(2 * replicas + 1, dtype=np.int64)
-        for r, size in enumerate(sizes):
-            indptr[2 * r + 1] = indptr[2 * r] + size
-            indptr[2 * r + 2] = indptr[2 * r + 1] + size
-        indices = np.concatenate(
-            [col for tx in tx_lists for col in (tx, tx)]
-        ) if replicas else np.zeros(0, dtype=np.int64)
-        data = np.concatenate(
-            [col for tx in tx_lists
-             for col in (np.ones(len(tx), dtype=np.int64), tx + 1)]
-        ) if replicas else np.zeros(0, dtype=np.int64)
-        stacked = _sparse.csr_matrix(
-            (data, indices, indptr), shape=(2 * replicas, self.n)
-        )
-        out = np.asarray((stacked @ self._adj).todense())
-        return [(out[2 * r], out[2 * r + 1]) for r in range(replicas)]
+        return self.kernel.counts_codes_many(self._kernel_state, tx_lists)
 
 
+@register_engine
 class FastRadioNetwork(SlotEngineBase):
     """Batch slot executor, interchangeable with
     :class:`~repro.radio.network.RadioNetwork`.
@@ -166,7 +117,10 @@ class FastRadioNetwork(SlotEngineBase):
     :class:`~repro.radio.device.Device` populations; only the internal
     channel-resolution strategy differs.  Prefer this engine for
     ``n`` in the thousands or dense topologies, where the reference
-    engine's per-listener neighbor scans dominate.
+    engine's per-listener neighbor scans dominate.  ``kernel`` selects
+    the :mod:`repro.radio.kernels` backend resolving the channel
+    arithmetic (default: best available); all backends are
+    bit-identical.
     """
 
     name = "fast"
@@ -180,10 +134,11 @@ class FastRadioNetwork(SlotEngineBase):
         trace: Optional[EventTrace] = None,
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
+        kernel: Union[None, str, SlotKernel] = None,
     ) -> None:
         super().__init__(graph, collision_model, size_policy, ledger, trace,
                          faults=faults, fault_seed=fault_seed)
-        self._topology = CompiledTopology(graph)
+        self._topology = CompiledTopology(graph, kernel=kernel)
         self._index = self._topology.index
         # Per-slot message staging area, reused across slots.
         self._msg_buf: List[Optional[Message]] = [None] * self._topology.n

@@ -1,0 +1,104 @@
+"""Optional numba slot kernel: JIT-compiled CSR accumulation loops.
+
+When ``numba`` is importable, the counts/codes accumulation runs as
+a compiled nopython loop over the CSR arrays — no scipy matrix
+construction per slot, no Python-level per-transmitter overhead.  When
+it is not (the library deliberately has no hard dependency on numba),
+the kernel **delegates to the default backend** at ``prepare``
+time, so selecting ``--backend numba`` is always safe: same results,
+just without the native speed (``available()`` reports which path is
+live, and the CLI's ``list`` output annotates it).
+
+All arithmetic is int64 accumulation — exact, order-independent — so
+the compiled path is bit-identical to every other kernel, a guarantee
+the backend equivalence grid enforces with and without numba installed
+(see the ``backend-equivalence`` CI job).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import CSRAdjacency, default_kernel, register_kernel
+
+try:  # pragma: no cover - the container image has no numba
+    import numba as _numba
+except ImportError:  # pragma: no cover - exercised where numba exists
+    _numba = None
+
+if _numba is not None:  # pragma: no cover - compiled only under numba
+
+    @_numba.njit(cache=False)
+    def _accumulate_many(indptr, indices, tx_flat, bounds, counts, codes):
+        """Accumulate counts/codes for R replicas in one compiled pass.
+
+        ``tx_flat[bounds[r]:bounds[r+1]]`` are replica ``r``'s
+        transmitter indices; ``counts``/``codes`` are zeroed (R, n)
+        int64 arrays filled in place.
+        """
+        for r in range(bounds.shape[0] - 1):
+            for k in range(bounds[r], bounds[r + 1]):
+                i = tx_flat[k]
+                code = i + 1
+                for p in range(indptr[i], indptr[i + 1]):
+                    j = indices[p]
+                    counts[r, j] += 1
+                    codes[r, j] += code
+
+
+class NumbaKernel:
+    """JIT backend with graceful fallback when numba is absent."""
+
+    name = "numba"
+
+    def available(self) -> bool:
+        """Whether ``numba`` imported (i.e. the native path runs)."""
+        return _numba is not None
+
+    def prepare(self, adjacency: CSRAdjacency) -> Any:
+        if _numba is None:
+            fallback = default_kernel()
+            return (fallback, fallback.prepare(adjacency))
+        return adjacency
+
+    # ------------------------------------------------------------------
+    def _run(
+        self, adjacency: CSRAdjacency, tx_lists: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        replicas = len(tx_lists)
+        bounds = np.zeros(replicas + 1, dtype=np.int64)
+        for r, tx in enumerate(tx_lists):
+            bounds[r + 1] = bounds[r] + len(tx)
+        tx_flat = (
+            np.concatenate([np.asarray(tx, dtype=np.int64) for tx in tx_lists])
+            if replicas else np.zeros(0, dtype=np.int64)
+        )
+        counts = np.zeros((replicas, adjacency.n), dtype=np.int64)
+        codes = np.zeros((replicas, adjacency.n), dtype=np.int64)
+        _accumulate_many(
+            adjacency.indptr, adjacency.indices, tx_flat, bounds, counts, codes
+        )
+        return [(counts[r], codes[r]) for r in range(replicas)]
+
+    def counts_codes(
+        self, state: Any, tx_idx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(state, tuple):
+            fallback, inner = state
+            return fallback.counts_codes(inner, tx_idx)
+        return self._run(state, [tx_idx])[0]
+
+    def counts_codes_many(
+        self, state: Any, tx_lists: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        if isinstance(state, tuple):
+            fallback, inner = state
+            return fallback.counts_codes_many(inner, tx_lists)
+        return self._run(state, tx_lists)
+
+
+#: The singleton registered instance (selectable even without numba:
+#: it then computes through the default backend, bit-identically).
+NUMBA_KERNEL = register_kernel(NumbaKernel())

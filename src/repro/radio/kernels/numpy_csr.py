@@ -1,0 +1,51 @@
+"""Pure-NumPy slot kernel: fancy-indexed accumulation over CSR arrays.
+
+The dependency floor of the vectorized tier — always available, exact,
+and the delegation target of optional backends whose native dependency
+is missing.  Per transmitter, its CSR row is gathered and accumulated
+into the counts/codes vectors; all arithmetic is int64, so results are
+bit-identical to every other kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .base import CSRAdjacency, register_kernel
+
+
+class NumpyKernel:
+    """The always-available CSR accumulation backend."""
+
+    name = "numpy"
+
+    def available(self) -> bool:
+        """NumPy is a hard dependency of the library: always True."""
+        return True
+
+    def prepare(self, adjacency: CSRAdjacency) -> CSRAdjacency:
+        """The CSR arrays are already the native state of this kernel."""
+        return adjacency
+
+    def counts_codes(
+        self, state: CSRAdjacency, tx_idx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        counts = np.zeros(state.n, dtype=np.int64)
+        codes = np.zeros(state.n, dtype=np.int64)
+        indptr, indices = state.indptr, state.indices
+        for i in tx_idx:
+            nbrs = indices[indptr[i]:indptr[i + 1]]
+            counts[nbrs] += 1
+            codes[nbrs] += i + 1
+        return counts, codes
+
+    def counts_codes_many(
+        self, state: CSRAdjacency, tx_lists: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        return [self.counts_codes(state, tx) for tx in tx_lists]
+
+
+#: The singleton registered instance.
+NUMPY_KERNEL = register_kernel(NumpyKernel())

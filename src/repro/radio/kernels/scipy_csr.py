@@ -1,0 +1,83 @@
+"""scipy.sparse slot kernel: one sparse product per (batched) slot.
+
+The reference backend of the vectorized tier — the exact arithmetic the
+fast engine has computed since PR 1, now behind the
+:class:`~repro.radio.kernels.base.SlotKernel` protocol.  A single-lane
+slot stacks a dense (2, |tx|) indicator/code matrix against the
+transmitters' adjacency rows; a replica batch stacks the lanes' rows
+into one sparse ``(2R, n)`` matrix and resolves every lane with one
+product (exactly the flops of R separate products, none of the per-call
+overhead).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence, Tuple
+
+import numpy as np
+
+from .base import CSRAdjacency, register_kernel
+
+try:  # pragma: no cover - exercised implicitly by the whole suite
+    from scipy import sparse as _sparse
+except ImportError:  # pragma: no cover - the image bakes scipy in
+    _sparse = None
+
+
+class ScipyKernel:
+    """The scipy CSR sparse-product backend (reference)."""
+
+    name = "scipy"
+
+    def available(self) -> bool:
+        """Whether :mod:`scipy.sparse` imported."""
+        return _sparse is not None
+
+    def prepare(self, adjacency: CSRAdjacency) -> Any:
+        """Build the scipy CSR matrix (all values 1, int64)."""
+        if _sparse is None:
+            raise RuntimeError(
+                "scipy kernel selected but scipy is not importable"
+            )
+        data = np.ones(adjacency.nnz, dtype=np.int64)
+        return _sparse.csr_matrix(
+            (data, adjacency.indices, adjacency.indptr),
+            shape=(adjacency.n, adjacency.n),
+        )
+
+    def counts_codes(
+        self, state, tx_idx: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        sub = state[tx_idx]
+        stacked = np.vstack(
+            [np.ones(len(tx_idx), dtype=np.int64), tx_idx + 1]
+        )
+        out = stacked @ sub
+        return out[0], out[1]
+
+    def counts_codes_many(
+        self, state, tx_lists: Sequence[np.ndarray]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        replicas = len(tx_lists)
+        sizes = [len(tx) for tx in tx_lists]
+        indptr = np.zeros(2 * replicas + 1, dtype=np.int64)
+        for r, size in enumerate(sizes):
+            indptr[2 * r + 1] = indptr[2 * r] + size
+            indptr[2 * r + 2] = indptr[2 * r + 1] + size
+        indices = np.concatenate(
+            [col for tx in tx_lists for col in (tx, tx)]
+        ) if replicas else np.zeros(0, dtype=np.int64)
+        data = np.concatenate(
+            [col for tx in tx_lists
+             for col in (np.ones(len(tx), dtype=np.int64), tx + 1)]
+        ) if replicas else np.zeros(0, dtype=np.int64)
+        stacked = _sparse.csr_matrix(
+            (data, indices, indptr), shape=(2 * replicas, state.shape[0])
+        )
+        out = np.asarray((stacked @ state).todense())
+        return [(out[2 * r], out[2 * r + 1]) for r in range(replicas)]
+
+
+#: The singleton registered instance (safe to register even without
+#: scipy: ``available()`` is False and ``default_kernel`` skips it).
+SCIPY_KERNEL = register_kernel(ScipyKernel())

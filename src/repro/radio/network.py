@@ -37,6 +37,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..rng import SeedLike, make_rng, spawn_streams
 from .channel import CollisionModel, Feedback, Reception, resolve
 from .device import ActionKind, Device
+from .engine_registry import register_engine
 from .energy import EnergyLedger
 from .faults import FaultCounters, FaultModel, FaultRuntime, SlotFaultPlan
 from .message import Message, MessageSizePolicy
@@ -234,6 +235,7 @@ class SlotEngineBase:
         return max((d for _, d in self.graph.degree), default=0)
 
 
+@register_engine
 class RadioNetwork(SlotEngineBase):
     """Reference slot-level executor for a population of :class:`Device`.
 

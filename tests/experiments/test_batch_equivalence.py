@@ -5,10 +5,15 @@ collision model, R batched replicas produce ``RunResult.to_dict()``
 documents **byte-identical** to R per-seed serial runs — and a batched
 sweep writes store shards byte-identical to a serial sweep.  Batching
 must be invisible everywhere except the wall clock.
+
+The same contract extends to every :class:`ExecutionPolicy` backend:
+each kernel backend and the heterogeneous mega-batch packing produce
+byte-identical results, ledgers, fault streams, and store shards.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 
@@ -16,18 +21,28 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    ExecutionPolicy,
     ExperimentSpec,
     batched_algorithm_names,
+    execution_backends,
+    mega_algorithm_names,
     run_experiment,
     run_experiment_batch,
+    run_experiment_mega,
     run_specs,
     run_sweep,
     spec_hash,
     spec_is_batchable,
+    spec_is_mega_batchable,
 )
-from repro.experiments.runner import DEFAULT_BATCH_REPLICAS, _plan_units
+from repro.experiments.runner import (
+    DEFAULT_BATCH_REPLICAS,
+    DEFAULT_MEGA_BATCH,
+    _plan_units,
+)
 from repro.experiments.spec import COLLISION_MODELS
 from repro.radio.faults import named_fault_models
+from repro.radio.kernels import kernel_names
 
 REPLICAS = 8
 PRESETS = sorted(named_fault_models())
@@ -107,18 +122,22 @@ def test_plan_units_groups_only_adjacent_batchable_replicas():
     assert [s for unit in units for s in unit] == specs
     # Caps: the argument bounds group size; the per-spec hint wins.
     assert [len(u) for u in _plan_units(cell, 3)] == [3, 1]
-    hinted = _cell_specs("none", "no_cd", seeds=range(4))
-    hinted = [ExperimentSpec.from_dict(s.to_dict()) for s in hinted]
-    import dataclasses
-    hinted = [dataclasses.replace(s, batch_replicas=2) for s in hinted]
+    hinted = [
+        dataclasses.replace(s, execution=ExecutionPolicy(batch_replicas=2))
+        for s in _cell_specs("none", "no_cd", seeds=range(4))
+    ]
     assert [len(u) for u in _plan_units(hinted, None)] == [2, 2]
+    # A sweep-wide policy caps too; the per-spec hint wins over it.
+    assert [len(u) for u in _plan_units(
+        cell, None, ExecutionPolicy(batch_replicas=3))] == [3, 1]
+    assert [len(u) for u in _plan_units(
+        hinted, None, ExecutionPolicy(batch_replicas=3))] == [2, 2]
 
 
 def test_spec_is_batchable_conditions():
     spec = _cell_specs("none", "no_cd", seeds=[0])[0]
     assert spec_is_batchable(spec)
     assert "decay_bfs" in batched_algorithm_names()
-    import dataclasses
     assert not spec_is_batchable(dataclasses.replace(spec, engine="reference"))
     assert not spec_is_batchable(dataclasses.replace(spec, topology="geometric"))
     assert not spec_is_batchable(
@@ -145,22 +164,72 @@ def test_run_experiment_batch_edge_arities():
 
 
 # ---------------------------------------------------------------------------
-# The batch_replicas spec hint: execution-only, never identity
+# The ExecutionPolicy spec hint: execution-only, never identity
 # ---------------------------------------------------------------------------
 
-def test_batch_replicas_hint_excluded_from_identity():
+def test_execution_policy_hint_excluded_from_identity():
     plain = ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
                            engine="fast", seed=1)
-    hinted = ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
-                            engine="fast", seed=1, batch_replicas=4)
+    hinted = ExperimentSpec(
+        topology="path", n=8, algorithm="decay_bfs", engine="fast", seed=1,
+        execution=ExecutionPolicy(backend="megabatch", batch_replicas=4))
     assert hinted == plain
     assert spec_hash(hinted) == spec_hash(plain)
+    assert "execution" not in hinted.to_dict()
     assert "batch_replicas" not in hinted.to_dict()
+    # Serialization round-trips drop the hint entirely: *what* a spec
+    # computes is hash-covered, *how* never is.
+    assert ExperimentSpec.from_dict(hinted.to_dict()).execution is None
+
+
+def test_execution_policy_coerced_and_merged():
+    hinted = ExperimentSpec(
+        topology="path", n=8, algorithm="decay_bfs", engine="fast", seed=1,
+        execution={"backend": "numpy"})  # plain mapping coerces
+    assert hinted.execution == ExecutionPolicy(backend="numpy")
+    assert hinted.execution_policy().kernel() == "numpy"
+    merged = ExecutionPolicy(batch_replicas=2).merged_over(
+        ExecutionPolicy(backend="megabatch", mega_batch=8))
+    assert merged == ExecutionPolicy(backend="megabatch", batch_replicas=2,
+                                     mega_batch=8)
+    assert merged.wants_mega() and merged.kernel() is None
+
+
+def test_execution_policy_validation():
+    with pytest.raises(ConfigurationError, match="backend"):
+        ExecutionPolicy(backend="cuda")
+    for bad in (0, -1, True, 2.5):
+        with pytest.raises(ConfigurationError, match="batch_replicas"):
+            ExecutionPolicy(batch_replicas=bad)
+        with pytest.raises(ConfigurationError, match="mega_batch"):
+            ExecutionPolicy(mega_batch=bad)
+    with pytest.raises(ConfigurationError, match="unknown"):
+        ExecutionPolicy.from_dict({"backend": "scipy", "gpu": True})
+    round_trip = ExecutionPolicy(backend="scipy", mega_batch=4)
+    assert ExecutionPolicy.from_dict(round_trip.to_dict()) == round_trip
+
+
+def test_batch_replicas_spec_kwarg_deprecated_but_working():
+    """The pre-policy spelling still works — once, loudly."""
+    with pytest.warns(DeprecationWarning, match="batch_replicas"):
+        hinted = ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
+                                engine="fast", seed=1, batch_replicas=4)
+    assert hinted.execution_policy() == ExecutionPolicy(batch_replicas=4)
+    assert spec_hash(hinted) == spec_hash(
+        ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
+                       engine="fast", seed=1))
     # from_dict accepts the key (picklable hint survives worker round
     # trips) even though to_dict never emits it.
-    doc = plain.to_dict()
+    doc = hinted.to_dict()
     doc["batch_replicas"] = 4
-    assert ExperimentSpec.from_dict(doc).batch_replicas == 4
+    with pytest.warns(DeprecationWarning, match="batch_replicas"):
+        assert ExperimentSpec.from_dict(doc).batch_replicas == 4
+    # Setting the knob in both places is a contradiction, not a merge
+    # (rejected before the deprecation warning even fires).
+    with pytest.raises(ConfigurationError, match="one place"):
+        ExperimentSpec(topology="path", n=8, algorithm="decay_bfs",
+                       seed=0, batch_replicas=4,
+                       execution=ExecutionPolicy(batch_replicas=2))
 
 
 @pytest.mark.parametrize("bad", [0, -1, True, 2.5, "8"])
@@ -232,3 +301,161 @@ def test_batched_resume_store_byte_identical(tmp_path):
     assert len(sweep) == REPLICAS
     assert [r.spec.seed for r in sweep] == list(range(REPLICAS))
     assert _shard_bytes(tmp_path / "reference") == _shard_bytes(resumed)
+
+
+# ---------------------------------------------------------------------------
+# Backend equivalence: every backend x fault preset x collision model
+# ---------------------------------------------------------------------------
+
+def _hetero_specs(preset, collision_model, seeds=3):
+    """A heterogeneous mini-grid: three topologies, different sizes."""
+    specs = []
+    for topology, n in [("grid", 25), ("star", 17), ("cycle", 24)]:
+        specs.extend(_cell_specs(preset, collision_model, seeds=range(seeds),
+                                 topology=topology, n=n))
+    return specs
+
+
+@pytest.mark.parametrize("collision_model", COLLISION_MODELS)
+@pytest.mark.parametrize("preset", PRESETS)
+@pytest.mark.parametrize("backend", sorted(execution_backends()))
+def test_backend_byte_identical_grid(backend, preset, collision_model):
+    """The headline backend matrix: byte-for-byte against per-seed serial.
+
+    Covers every kernel backend (including ``numba``, which silently
+    falls back when the dependency is missing) and the mega-batch
+    packing, across every fault preset and collision model, on a
+    heterogeneous spec stream.
+    """
+    specs = _hetero_specs(preset, collision_model, seeds=2)
+    serial = run_specs(specs, parallel=False, batch_replicas=1)
+    alt = run_specs(specs, parallel=False,
+                    policy=ExecutionPolicy(backend=backend))
+    assert len(alt) == len(serial)
+    for ref, got in zip(serial, alt):
+        assert _canonical(got) == _canonical(ref)
+        assert got.fault_counts() == ref.fault_counts()
+
+
+def test_execution_backends_cover_kernels_and_mega():
+    assert set(execution_backends()) == set(kernel_names()) | {"megabatch"}
+    assert "decay_bfs" in mega_algorithm_names()
+
+
+# ---------------------------------------------------------------------------
+# Mega batching specifics: planner, dispatcher, stores
+# ---------------------------------------------------------------------------
+
+def test_spec_is_mega_batchable_conditions():
+    spec = _cell_specs("none", "no_cd", seeds=[0])[0]
+    assert spec_is_mega_batchable(spec)
+    assert not spec_is_mega_batchable(
+        dataclasses.replace(spec, engine="reference"))
+    assert not spec_is_mega_batchable(
+        dataclasses.replace(spec, topology="geometric"))
+    assert not spec_is_mega_batchable(
+        dataclasses.replace(spec, algorithm="trivial_bfs"))
+
+
+def test_plan_units_mega_merges_adjacent_cells():
+    mega = ExecutionPolicy(backend="megabatch")
+    specs = _hetero_specs("none", "no_cd", seeds=3)
+    # Without the policy: three replica-batched units.
+    assert [len(u) for u in _plan_units(specs, None)] == [3, 3, 3]
+    # With it: one heterogeneous unit spanning all nine lanes.
+    assert [len(u) for u in _plan_units(specs, None, mega)] == [9]
+    # The mega_batch cap bounds *total* lanes, at unit granularity.
+    capped = ExecutionPolicy(backend="megabatch", mega_batch=6)
+    assert [len(u) for u in _plan_units(specs, None, capped)] == [6, 3]
+    # Non-mega-batchable cells break the merged run.
+    blocker = _cell_specs("none", "no_cd", seeds=[0],
+                          algorithm="trivial_bfs")
+    mixed = specs[:3] + blocker + specs[3:]
+    assert [len(u) for u in _plan_units(mixed, None, mega)] == [3, 1, 6]
+    # Order is always preserved exactly.
+    assert [s for u in _plan_units(mixed, None, mega) for s in u] == mixed
+
+
+def test_run_experiment_mega_validates_input():
+    assert run_experiment_mega([]) == []
+    specs = _hetero_specs("none", "no_cd", seeds=2)
+    with pytest.raises(ConfigurationError, match="one algorithm"):
+        run_experiment_mega(
+            specs + _cell_specs("none", "no_cd", seeds=[0],
+                                algorithm="trivial_bfs"))
+    with pytest.raises(ConfigurationError, match="not mega-batchable"):
+        run_experiment_mega(
+            specs[:2]
+            + _cell_specs("none", "no_cd", seeds=range(2), n=16,
+                          engine="reference"))
+    # A single homogeneous group degenerates to plain replica batching.
+    single = run_experiment_mega(specs[:2])
+    serial = [run_experiment(s) for s in specs[:2]]
+    assert [_canonical(r) for r in single] == [_canonical(r) for r in serial]
+
+
+def test_mega_sweep_store_byte_identical(tmp_path):
+    specs = _hetero_specs("lossy_mixed", "receiver_cd", seeds=2)
+    run_specs(specs, parallel=False, store=str(tmp_path / "serial"),
+              batch_replicas=1)
+    run_specs(specs, parallel=False, store=str(tmp_path / "mega"),
+              policy=ExecutionPolicy(backend="megabatch"))
+    assert _shard_bytes(tmp_path / "serial") == _shard_bytes(tmp_path / "mega")
+
+
+def test_mega_resume_store_byte_identical(tmp_path):
+    """Cells completed serially drop out of the mega unit; bytes match."""
+    specs = _hetero_specs("drop30", "no_cd", seeds=2)
+    run_specs(specs, parallel=False, store=str(tmp_path / "reference"),
+              batch_replicas=1)
+    resumed = str(tmp_path / "resumed")
+    run_specs(specs[:4], parallel=False, store=resumed, batch_replicas=1)
+    sweep = run_specs(specs, parallel=False, store=resumed,
+                      policy=ExecutionPolicy(backend="megabatch"))
+    assert len(sweep) == len(specs)
+    assert _shard_bytes(tmp_path / "reference") == _shard_bytes(resumed)
+
+
+def test_default_mega_batch_is_sane():
+    assert isinstance(DEFAULT_MEGA_BATCH, int)
+    assert DEFAULT_MEGA_BATCH >= DEFAULT_BATCH_REPLICAS
+
+
+# ---------------------------------------------------------------------------
+# CLI surface: --backend / --batch-replicas shared by run, sweep, worker
+# ---------------------------------------------------------------------------
+
+def test_cli_backend_flag_uniform_across_subcommands():
+    from repro.experiments.__main__ import _build_parser, _policy_from_args
+
+    parser = _build_parser()
+    common = ["--topologies", "grid", "--algorithms", "decay_bfs"]
+    extra = {
+        "run": [],
+        "sweep": ["--out", "ignored"],
+        "worker": ["--out", "ignored", "--worker-id", "0",
+                   "--num-workers", "1"],
+    }
+    for command, args in extra.items():
+        ns = parser.parse_args(
+            [command, *common, *args, "--backend", "megabatch",
+             "--batch-replicas", "4"])
+        assert ns.backend == "megabatch" and ns.batch_replicas == 4
+        assert _policy_from_args(ns) == ExecutionPolicy(backend="megabatch")
+        ns = parser.parse_args([command, *common, *args])
+        assert _policy_from_args(ns) is None
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", *common, "--backend", "cuda"])
+
+
+def test_cli_run_backend_byte_identical(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    common = ["run", "--topologies", "grid", "star", "--algorithms",
+              "decay_bfs", "--sizes", "16", "--seeds", "2", "--engine",
+              "fast", "--serial"]
+    plain, mega = tmp_path / "plain.json", tmp_path / "mega.json"
+    assert main([*common, "--batch-replicas", "1", "--json", str(plain)]) == 0
+    assert main([*common, "--backend", "megabatch", "--json", str(mega)]) == 0
+    capsys.readouterr()
+    assert plain.read_bytes() == mega.read_bytes()

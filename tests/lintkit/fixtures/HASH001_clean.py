@@ -9,6 +9,7 @@ class ExperimentSpec:
     topology: str
     seed: int
     fault_model: Optional[str] = None
+    execution: Optional[object] = field(default=None, compare=False)
     batch_replicas: Optional[int] = field(default=None, compare=False)
 
     def to_dict(self):

@@ -9,9 +9,11 @@ class ExperimentSpec:
     topology: str
     seed: int
     drift: int
+    execution: Optional[object] = field(default=None, compare=False)
     batch_replicas: Optional[int] = field(default=None, compare=False)
 
     def to_dict(self):
         doc = {"topology": self.topology, "seed": self.seed}
         doc["batch_replicas"] = self.batch_replicas
+        doc["execution"] = self.execution
         return doc

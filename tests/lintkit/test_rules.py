@@ -74,7 +74,8 @@ def test_hash001_reports_drift_both_directions(lint_one, fixture_dir):
     messages = "\n".join(f.message for f in findings)
     assert "'drift'" in messages and "missing" in messages
     assert "'batch_replicas'" in messages and "compare=False" in messages
-    assert len(findings) == 2
+    assert "'execution'" in messages
+    assert len(findings) == 3
 
 
 def test_doc001_reports_unresolved_targets(lint_one, fixture_dir):

@@ -6,13 +6,18 @@ state to the same seed executed alone on a serial engine — labels,
 executed slot counts, per-device energy snapshots, and fault counters —
 for every fault preset and collision model.  Batching is an execution
 strategy, never an observable.
+
+:class:`MegaBatchedNetwork` extends the identical contract across
+*heterogeneous* members: every ``(member, replica)`` lane of a
+block-diagonal mega batch must match its own serial run bit for bit,
+for every kernel backend.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.simple_bfs import decay_bfs, decay_bfs_batch
+from repro.core.simple_bfs import decay_bfs, decay_bfs_batch, decay_bfs_mega
 from repro.errors import ConfigurationError
 from repro.primitives.decay import (
     run_decay_local_broadcast,
@@ -21,10 +26,12 @@ from repro.primitives.decay import (
 from repro.radio import (
     CollisionModel,
     EnergyLedger,
+    MegaBatchedNetwork,
     ReplicaBatchedNetwork,
     make_network,
     topology,
 )
+from repro.radio.kernels import kernel_names
 from repro.radio.faults import named_fault_models
 from repro.radio.message import message_of_ints
 from repro.rng import make_rng, spawn_streams
@@ -183,3 +190,119 @@ def test_single_replica_batch_degenerates_to_fast_engine():
     assert net.lane(0).slot == ref_slot
     assert ledgers[0].snapshot() == ref_snapshot
     assert net.lane(0).fault_counters.as_dict() == ref_faults
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous mega batching
+# ---------------------------------------------------------------------------
+
+MEGA_MEMBERS = [("grid", 25, 24), ("star", 17, 8), ("cycle", 30, 30)]
+
+
+def _mega_bfs(collision_model, faults, kernel=None, member_order=None):
+    """Run Decay-BFS over three heterogeneous members, 2 lanes each."""
+    members_spec = (
+        MEGA_MEMBERS if member_order is None
+        else [MEGA_MEMBERS[i] for i in member_order]
+    )
+    seeds = list(range(2))
+    member_nets, all_ledgers = [], []
+    for name, n, _depth in members_spec:
+        graph = topology.scenario(name, n)
+        ledgers = [EnergyLedger() for _ in seeds]
+        fault_seeds = [_replica_streams(s)[0] for s in seeds]
+        member_nets.append(ReplicaBatchedNetwork(
+            graph, len(seeds), collision_model=collision_model,
+            ledgers=ledgers, faults=faults, fault_seeds=fault_seeds,
+            kernel=kernel))
+        all_ledgers.append(ledgers)
+    net = MegaBatchedNetwork(member_nets, kernel=kernel)
+    labels = decay_bfs_mega(
+        net,
+        sources={m: [0] for m in range(len(members_spec))},
+        depth_budgets={m: depth for m, (_, _, depth) in
+                       enumerate(members_spec)},
+        seeds={(m, r): _replica_streams(s)[1]
+               for m in range(len(members_spec))
+               for r, s in enumerate(seeds)},
+    )
+    return members_spec, seeds, net, all_ledgers, labels
+
+
+@pytest.mark.parametrize("collision_model", COLLISION_MODELS,
+                         ids=[m.value for m in COLLISION_MODELS])
+@pytest.mark.parametrize("preset", PRESETS)
+def test_mega_bfs_bit_identical_to_serial(preset, collision_model):
+    """Every lane of every member matches its own serial run exactly."""
+    faults = _fault_model(preset)
+    members_spec, seeds, net, ledgers, labels = _mega_bfs(
+        collision_model, faults)
+    for m, (name, n, depth) in enumerate(members_spec):
+        graph = topology.scenario(name, n)
+        for r, seed in enumerate(seeds):
+            ref_labels, ref_slot, ref_snapshot, ref_faults, ref_time = (
+                _serial_bfs(graph, seed, collision_model, faults, depth)
+            )
+            assert labels[(m, r)] == ref_labels
+            assert net.lane((m, r)).slot == ref_slot
+            assert ledgers[m][r].snapshot() == ref_snapshot
+            assert ledgers[m][r].time_slots == ref_time
+            assert net.lane((m, r)).fault_counters.as_dict() == ref_faults
+
+
+@pytest.mark.parametrize("kernel", sorted(kernel_names()))
+def test_mega_bfs_identical_on_every_kernel(kernel):
+    """Kernel choice (including the numba fallback) is unobservable."""
+    reference = _mega_bfs(CollisionModel.NO_CD, _fault_model("drop10"))
+    alternate = _mega_bfs(CollisionModel.NO_CD, _fault_model("drop10"),
+                          kernel=kernel)
+    assert alternate[4] == reference[4]
+    for m in range(len(MEGA_MEMBERS)):
+        for r in range(2):
+            assert (alternate[2].lane((m, r)).slot
+                    == reference[2].lane((m, r)).slot)
+            assert (alternate[3][m][r].snapshot()
+                    == reference[3][m][r].snapshot())
+
+
+def test_mega_member_order_never_changes_lane_results():
+    """Packing order is an execution detail, not an observable."""
+    forward = _mega_bfs(CollisionModel.RECEIVER_CD,
+                        _fault_model("lossy_mixed"))
+    shuffled = _mega_bfs(CollisionModel.RECEIVER_CD,
+                         _fault_model("lossy_mixed"), member_order=[2, 0, 1])
+    order = [2, 0, 1]
+    for pos, m in enumerate(order):
+        for r in range(2):
+            assert shuffled[4][(pos, r)] == forward[4][(m, r)]
+            assert (shuffled[2].lane((pos, r)).slot
+                    == forward[2].lane((m, r)).slot)
+            assert (shuffled[3][pos][r].snapshot()
+                    == forward[3][m][r].snapshot())
+
+
+def test_mega_lane_key_and_budget_validation():
+    graph_a = topology.scenario("path", 6)
+    graph_b = topology.scenario("star", 5)
+    net = MegaBatchedNetwork([
+        ReplicaBatchedNetwork(graph_a, 1),
+        ReplicaBatchedNetwork(graph_b, 1),
+    ])
+    from repro.radio.device import Device
+
+    populations = {
+        (m, 0): net.member(m).spawn_devices(lambda v, rng: Device(v, rng))
+        for m in range(2)
+    }
+    with pytest.raises(ConfigurationError, match="missing a budget"):
+        net.run_lockstep(populations, max_slots={(0, 0): 4})
+    with pytest.raises(ConfigurationError, match="unknown member"):
+        net.run_lockstep({(7, 0): populations[(0, 0)]}, max_slots=1)
+    with pytest.raises(ConfigurationError, match="int pairs"):
+        net.run_lockstep({"lane0": populations[(0, 0)]}, max_slots=1)
+    with pytest.raises(ConfigurationError, match="at least one member"):
+        MegaBatchedNetwork([])
+    # Heterogeneous budgets: lanes retire at their own limits.
+    executed = net.run_lockstep(populations,
+                                max_slots={(0, 0): 3, (1, 0): 5})
+    assert executed == {(0, 0): 3, (1, 0): 5}

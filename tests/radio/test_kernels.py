@@ -1,0 +1,274 @@
+"""SlotKernel backends: registry, bit-identity, fallback, mega packing.
+
+Every kernel computes exact int64 counts/codes, so any two backends
+must agree **bitwise** on any topology and any transmitter set — that
+is the whole contract that makes ``--backend`` safe.  The ``numba``
+backend must additionally work (by falling back) when its dependency
+is missing, which is the case in this environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.radio import topology
+from repro.radio.engine import make_network
+from repro.radio.engine_registry import (
+    available_engines,
+    engine_registry_snapshot,
+    get_engine,
+    register_engine,
+)
+from repro.radio.fast_engine import CompiledTopology
+from repro.radio.kernels import (
+    CSRAdjacency,
+    MegaBatchPlan,
+    default_kernel,
+    get_kernel,
+    kernel_names,
+    register_kernel,
+    resolve_kernel,
+)
+
+TOPOLOGIES = [("grid", 25), ("star", 17), ("barbell", 18), ("wheel", 20),
+              ("path", 12), ("complete", 9)]
+
+
+def _adjacency(name, n):
+    graph = topology.scenario(name, n)
+    index = {v: i for i, v in enumerate(graph.nodes)}
+    return CSRAdjacency.from_graph(graph, index)
+
+
+def _tx_sets(adj, seed=0):
+    """A spread of transmitter sets: empty, singleton, random, full."""
+    rng = np.random.default_rng(seed)
+    full = np.arange(adj.n, dtype=np.int64)
+    some = np.sort(rng.choice(adj.n, size=max(1, adj.n // 3), replace=False))
+    return [np.zeros(0, dtype=np.int64), full[:1], some.astype(np.int64), full]
+
+
+# ---------------------------------------------------------------------------
+# Registry surface
+# ---------------------------------------------------------------------------
+
+def test_kernel_registry_names_and_lookup():
+    assert set(kernel_names()) >= {"scipy", "numpy", "numba"}
+    for name in kernel_names():
+        assert get_kernel(name).name == name
+    with pytest.raises(ConfigurationError, match="unknown kernel"):
+        get_kernel("cuda")
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_kernel(get_kernel("numpy"))
+
+
+def test_resolve_kernel_coercions():
+    assert resolve_kernel(None) is default_kernel()
+    assert resolve_kernel("numpy") is get_kernel("numpy")
+    instance = get_kernel("scipy")
+    assert resolve_kernel(instance) is instance
+    # The default is always available — it must never itself fall back.
+    assert default_kernel().available()
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity across backends
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name,n", TOPOLOGIES)
+def test_kernels_agree_bitwise(name, n):
+    adj = _adjacency(name, n)
+    reference = get_kernel("scipy")
+    ref_state = reference.prepare(adj)
+    for kernel_name in kernel_names():
+        kernel = get_kernel(kernel_name)
+        state = kernel.prepare(adj)
+        for tx in _tx_sets(adj):
+            counts, codes = kernel.counts_codes(state, tx)
+            ref_counts, ref_codes = reference.counts_codes(ref_state, tx)
+            assert counts.dtype == np.int64 and codes.dtype == np.int64
+            np.testing.assert_array_equal(counts, ref_counts)
+            np.testing.assert_array_equal(codes, ref_codes)
+
+
+def test_counts_codes_many_matches_single_calls():
+    adj = _adjacency("grid", 36)
+    for kernel_name in kernel_names():
+        kernel = get_kernel(kernel_name)
+        state = kernel.prepare(adj)
+        tx_lists = _tx_sets(adj, seed=3)
+        many = kernel.counts_codes_many(state, tx_lists)
+        assert len(many) == len(tx_lists)
+        for (counts, codes), tx in zip(many, tx_lists):
+            ref_counts, ref_codes = kernel.counts_codes(state, tx)
+            np.testing.assert_array_equal(counts, ref_counts)
+            np.testing.assert_array_equal(codes, ref_codes)
+
+
+def test_unique_sender_decode_invariant():
+    """Where count == 1, code - 1 is the unique transmitting neighbor."""
+    adj = _adjacency("star", 17)
+    kernel = default_kernel()
+    state = kernel.prepare(adj)
+    tx = np.array([1, 2], dtype=np.int64)  # two leaves transmit
+    counts, codes = kernel.counts_codes(state, tx)
+    hub = counts == 2
+    assert counts[0] == 2 and hub.sum() == 1  # only the hub hears both
+    unique = counts == 1
+    assert not unique.any() or np.isin(codes[unique] - 1, tx).all()
+
+
+def test_numba_backend_falls_back_gracefully():
+    """numba is not installed here: the kernel must still be correct."""
+    kernel = get_kernel("numba")
+    assert not kernel.available()  # this environment has no numba
+    adj = _adjacency("barbell", 18)
+    state = kernel.prepare(adj)
+    ref = get_kernel("scipy")
+    ref_state = ref.prepare(adj)
+    for tx in _tx_sets(adj, seed=7):
+        np.testing.assert_array_equal(
+            kernel.counts_codes(state, tx)[1],
+            ref.counts_codes(ref_state, tx)[1],
+        )
+
+
+# ---------------------------------------------------------------------------
+# CSR compilation
+# ---------------------------------------------------------------------------
+
+def test_csr_adjacency_matches_scipy_layout():
+    scipy_sparse = pytest.importorskip("scipy.sparse")
+    import networkx as nx
+
+    graph = topology.scenario("grid", 25)
+    index = {v: i for i, v in enumerate(graph.nodes)}
+    adj = _adjacency("grid", 25)
+    ref = scipy_sparse.csr_array(
+        nx.to_scipy_sparse_array(graph, nodelist=list(index), format="csr",
+                                 dtype=np.int64)
+    )
+    ref.sort_indices()
+    np.testing.assert_array_equal(adj.indptr, ref.indptr)
+    np.testing.assert_array_equal(adj.indices, ref.indices)
+    assert adj.nnz == 2 * graph.number_of_edges()
+
+
+def test_compiled_topology_accepts_kernel_designations():
+    graph = topology.scenario("cycle", 12)
+    by_name = CompiledTopology(graph, kernel="numpy")
+    assert by_name.kernel.name == "numpy"
+    by_default = CompiledTopology(graph)
+    assert by_default.kernel is default_kernel()
+    tx = np.array([0, 5], dtype=np.int64)
+    np.testing.assert_array_equal(
+        by_name.counts_codes(tx)[1], by_default.counts_codes(tx)[1]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Block-diagonal mega packing
+# ---------------------------------------------------------------------------
+
+def test_mega_plan_slices_equal_per_member_products():
+    adjs = [_adjacency(name, n) for name, n in TOPOLOGIES]
+    plan = MegaBatchPlan(adjs)
+    kernel = default_kernel()
+    states = [kernel.prepare(adj) for adj in adjs]
+    requests = []
+    for m, adj in enumerate(adjs):
+        for tx in _tx_sets(adj, seed=m):
+            requests.append((m, tx))
+    resolved = plan.counts_codes_many(requests)
+    assert len(resolved) == len(requests)
+    for (m, tx), (counts, codes) in zip(requests, resolved):
+        ref_counts, ref_codes = kernel.counts_codes(states[m], tx)
+        np.testing.assert_array_equal(counts, ref_counts)
+        np.testing.assert_array_equal(codes, ref_codes)
+
+
+def test_mega_plan_order_independent():
+    adjs = [_adjacency("grid", 25), _adjacency("star", 17)]
+    plan = MegaBatchPlan(adjs)
+    a = (0, np.array([0, 3], dtype=np.int64))
+    b = (1, np.array([1], dtype=np.int64))
+    ab = plan.counts_codes_many([a, b])
+    ba = plan.counts_codes_many([b, a])
+    for (ca, xa), (cb, xb) in zip(ab, reversed(ba)):
+        np.testing.assert_array_equal(ca, cb)
+        np.testing.assert_array_equal(xa, xb)
+
+
+# ---------------------------------------------------------------------------
+# Engine registry + deprecation shim
+# ---------------------------------------------------------------------------
+
+def test_engine_registry_surface():
+    assert set(available_engines()) >= {"reference", "fast"}
+    for name in available_engines():
+        assert get_engine(name).name == name
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        get_engine("warp")
+    snapshot = engine_registry_snapshot()
+    snapshot["warp"] = object  # mutating the copy must not register
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        get_engine("warp")
+
+
+def test_register_engine_validation():
+    class Nameless:
+        pass
+
+    with pytest.raises(ConfigurationError, match="name"):
+        register_engine(Nameless)
+    with pytest.raises(ConfigurationError, match="already registered"):
+
+        @register_engine
+        class Duplicate:
+            name = "fast"
+
+    from repro.radio import engine_registry
+
+    @register_engine
+    class Custom:
+        name = "test-custom-engine"
+
+    try:
+        assert get_engine("test-custom-engine") is Custom
+
+        @register_engine(overwrite=True)
+        class Replacement:
+            name = "test-custom-engine"
+
+        assert get_engine("test-custom-engine") is Replacement
+    finally:
+        engine_registry._ENGINES.pop("test-custom-engine", None)
+
+
+def test_make_network_uses_registry():
+    graph = topology.scenario("path", 6)
+    assert make_network(graph, engine="fast").name == "fast"
+    assert make_network(graph, engine="reference").name == "reference"
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        make_network(graph, engine="warp")
+
+
+def test_engines_dict_deprecated_shim():
+    import importlib
+    import warnings
+
+    engine_mod = importlib.import_module("repro.radio.engine")
+    engine_mod._ENGINES_WARNED = False
+    with pytest.warns(DeprecationWarning, match="ENGINES is deprecated"):
+        engines = engine_mod.ENGINES
+    assert engines["fast"] is get_engine("fast")
+    # The shim warns exactly once per process.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert engine_mod.ENGINES["reference"] is get_engine("reference")
+    # The package-level attribute delegates to the same shim.
+    import repro.radio as radio
+
+    assert radio.ENGINES.keys() == engines.keys()

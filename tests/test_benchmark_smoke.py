@@ -52,6 +52,16 @@ def test_bench_batch_smoke():
     assert {"serial_s", "batched_s", "speedup", "time_slots"} <= set(row)
 
 
+def test_bench_backend_smoke():
+    module = _load("bench_backend")
+    row = module.smoke(sizes=(8, 10), seeds=2)
+    assert row["cells"] == 12
+    assert row["seeds_per_cell"] == 2
+    # Byte-identity is asserted inside smoke(); here pin the row shape
+    # the committed BENCH_backend.json relies on.
+    assert {"batched_s", "mega_s", "speedup", "cells"} <= set(row)
+
+
 def test_bench_diameter_approx_smoke():
     module = _load("bench_diameter_approx")
     two, th = module.smoke()
