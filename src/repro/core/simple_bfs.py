@@ -141,8 +141,11 @@ def decay_bfs(
     """
     network = coerce_network(network, engine)
     source_set = _coerce_sources(network.graph, sources)
+    monitor = getattr(network, "invariant_monitor", None)
     rng = make_rng(seed)
     dist: Dict[Hashable, float] = {s: 0.0 for s in source_set}
+    if monitor is not None:
+        monitor.observe_labels(dist)
     for d in range(depth_budget):
         frontier = {u for u, du in dist.items() if du == d}
         if not frontier:
@@ -161,6 +164,8 @@ def decay_bfs(
         for v, msg in heard.items():
             hop = msg.payload[0]
             dist[v] = float(hop) + 1.0
+        if monitor is not None:
+            monitor.observe_labels(dist)
 
     for v in network.graph.nodes:
         dist.setdefault(v, math.inf)

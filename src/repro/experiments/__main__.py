@@ -21,8 +21,9 @@ Subcommands:
   against the ``RunResult`` schema;
 - ``list`` — show everything registered on the CLI surface: topology
   families (annotated with batch eligibility), algorithms (annotated
-  with replica-batch support), engines, collision models, and the fault
-  presets with their layer stacks.
+  with replica-batch support), engines, collision models, the fault
+  presets with their layer stacks, the dynamic-membership presets, and
+  the online safety invariants.
 """
 
 from __future__ import annotations
@@ -34,8 +35,10 @@ from typing import List, Optional
 
 from ..analysis.aggregate import DEFAULT_GROUP_BY, GROUP_FIELDS, report_table
 from ..errors import ConfigurationError, ReproError
+from ..radio.dynamic import coerce_dynamic_schedule, named_dynamic_schedules
 from ..radio.engine import available_engines
 from ..radio.faults import coerce_fault_model, named_fault_models
+from ..radio.invariants import invariant_names
 from ..radio.topology import scenario_is_deterministic, scenario_names
 from ..radio.kernels import get_kernel, kernel_names
 from .fabric import HashRing, member_name, owned_specs
@@ -75,6 +78,16 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-model", metavar="NAME_OR_JSON", default=None,
                         help="fault stack for every cell: a preset name "
                              "(see `list`) or an inline FaultModel JSON object")
+    parser.add_argument("--dynamic", metavar="NAME_OR_JSON", default=None,
+                        help="membership schedule for every cell: a preset "
+                             "name (see `list`) or an inline DynamicSchedule "
+                             "JSON object (joins/leaves/mobility over slots)")
+    parser.add_argument("--invariant-sample", type=int, default=None,
+                        metavar="N",
+                        help="check the online safety invariants every N "
+                             "slots (1 = every slot; default: off; checked "
+                             "cells run serially and their results carry "
+                             "the schema-v3 invariants block)")
     parser.add_argument("--serial", action="store_true",
                         help="skip the process pool; run cells in-process")
     parser.add_argument("--max-workers", type=int, default=None)
@@ -208,6 +221,33 @@ def _parse_fault_model(text: Optional[str]):
     return coerce_fault_model(text)
 
 
+def _parse_dynamic(text: Optional[str]):
+    """CLI membership-schedule designation: preset name or inline JSON."""
+    if text is None:
+        return None
+    if text.lstrip().startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"--dynamic is neither a preset nor valid JSON: {exc}"
+            ) from None
+        return coerce_dynamic_schedule(data)
+    return coerce_dynamic_schedule(text)
+
+
+def _execution_from_args(args: argparse.Namespace):
+    """The per-spec execution hint a CLI invocation implies.
+
+    Only ``--invariant-sample`` lands here: it must travel on each spec
+    (the runner's workers never see the sweep-wide policy object), and
+    it decides whether results carry the v3 ``invariants`` block.
+    """
+    if args.invariant_sample is None:
+        return None
+    return {"invariant_sample": args.invariant_sample}
+
+
 def _policy_from_args(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
     """The sweep-wide :class:`ExecutionPolicy` a CLI invocation implies.
 
@@ -232,6 +272,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         collision_model=args.collision_model,
         fault_model=_parse_fault_model(args.fault_model),
+        dynamic=_parse_dynamic(args.dynamic),
+        execution=_execution_from_args(args),
         parallel=not args.serial,
         max_workers=args.max_workers,
         batch_replicas=args.batch_replicas,
@@ -270,6 +312,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         engine=args.engine,
         collision_model=args.collision_model,
         fault_model=_parse_fault_model(args.fault_model),
+        dynamic=_parse_dynamic(args.dynamic),
+        execution=_execution_from_args(args),
     ))
     done = store.completed_hashes()
     complete = sum(spec_hash(spec) in done for spec in specs)
@@ -316,6 +360,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         engine=args.engine,
         collision_model=args.collision_model,
         fault_model=_parse_fault_model(args.fault_model),
+        dynamic=_parse_dynamic(args.dynamic),
+        execution=_execution_from_args(args),
     ))
     mine = owned_specs(specs, ring, member)
     done = store.completed_hashes()
@@ -427,6 +473,20 @@ def _cmd_list() -> int:
     for name, model in sorted(named_fault_models().items()):
         layers = ", ".join(layer.KIND for layer in model.layers) or "clean channel"
         print(f"  {name:<12} {layers}")
+    print("dynamic schedules:")
+    for name, schedule in sorted(named_dynamic_schedules().items()):
+        parts = []
+        if schedule.join_fraction > 0:
+            parts.append(f"join {schedule.join_fraction:g} "
+                         f"from slot {schedule.join_start}")
+        if schedule.leave_fraction > 0:
+            parts.append(f"leave {schedule.leave_fraction:g} "
+                         f"from slot {schedule.leave_start}")
+        if schedule.rewire_period > 0:
+            parts.append(f"rewire {schedule.rewire_fraction:g} "
+                         f"every {schedule.rewire_period} slots")
+        print(f"  {name:<12} {'; '.join(parts) or 'static membership'}")
+    print("invariants:      ", ", ".join(invariant_names()))
     return 0
 
 

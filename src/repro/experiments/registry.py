@@ -43,9 +43,11 @@ from ..primitives.leader_election import (
     FloodingLeaderElection,
 )
 from ..radio.batch_engine import MegaBatchedNetwork, ReplicaBatchedNetwork
+from ..radio.dynamic import build_dynamic_topology
 from ..radio.energy import EnergyLedger
 from ..radio.engine import Engine, SlotExecutorView, make_network
 from ..radio.faults import FaultCounters
+from ..radio.invariants import InvariantMonitor
 from ..rng import spawn_streams
 from .results import encode_labels, labels_digest
 from .spec import ExperimentSpec
@@ -236,6 +238,12 @@ class RunContext:
     _wiring: np.random.Generator = field(init=False)
     _slot_faults: np.random.Generator = field(init=False)
     _lb_faults: np.random.Generator = field(init=False)
+    _dynamic_stream: np.random.Generator = field(init=False)
+    #: The monitor the runner reads invariant counters from, attached
+    #: by :meth:`network` when the spec's policy enables checking.
+    invariant_monitor: Optional[InvariantMonitor] = field(
+        default=None, init=False
+    )
     _lbg: Optional[PhysicalLBGraph] = field(default=None, init=False)
     #: The run's slot-level executor: an :class:`Engine` built by
     #: :meth:`network`, or the accounting view adopted via
@@ -245,7 +253,8 @@ class RunContext:
 
     def __post_init__(self) -> None:
         self.params = self.spec.params()
-        _, self._wiring, self.rng, fault_stream = self.spec.seed_streams()
+        (_, self._wiring, self.rng, fault_stream,
+         self._dynamic_stream) = self.spec.seed_streams()
         # The slot-level and LB-level views each get their own child of
         # the spec's fault stream: sharing one generator would make the
         # fault pattern depend on how an adapter interleaves the two
@@ -253,7 +262,18 @@ class RunContext:
         self._slot_faults, self._lb_faults = spawn_streams(fault_stream, 2)
 
     def lbg(self) -> PhysicalLBGraph:
-        """The Local-Broadcast view of the topology (built once)."""
+        """The Local-Broadcast view of the topology (built once).
+
+        Unavailable for dynamic-membership specs: the LB abstraction
+        has no slot clock for a join/leave schedule to index, so only
+        slot-tier algorithms can run under churn.
+        """
+        if self.spec.dynamic is not None:
+            raise ConfigurationError(
+                "dynamic membership is a slot-tier feature; algorithm "
+                f"{self.spec.algorithm!r} runs on the Local-Broadcast "
+                "view, which has no slot clock to index the schedule"
+            )
         if self._lbg is None:
             start = time.perf_counter()
             self._lbg = PhysicalLBGraph(
@@ -279,8 +299,19 @@ class RunContext:
             kernel = self._kernel_hint()
             if kernel is not None and self.spec.engine == "fast":
                 kwargs["kernel"] = kernel
-            self._network = make_network(
-                self.graph,
+            graph = self.graph
+            dynamic = build_dynamic_topology(
+                self.spec.dynamic, self.graph, seed=self._dynamic_stream
+            )
+            if dynamic is not None:
+                # The engine owns (and mutates) its own copy of the
+                # initial graph — late joiners detached — while
+                # ctx.graph keeps the scenario's full topology for the
+                # runner's n/edges metrics.
+                graph = dynamic.initial_graph()
+                kwargs["dynamic"] = dynamic
+            network = make_network(
+                graph,
                 engine=self.spec.engine,
                 collision_model=self.spec.collision(),
                 size_policy=self.spec.size_policy(),
@@ -289,6 +320,11 @@ class RunContext:
                 fault_seed=self._slot_faults,
                 **kwargs,
             )
+            period = self._invariant_period()
+            if period is not None:
+                self.invariant_monitor = InvariantMonitor(period=period)
+                network.invariant_monitor = self.invariant_monitor
+            self._network = network
             self.setup_time_s += time.perf_counter() - start
         if not isinstance(self._network, Engine):
             raise ConfigurationError(
@@ -319,6 +355,12 @@ class RunContext:
         (``None``: best available)."""
         policy = self.spec.execution_policy()
         return None if policy is None else policy.kernel()
+
+    def _invariant_period(self) -> Optional[int]:
+        """The invariant sampling period from the spec's execution
+        policy (``None``: checking disabled)."""
+        policy = self.spec.execution_policy()
+        return None if policy is None else policy.invariant_sample
 
     def mark_partial(self) -> None:
         """Record that the run completed only partially (e.g. a fault
@@ -514,13 +556,20 @@ def _labels_output(ctx: RunContext, labels: Mapping[Any, float]) -> Dict[str, An
     finite = [d for d in labels.values() if math.isfinite(d)]
     encoded = encode_labels(labels)
     # Scenario graphs are connected, so an unsettled vertex means the
-    # run (fault injection, usually) left the BFS contract unmet.
-    if len(finite) < ctx.graph.number_of_nodes():
+    # run (fault injection or membership churn, usually) left the BFS
+    # contract unmet — surfaced as a "partial" status plus an explicit
+    # unreached count rather than a silent "ok".
+    unreached = ctx.graph.number_of_nodes() - len(finite)
+    if unreached > 0:
         ctx.mark_partial()
     out: Dict[str, Any] = {
         "settled": len(finite),
         "eccentricity": int(max(finite)) if finite else 0,
     }
+    # Emitted only when nonzero, so complete runs keep their historic
+    # canonical bytes.
+    if unreached > 0:
+        out["unreached"] = unreached
     if ctx.params.get("record_labels", True):
         out["labels"] = encoded
     else:

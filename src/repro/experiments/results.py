@@ -31,12 +31,15 @@ from .spec import ExperimentSpec, from_numpy
 
 #: Version stamp of the ``RunResult`` JSON schema written by default.
 #: v2 added the spec's ``fault_model`` and the per-run ``status`` and
-#: ``faults`` blocks; v1 documents still parse (losslessly up-converted
-#: by ``from_dict``) and re-serialize byte-identically on request.
-SCHEMA_VERSION = 2
+#: ``faults`` blocks; v3 added the spec's optional ``dynamic`` schedule
+#: and the optional ``invariants`` counter block (present only when the
+#: online checker ran).  Older documents still parse (losslessly
+#: up-converted by ``from_dict``) and re-serialize byte-identically on
+#: request.
+SCHEMA_VERSION = 3
 
 #: Schema versions ``from_dict``/``validate_result_dict`` accept.
-SUPPORTED_SCHEMA_VERSIONS: Tuple[int, ...] = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS: Tuple[int, ...] = (1, 2, 3)
 
 #: The ``kind`` discriminators used in serialized documents.
 RESULT_KIND = "repro.experiments.run_result"
@@ -64,6 +67,9 @@ RESULT_STATUSES: Tuple[str, ...] = ("ok", "partial")
 
 #: The all-zero fault tally of a clean (or v1) run.
 ZERO_FAULTS: Dict[str, int] = {name: 0 for name in FAULT_FIELDS}
+
+#: Fields of the v3 ``invariants`` block, in schema order.
+INVARIANT_FIELDS: Tuple[str, ...] = ("checked_slots", "violations")
 
 
 def canonical_spec_bytes(spec: ExperimentSpec) -> bytes:
@@ -154,6 +160,60 @@ def decode_labels(pairs: List[List[Any]]) -> Dict[Hashable, float]:
     }
 
 
+def _canonical_invariants(
+    invariants: Optional[Mapping[str, Any]],
+) -> Optional[Dict[str, Any]]:
+    """Canonicalize a :class:`RunResult` ``invariants`` block.
+
+    ``None`` (checker never ran) stays ``None``; so does an all-zero
+    tally (``checked_slots == 0`` with no violations), keeping the byte
+    stream of checker-free runs identical whether the block was omitted
+    or trivially empty.  Anything else must be the exact
+    :meth:`repro.radio.invariants.InvariantMonitor.counters` shape:
+    a non-negative ``checked_slots`` and positive per-name violation
+    counts.
+    """
+    if invariants is None:
+        return None
+    if not isinstance(invariants, Mapping):
+        raise ConfigurationError(
+            f"invariants must be a mapping, got {type(invariants).__name__}"
+        )
+    unknown = set(invariants) - set(INVARIANT_FIELDS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown invariant counter fields: {sorted(unknown)}"
+        )
+    checked = from_numpy(invariants.get("checked_slots", 0))
+    if not isinstance(checked, int) or isinstance(checked, bool) or checked < 0:
+        raise ConfigurationError(
+            f"invariants.checked_slots must be a non-negative int, "
+            f"got {checked!r}"
+        )
+    raw = invariants.get("violations") or {}
+    if not isinstance(raw, Mapping):
+        raise ConfigurationError(
+            f"invariants.violations must be a mapping, "
+            f"got {type(raw).__name__}"
+        )
+    violations: Dict[str, int] = {}
+    for name in sorted(raw):
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError(
+                f"invariant names must be non-empty strings, got {name!r}"
+            )
+        count = from_numpy(raw[name])
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise ConfigurationError(
+                f"violation count for {name!r} must be a positive int, "
+                f"got {count!r}"
+            )
+        violations[name] = count
+    if checked == 0 and not violations:
+        return None
+    return {"checked_slots": checked, "violations": violations}
+
+
 def labels_digest(encoded: List[List[Any]]) -> str:
     """SHA-256 hex digest of an :func:`encode_labels` document.
 
@@ -197,6 +257,11 @@ class RunResult:
     #: Fault counters (schema v2): crashed / delivered / dropped /
     #: jammed event totals across the run's executors.
     faults: Optional[Mapping[str, int]] = None
+    #: Online invariant-checker tally (schema v3):
+    #: ``{"checked_slots": int, "violations": {name: count}}`` when the
+    #: checker ran, ``None`` otherwise (canonicalized in
+    #: ``__post_init__``; an all-zero tally collapses to ``None``).
+    invariants: Optional[Mapping[str, Any]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -233,6 +298,9 @@ class RunResult:
                     )
                 counters[name] = value
         object.__setattr__(self, "faults", counters)
+        object.__setattr__(
+            self, "invariants", _canonical_invariants(self.invariants)
+        )
 
     # ------------------------------------------------------------------
     def metrics(self) -> Dict[str, int]:
@@ -266,10 +334,11 @@ class RunResult:
         byte-identical across runs and engines.  ``include_timing=True``
         adds a ``timing`` object for benchmark records.
 
-        ``schema_version=1`` re-emits the legacy shape (no
-        ``fault_model``/``status``/``faults``) byte-identically; it is
-        only valid for results a v1 document could have expressed —
-        fault-free, ``"ok"``, all counters zero.
+        Older shapes re-emit byte-identically, but only for results the
+        older schema could have expressed: ``schema_version=1`` (no
+        ``fault_model``/``status``/``faults``) requires a fault-free
+        ``"ok"`` run; ``schema_version=2`` additionally requires no
+        ``dynamic`` schedule on the spec and no ``invariants`` tally.
         """
         version = SCHEMA_VERSION if schema_version is None else schema_version
         if version not in SUPPORTED_SCHEMA_VERSIONS:
@@ -277,6 +346,17 @@ class RunResult:
                 f"unsupported schema_version {version!r}; "
                 f"supported: {SUPPORTED_SCHEMA_VERSIONS}"
             )
+        if version < 3:
+            if self.invariants is not None:
+                raise ConfigurationError(
+                    "a result with invariant counters cannot be serialized "
+                    f"in the v{version} schema"
+                )
+            if self.spec.dynamic is not None:
+                raise ConfigurationError(
+                    "a result whose spec has a dynamic schedule cannot be "
+                    f"serialized in the v{version} schema"
+                )
         if version == 1:
             if self.status != "ok" or self.fault_counts() != ZERO_FAULTS:
                 raise ConfigurationError(
@@ -292,7 +372,7 @@ class RunResult:
             }
         else:
             doc = {
-                "schema_version": SCHEMA_VERSION,
+                "schema_version": version,
                 "kind": RESULT_KIND,
                 "spec": self.spec.to_dict(),
                 "output": self.output,
@@ -300,6 +380,14 @@ class RunResult:
                 "status": self.status,
                 "faults": self.fault_counts(),
             }
+            # The invariants block is emitted only when the checker ran,
+            # so checker-free v3 documents differ from v2 only in the
+            # version stamp (and dynamic specs in their spec block).
+            if version >= 3 and self.invariants is not None:
+                doc["invariants"] = {
+                    "checked_slots": self.invariants["checked_slots"],
+                    "violations": dict(self.invariants["violations"]),
+                }
         if include_timing:
             doc["timing"] = {"wall_time_s": round(float(self.wall_time_s), 6)}
         return doc
@@ -357,21 +445,33 @@ class RunResult:
                 f"timing.wall_time_s must be a number, "
                 f"got {timing.get('wall_time_s')!r}"
             ) from None
-        # v1 up-conversion is lossless: a v1 document could only describe
-        # a fault-free completed run, so the v2 additions take their
-        # defaults ("ok", all counters zero, no fault_model).
+        # Up-conversion is lossless: a v1 document could only describe a
+        # fault-free completed run, and a pre-v3 document one without a
+        # dynamic schedule or invariant tally, so the newer fields take
+        # their defaults ("ok", zero counters, no dynamic, no tally).
         status = data.get("status", "ok")
         faults = data.get("faults")
         if version == 1 and (status != "ok" or faults not in (None, ZERO_FAULTS)):
             raise ConfigurationError(
                 "v1 documents cannot carry status/faults blocks"
             )
+        invariants = data.get("invariants")
+        if version < 3 and invariants is not None:
+            raise ConfigurationError(
+                f"v{version} documents cannot carry an invariants block"
+            )
+        spec = ExperimentSpec.from_dict(data["spec"])
+        if version < 3 and spec.dynamic is not None:
+            raise ConfigurationError(
+                f"v{version} documents cannot carry a dynamic schedule"
+            )
         return cls(
-            spec=ExperimentSpec.from_dict(data["spec"]),
+            spec=spec,
             output=dict(data["output"]),
             wall_time_s=wall,
             status=status,
             faults=faults,
+            invariants=invariants,
             **{name: metrics[name] for name in METRIC_FIELDS},
         )
 

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..analysis.reporting import format_table
 from ..errors import ConfigurationError
+from ..radio.dynamic import DynamicSchedule, coerce_dynamic_schedule
 from ..radio.energy import EnergyLedger
 from ..radio.faults import FaultModel, coerce_fault_model
 from ..radio.topology import scenario_is_deterministic
@@ -103,9 +104,13 @@ def _assemble_result(
 
     Shared by :func:`run_experiment` and :func:`run_experiment_batch`
     so the two execution paths can never drift in which metrics they
-    report or how.
+    report or how.  When the run carried an
+    :class:`~repro.radio.invariants.InvariantMonitor` (the policy's
+    ``invariant_sample`` knob), its counters land in the result's v3
+    ``invariants`` block.
     """
     ledger = ctx.ledger
+    monitor = ctx.invariant_monitor
     return RunResult(
         spec=spec,
         output=dict(output),
@@ -120,6 +125,7 @@ def _assemble_result(
         wall_time_s=wall,
         status="partial" if ctx.partial else "ok",
         faults=ctx.fault_totals().as_dict(),
+        invariants=monitor.counters() if monitor is not None else None,
     )
 
 
@@ -138,7 +144,7 @@ def _group_signature(spec: ExperimentSpec) -> str:
 def spec_is_batchable(spec: ExperimentSpec) -> bool:
     """Whether sibling seeds of this cell may share a batched engine run.
 
-    Three conditions, each load-bearing:
+    Four conditions, each load-bearing:
 
     - the algorithm has a registered replica-batched adapter
       (:func:`~repro.experiments.registry.batched_algorithm_names`);
@@ -149,10 +155,14 @@ def spec_is_batchable(spec: ExperimentSpec) -> bool:
     - the spec selects the ``"fast"`` engine: a ``"reference"`` spec is
       an explicit request for the audit-grade serial executor, which
       batching would silently override (results would be identical —
-      the engines are bit-equivalent — but the request is honored).
+      the engines are bit-equivalent — but the request is honored);
+    - the spec is static: a dynamic-membership run patches its engine's
+      compiled topology slot by slot, which the shared-CSR batched
+      engine cannot replay per-lane, so churn cells always run per-seed.
     """
     return (
         spec.engine == "fast"
+        and spec.dynamic is None
         and spec.algorithm in batched_algorithm_names()
         and scenario_is_deterministic(spec.topology)
     )
@@ -333,13 +343,17 @@ def _plan_units(
     axis) fuse into one unit, capped at the effective replica limit:
     the specs' own execution hint when set, else the ``batch_replicas``
     argument, else :data:`DEFAULT_BATCH_REPLICAS`.  Everything else
-    stays a singleton.  When the effective policy selects
-    ``backend="megabatch"``, adjacent units of mega-batchable cells
-    sharing one algorithm are further fused into heterogeneous units of
-    up to ``mega_batch`` lanes total (default
-    :data:`DEFAULT_MEGA_BATCH`).  Concatenating the units yields the
-    input order unchanged, so downstream result assembly (and the
-    store's shard append order) is independent of batching.
+    stays a singleton.  Cells whose effective policy enables invariant
+    checking (``invariant_sample``) also stay singletons: the online
+    checker hooks the serial engine's slot loop, which the shared-CSR
+    batched engine bypasses — fusing would silently skip the checking
+    the policy asked for.
+    When the effective policy selects ``backend="megabatch"``, adjacent
+    units of mega-batchable cells sharing one algorithm are further
+    fused into heterogeneous units of up to ``mega_batch`` lanes total
+    (default :data:`DEFAULT_MEGA_BATCH`).  Concatenating the units
+    yields the input order unchanged, so downstream result assembly
+    (and the store's shard append order) is independent of batching.
     """
     validate_batch_replicas(batch_replicas)
     units: List[ExecutionUnit] = []
@@ -359,7 +373,10 @@ def _plan_units(
         group.clear()
 
     for spec in specs:
-        if not spec_is_batchable(spec):
+        if (
+            not spec_is_batchable(spec)
+            or _effective_policy(spec, policy).invariant_sample is not None
+        ):
             flush()
             group_key = None
             units.append((spec,))
@@ -433,6 +450,8 @@ def iter_grid(
     message_limit_bits: Optional[int] = None,
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
+    dynamic: Union[None, str, Mapping[str, Any], DynamicSchedule] = None,
+    execution: Union[None, Mapping[str, Any], ExecutionPolicy] = None,
 ) -> Iterator[ExperimentSpec]:
     """Lazily expand a scenario grid, one spec per cell, in grid order.
 
@@ -450,6 +469,13 @@ def iter_grid(
     dict.  ``fault_model`` (a :class:`~repro.radio.faults.FaultModel`,
     its dict form, or a preset name) applies one fault stack to every
     cell; sweep a fault axis by expanding one grid per model.
+    ``dynamic`` (a :class:`~repro.radio.dynamic.DynamicSchedule`, its
+    dict form, or a preset name) likewise applies one membership
+    schedule to every cell.  ``execution`` (an
+    :class:`~repro.experiments.spec.ExecutionPolicy` or its dict form)
+    stamps one execution hint onto every cell — not part of cell
+    identity, but ``invariant_sample`` does decide whether results
+    carry the v3 ``invariants`` block.
 
     Arguments are validated eagerly, at call time; only the spec
     construction (and derived-seed materialization) is deferred to
@@ -463,6 +489,9 @@ def iter_grid(
     if not size_list:
         raise ConfigurationError("expand_grid requires at least one size")
     faults = coerce_fault_model(fault_model)
+    schedule = coerce_dynamic_schedule(dynamic)
+    if execution is not None and not isinstance(execution, ExecutionPolicy):
+        execution = ExecutionPolicy.from_dict(execution)
     params_by_algorithm = dict(algorithm_params or {})
     unknown = set(params_by_algorithm) - set(algorithms)
     if unknown:
@@ -517,6 +546,8 @@ def iter_grid(
                         message_limit_bits=message_limit_bits,
                         seed=cell_seed(i, j),
                         fault_model=faults,
+                        dynamic=schedule,
+                        execution=execution,
                     )
 
     return generate()
@@ -533,6 +564,8 @@ def expand_grid(
     message_limit_bits: Optional[int] = None,
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
+    dynamic: Union[None, str, Mapping[str, Any], DynamicSchedule] = None,
+    execution: Union[None, Mapping[str, Any], ExecutionPolicy] = None,
 ) -> List[ExperimentSpec]:
     """Eager form of :func:`iter_grid` (same arguments and order)."""
     return list(iter_grid(
@@ -546,6 +579,8 @@ def expand_grid(
         message_limit_bits=message_limit_bits,
         algorithm_params=algorithm_params,
         fault_model=fault_model,
+        dynamic=dynamic,
+        execution=execution,
     ))
 
 
@@ -794,6 +829,8 @@ def run_sweep(
     message_limit_bits: Optional[int] = None,
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
+    dynamic: Union[None, str, Mapping[str, Any], DynamicSchedule] = None,
+    execution: Union[None, Mapping[str, Any], ExecutionPolicy] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
     store: Union[None, str, SweepStore] = None,
@@ -821,6 +858,8 @@ def run_sweep(
         message_limit_bits=message_limit_bits,
         algorithm_params=algorithm_params,
         fault_model=fault_model,
+        dynamic=dynamic,
+        execution=execution,
     )
     return run_specs(specs, parallel=parallel, max_workers=max_workers,
                      store=store, chunk_size=chunk_size,

@@ -13,8 +13,11 @@ All randomness of a run derives from ``seed`` through
 :func:`repro.rng.spawn_streams`: stream 0 builds the topology, stream 1
 seeds the network wiring (Local-Broadcast arbitration), stream 2 drives
 the algorithm itself, stream 3 drives fault injection (schema v2's
-``fault_model`` field).  Two runs of the same spec therefore consume
-identical random streams regardless of which process executes them.
+``fault_model`` field), stream 4 drives the dynamic-membership timeline
+(schema v3's ``dynamic`` field).  Streams are derived by index, so each
+addition left every earlier stream untouched; two runs of the same spec
+consume identical random streams regardless of which process executes
+them.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..radio import topology
 from ..radio.channel import CollisionModel
+from ..radio.dynamic import DynamicSchedule, coerce_dynamic_schedule
 from ..radio.engine import available_engines
 from ..radio.faults import FaultModel, coerce_fault_model
 from ..radio.kernels import kernel_names
@@ -138,11 +142,16 @@ class ExecutionPolicy:
 
     A frozen bundle of execution hints carried beside
     :class:`ExperimentSpec` (its ``execution`` field) or passed to the
-    runners (``run_specs(..., policy=...)``).  Every knob is an
-    optimization lever with a bit-identity guarantee: any policy
-    produces byte-identical results, ledgers, fault streams, and store
-    shards to the default one.  Accordingly the policy is excluded from
-    spec equality, hashing, and serialization (enforced by lintkit's
+    runners (``run_specs(..., policy=...)``).  The performance knobs
+    (``backend``, ``batch_replicas``, ``mega_batch``) carry a
+    bit-identity guarantee: any setting produces byte-identical
+    results, ledgers, fault streams, and store shards to the default
+    one.  ``invariant_sample`` is the one *diagnostic* knob: it decides
+    how often the online invariant checker observes a run, so results
+    are byte-identical per fixed sampling policy (which is exactly what
+    the CI equivalence grids pin down), and runs without it emit no
+    invariant data at all.  The policy is excluded from spec equality,
+    hashing, and serialization either way (enforced by lintkit's
     HASH001 rule).
 
     Parameters
@@ -164,11 +173,19 @@ class ExecutionPolicy:
         Cap on the *total* lane count packed into one mega-batched
         execution unit (only meaningful with ``backend="megabatch"``;
         ``None`` defers to the runner default).
+    invariant_sample:
+        Online invariant-checking period: check the registered safety
+        properties (:mod:`repro.radio.invariants`) every that many
+        executed slots (``1`` = every slot, the debug setting).
+        ``None`` (the default) disables checking entirely.  Checked
+        specs always execute as serial singleton units — sampling is
+        defined on a single engine's slot clock.
     """
 
     backend: Optional[str] = None
     batch_replicas: Optional[int] = None
     mega_batch: Optional[int] = None
+    invariant_sample: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None and self.backend not in execution_backends():
@@ -178,6 +195,7 @@ class ExecutionPolicy:
             )
         validate_batch_replicas(self.batch_replicas)
         validate_batch_replicas(self.mega_batch, where="mega_batch")
+        validate_batch_replicas(self.invariant_sample, where="invariant_sample")
 
     # ------------------------------------------------------------------
     def kernel(self) -> Optional[str]:
@@ -212,6 +230,11 @@ class ExecutionPolicy:
                 self.mega_batch
                 if self.mega_batch is not None else base.mega_batch
             ),
+            invariant_sample=(
+                self.invariant_sample
+                if self.invariant_sample is not None
+                else base.invariant_sample
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -225,6 +248,7 @@ class ExecutionPolicy:
             "backend": self.backend,
             "batch_replicas": self.batch_replicas,
             "mega_batch": self.mega_batch,
+            "invariant_sample": self.invariant_sample,
         }
 
     @classmethod
@@ -276,6 +300,16 @@ class ExperimentSpec:
         mapping, or a :func:`~repro.radio.faults.named_fault_models`
         preset name.  ``None`` (and the empty stack, which normalizes
         to ``None``) is the clean channel of the paper's model.
+    dynamic:
+        Optional dynamic-membership schedule (schema v3): a
+        :class:`~repro.radio.dynamic.DynamicSchedule`, its ``to_dict``
+        mapping, or a
+        :func:`~repro.radio.dynamic.named_dynamic_schedules` preset
+        name.  ``None`` (and the null schedule, which normalizes to
+        ``None``) is the paper's static topology.  Part of the cell's
+        identity — and of ``spec_hash`` when set; static specs keep
+        their historic hashes because the key is only serialized when
+        present.
     execution:
         Optional :class:`ExecutionPolicy` (or its ``to_dict`` mapping)
         — an execution *hint*, not part of the cell's identity: how to
@@ -302,6 +336,7 @@ class ExperimentSpec:
     message_limit_bits: Optional[int] = None
     seed: int = 0
     fault_model: Optional[FaultModel] = None
+    dynamic: Optional[DynamicSchedule] = None
     execution: Optional[ExecutionPolicy] = field(default=None, compare=False)
     batch_replicas: Optional[int] = field(default=None, compare=False)
 
@@ -311,6 +346,9 @@ class ExperimentSpec:
         )
         object.__setattr__(
             self, "fault_model", coerce_fault_model(self.fault_model)
+        )
+        object.__setattr__(
+            self, "dynamic", coerce_dynamic_schedule(self.dynamic)
         )
         if self.topology not in topology.scenario_names():
             raise ConfigurationError(
@@ -398,14 +436,15 @@ class ExperimentSpec:
         return {k: _listify(v) for k, v in self.algorithm_params}
 
     def seed_streams(self) -> List[np.random.Generator]:
-        """The run's four derived streams: topology, wiring, algorithm,
-        fault injection.
+        """The run's five derived streams: topology, wiring, algorithm,
+        fault injection, dynamic membership.
 
-        Streams are derived by index, so the first three are identical
-        to the schema-v1 derivation — adding the fault stream changed
-        no existing run's randomness.
+        Streams are derived by index, so each addition left every
+        earlier stream identical — the schema-v1 derivation (first
+        three), the fault stream (v2), and the dynamic stream (v3)
+        never changed an existing run's randomness.
         """
-        return spawn_streams(make_rng(self.seed), 4)
+        return spawn_streams(make_rng(self.seed), 5)
 
     def build_graph(self) -> nx.Graph:
         """Construct this cell's topology (deterministic in ``seed``)."""
@@ -456,6 +495,17 @@ class ExperimentSpec:
                 "a spec with a fault_model cannot be serialized in the v1 "
                 "schema; use the default (v2) serialization"
             )
+        # The dynamic schedule is emitted only when set: static specs
+        # keep their historic canonical bytes (and spec_hash) across the
+        # v3 schema bump, while dynamic specs are only expressible in
+        # schemas that carry the key (enforced by RunResult.to_dict).
+        if self.dynamic is not None:
+            if not include_fault_model:
+                raise ConfigurationError(
+                    "a spec with a dynamic schedule cannot be serialized in "
+                    "the v1 schema; use the default serialization"
+                )
+            doc["dynamic"] = self.dynamic.to_dict()
         return doc
 
     @classmethod

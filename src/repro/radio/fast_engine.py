@@ -30,7 +30,18 @@ available — all bit-identical by construction.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import networkx as nx
 import numpy as np
@@ -39,6 +50,7 @@ from ..errors import SimulationError
 from ..rng import SeedLike
 from .channel import CollisionModel, Feedback, Reception
 from .device import ActionKind, Device
+from .dynamic import DynamicTopology, TopologyPatch
 from .energy import EnergyLedger
 from .faults import FaultModel
 from .engine_registry import register_engine
@@ -107,6 +119,19 @@ class CompiledTopology:
         """
         return self.kernel.counts_codes_many(self._kernel_state, tx_lists)
 
+    def patch_rows(self, updates: Mapping[int, np.ndarray]) -> None:
+        """Replace the given adjacency rows and re-prepare the kernel.
+
+        The incremental dynamic-topology path: the CSR arrays are row
+        spliced in place of a full per-edge recompile
+        (:meth:`~repro.radio.kernels.base.CSRAdjacency.with_row_updates`),
+        and only the backend's cheap array-level ``prepare`` runs again.
+        """
+        if not updates:
+            return
+        self.adjacency = self.adjacency.with_row_updates(updates)
+        self._kernel_state = self.kernel.prepare(self.adjacency)
+
 
 @register_engine
 class FastRadioNetwork(SlotEngineBase):
@@ -135,13 +160,47 @@ class FastRadioNetwork(SlotEngineBase):
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
         kernel: Union[None, str, SlotKernel] = None,
+        dynamic: Optional[DynamicTopology] = None,
     ) -> None:
         super().__init__(graph, collision_model, size_policy, ledger, trace,
-                         faults=faults, fault_seed=fault_seed)
+                         faults=faults, fault_seed=fault_seed, dynamic=dynamic)
         self._topology = CompiledTopology(graph, kernel=kernel)
         self._index = self._topology.index
         # Per-slot message staging area, reused across slots.
         self._msg_buf: List[Optional[Message]] = [None] * self._topology.n
+
+    def _apply_topology_patch(self, patch: TopologyPatch) -> None:
+        """Apply one slot's edge diff as an incremental CSR row splice."""
+        topology = self._topology
+        index = self._index
+        rows: Dict[int, Set[int]] = {}
+
+        def row(i: int) -> Set[int]:
+            if i not in rows:
+                rows[i] = set(topology.adjacency.row(i).tolist())
+            return rows[i]
+
+        for u, v in patch.removed:
+            iu, iv = index[u], index[v]
+            row(iu).remove(iv)
+            row(iv).remove(iu)
+        for u, v in patch.added:
+            iu, iv = index[u], index[v]
+            row(iu).add(iv)
+            row(iv).add(iu)
+        topology.patch_rows({
+            i: np.fromiter(sorted(rows[i]), dtype=np.int64, count=len(rows[i]))
+            for i in sorted(rows)
+        })
+
+    def adjacency_snapshot(self) -> Dict[Hashable, FrozenSet[Hashable]]:
+        """The live adjacency as canonical neighbor sets (see base)."""
+        adjacency = self._topology.adjacency
+        vertices = self._topology.vertices
+        return {
+            v: frozenset(vertices[j] for j in adjacency.row(i).tolist())
+            for i, v in enumerate(vertices)
+        }
 
     # ------------------------------------------------------------------
     def _transmitter_counts(

@@ -219,9 +219,18 @@ class ChurnSchedule:
                     f"churn event index must be a non-negative int, got {index!r}"
                 )
             canon.append((slot, op, index))
-        # Canonical event order: by slot, then declaration order within a
-        # slot (stable sort), so equal schedules hash and compare equal.
-        canon.sort(key=lambda e: e[0])
+        seen: set = set()
+        for event in canon:
+            if event in seen:
+                raise ConfigurationError(
+                    f"duplicate churn event {event!r} "
+                    f"(each (slot, op, index) triple may appear once)"
+                )
+            seen.add(event)
+        # Canonical event order: by slot, then revive-before-crash within
+        # a slot, then device index — same-slot semantics no longer depend
+        # on declaration order, and equal schedules hash and compare equal.
+        canon.sort(key=lambda e: (e[0], 0 if e[1] == "revive" else 1, e[2]))
         object.__setattr__(self, "events", tuple(canon))
 
     def to_dict(self) -> Dict[str, Any]:

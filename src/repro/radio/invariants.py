@@ -1,0 +1,275 @@
+"""Online safety-invariant checking for slot-engine runs.
+
+The repo's equivalence suites prove both engines produce identical
+*final* results; this module checks that declared safety properties
+hold *during* a run — exactly where dynamic-membership transients (see
+:mod:`repro.radio.dynamic`) would first go wrong.  Checks are declared
+once via :func:`register_invariant` and evaluated by an
+:class:`InvariantMonitor` attached to an engine:
+
+- **slot invariants** run after each executed slot (sampled every
+  ``period`` slots — debug runs use ``period=1``, production sweeps a
+  sparser sampling via ``ExecutionPolicy.invariant_sample``):
+  ``ledger_monotone`` (per-device energy and the slot clock never
+  decrease) and ``alive_topology_agreement`` (the engine's live
+  adjacency matches the declared topology — for dynamic runs, the
+  :class:`repro.radio.dynamic.DynamicTopology` authoritative state);
+- **label invariants** run on every label observation the algorithm
+  driver publishes (:meth:`InvariantMonitor.observe_labels`, wired
+  into the Decay-BFS layer loop): ``labels_monotone`` (a settled BFS
+  label never changes) and ``frontier_valid`` (settled labels form
+  contiguous non-negative integer layers).
+
+Violations never raise — they are *counted* per invariant name and
+reported as structured :class:`repro.experiments.RunResult` counters
+(result schema v3), so a sweep under churn degrades into data, not a
+crash.  The checker itself must be deterministic: given the same run,
+the same violations are counted on every engine (the differential
+suite includes invariant counters in its byte-identity claim).
+
+Testing seam
+------------
+:func:`install_test_mutator` installs a process-global hook invoked on
+every checked slot *before* the checks run — tests use it to plant a
+deliberate regression (e.g. rolling back a ledger cell) and assert the
+checker catches it.  Never used outside tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: A slot check: ``(monitor, engine) -> None | violation description``.
+#: A labels check: ``(monitor, labels) -> None | violation description``.
+InvariantCheck = Callable[["InvariantMonitor", Any], Optional[str]]
+
+#: Check kinds: ``"slot"`` runs after sampled slots with the engine;
+#: ``"labels"`` runs on every label observation with the label mapping.
+INVARIANT_KINDS: Tuple[str, ...] = ("slot", "labels")
+
+_INVARIANTS: Dict[str, Tuple[str, InvariantCheck]] = {}
+
+
+def register_invariant(
+    name: str, kind: str = "slot", overwrite: bool = False
+) -> Callable[[InvariantCheck], InvariantCheck]:
+    """Register a named safety property (decorator factory).
+
+    ``kind`` selects the hook surface (see :data:`INVARIANT_KINDS`).
+    The check returns ``None`` when the property holds, or a short
+    violation description; the monitor counts violations per name and
+    never raises.
+    """
+    if not name:
+        raise ConfigurationError("invariant name must be non-empty")
+    if kind not in INVARIANT_KINDS:
+        raise ConfigurationError(
+            f"invariant kind must be one of {INVARIANT_KINDS}, got {kind!r}"
+        )
+    if not overwrite and name in _INVARIANTS:
+        raise ConfigurationError(f"invariant {name!r} is already registered")
+
+    def _register(check: InvariantCheck) -> InvariantCheck:
+        _INVARIANTS[name] = (kind, check)
+        return check
+
+    return _register
+
+
+def invariant_names() -> Tuple[str, ...]:
+    """All registered invariant names, sorted."""
+    return tuple(sorted(_INVARIANTS))
+
+
+_TEST_MUTATOR: Optional[Callable[[Any], None]] = None
+
+
+def install_test_mutator(mutator: Optional[Callable[[Any], None]]) -> None:
+    """Install (or with ``None`` clear) the planted-regression hook.
+
+    The hook receives the engine on every checked slot, before the slot
+    checks run.  A test-only seam: production code never installs one.
+    """
+    global _TEST_MUTATOR
+    _TEST_MUTATOR = mutator
+
+
+class InvariantMonitor:
+    """Per-run violation counter over the registered invariants.
+
+    Attach to an engine (``network.invariant_monitor = monitor``) and
+    the shared slot loop calls :meth:`after_slot` once per executed
+    slot; algorithm drivers publish label snapshots through
+    :meth:`observe_labels`.  ``period`` samples the slot checks (every
+    ``period``-th executed slot, starting at slot 0); label checks are
+    cheap and run on every observation.
+
+    ``names`` restricts checking to a subset of
+    :func:`invariant_names`; the default is all registered invariants.
+    """
+
+    def __init__(
+        self, period: int = 1, names: Optional[Sequence[str]] = None
+    ) -> None:
+        if not isinstance(period, int) or isinstance(period, bool) or period < 1:
+            raise ConfigurationError(
+                f"invariant sampling period must be a positive int, got {period!r}"
+            )
+        selected = invariant_names() if names is None else tuple(names)
+        unknown = [n for n in selected if n not in _INVARIANTS]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown invariants {unknown}; registered: "
+                f"{', '.join(invariant_names())}"
+            )
+        self.period = period
+        self._slot_checks: List[Tuple[str, InvariantCheck]] = []
+        self._label_checks: List[Tuple[str, InvariantCheck]] = []
+        for name in sorted(set(selected)):
+            kind, check = _INVARIANTS[name]
+            if kind == "slot":
+                self._slot_checks.append((name, check))
+            else:
+                self._label_checks.append((name, check))
+        #: Slots on which the slot checks actually ran.
+        self.checked_slots = 0
+        #: Violation counts per invariant name.
+        self.violations: Dict[str, int] = {}
+        #: Scratch state owned by the individual checks, keyed by name.
+        self.state: Dict[str, Any] = {}
+
+    def _record(self, name: str) -> None:
+        self.violations[name] = self.violations.get(name, 0) + 1
+
+    # ------------------------------------------------------------------
+    def after_slot(self, engine: Any) -> None:
+        """Run the sampled slot checks after one executed slot.
+
+        Called by the shared slot loop with ``engine.slot`` already
+        advanced past the slot just executed.
+        """
+        executed = engine.slot - 1
+        if executed % self.period != 0:
+            return
+        if _TEST_MUTATOR is not None:
+            _TEST_MUTATOR(engine)
+        self.checked_slots += 1
+        for name, check in self._slot_checks:
+            if check(self, engine) is not None:
+                self._record(name)
+
+    def observe_labels(self, labels: Mapping[Hashable, float]) -> None:
+        """Run the label checks on one published label snapshot."""
+        for name, check in self._label_checks:
+            if check(self, labels) is not None:
+                self._record(name)
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, Any]:
+        """The JSON-native tally the result schema (v3) records."""
+        return {
+            "checked_slots": self.checked_slots,
+            "violations": {
+                name: self.violations[name] for name in sorted(self.violations)
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Built-in invariants
+# ---------------------------------------------------------------------------
+
+@register_invariant("ledger_monotone")
+def _ledger_monotone(monitor: InvariantMonitor, engine: Any) -> Optional[str]:
+    """Per-device energy totals and the ledger clock never decrease."""
+    state = monitor.state.setdefault(
+        "ledger_monotone", {"time": 0, "devices": {}}
+    )
+    ledger = engine.ledger
+    bad: Optional[str] = None
+    if ledger.time_slots < state["time"]:
+        bad = (
+            f"ledger clock went backwards: "
+            f"{ledger.time_slots} < {state['time']}"
+        )
+    state["time"] = ledger.time_slots
+    seen = state["devices"]
+    for vertex, energy in ledger.devices().items():
+        prev = seen.get(vertex)
+        if prev is not None and (
+            energy.transmit_slots < prev[0] or energy.listen_slots < prev[1]
+        ):
+            bad = f"energy decreased for device {vertex!r}"
+        seen[vertex] = (energy.transmit_slots, energy.listen_slots)
+    return bad
+
+
+@register_invariant("alive_topology_agreement")
+def _alive_topology_agreement(
+    monitor: InvariantMonitor, engine: Any
+) -> Optional[str]:
+    """The engine's live adjacency matches the declared topology.
+
+    For dynamic runs, the authority is the
+    :class:`repro.radio.dynamic.DynamicTopology` runtime's expected
+    adjacency and inactive set; for static runs, the construction
+    graph.  Catches one-sided or stale patch application in either
+    engine.
+    """
+    snapshot = engine.adjacency_snapshot()
+    dynamic = getattr(engine, "_dynamic", None)
+    if dynamic is not None:
+        expected = dynamic.expected_adjacency()
+        inactive: FrozenSet[Hashable] = dynamic.inactive
+    else:
+        expected = {
+            v: frozenset(engine.graph.neighbors(v)) for v in engine.graph.nodes
+        }
+        inactive = frozenset()
+    if snapshot != expected:
+        drifted = sorted(
+            v for v in expected if snapshot.get(v) != expected[v]
+        )
+        return (
+            f"engine adjacency disagrees with the declared topology at "
+            f"{len(drifted)} vertices (e.g. {drifted[0]!r})"
+        )
+    if not inactive <= set(expected):
+        return "inactive set references vertices outside the topology"
+    return None
+
+
+@register_invariant("labels_monotone", kind="labels")
+def _labels_monotone(
+    monitor: InvariantMonitor, labels: Mapping[Hashable, float]
+) -> Optional[str]:
+    """A settled (finite) BFS label never changes on later observations."""
+    seen = monitor.state.setdefault("labels_monotone", {})
+    bad: Optional[str] = None
+    for vertex, dist in labels.items():
+        if not math.isfinite(dist):
+            continue
+        prev = seen.get(vertex)
+        if prev is not None and dist != prev:
+            bad = f"settled label changed for {vertex!r}: {prev} -> {dist}"
+        seen[vertex] = dist
+    return bad
+
+
+@register_invariant("frontier_valid", kind="labels")
+def _frontier_valid(
+    monitor: InvariantMonitor, labels: Mapping[Hashable, float]
+) -> Optional[str]:
+    """Settled labels are contiguous non-negative integer BFS layers."""
+    finite = sorted({d for d in labels.values() if math.isfinite(d)})
+    for dist in finite:
+        if dist < 0 or dist != int(dist):
+            return f"label {dist!r} is not a non-negative integer"
+    if finite:
+        expected = [float(i) for i in range(int(finite[-1]) + 1)]
+        if finite != expected:
+            return "settled labels do not form contiguous BFS layers"
+    return None

@@ -27,6 +27,7 @@ from typing import (
     Dict,
     Hashable,
     List,
+    Mapping,
     Optional,
     Protocol,
     Sequence,
@@ -86,6 +87,47 @@ class CSRAdjacency:
     def nnz(self) -> int:
         """Number of stored entries (twice the edge count)."""
         return int(self.indptr[-1])
+
+    def row(self, i: int) -> np.ndarray:
+        """The (sorted) neighbor indices of vertex ``i`` (a view)."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def with_row_updates(
+        self, updates: Mapping[int, np.ndarray]
+    ) -> "CSRAdjacency":
+        """A new adjacency with the given rows replaced, others shared.
+
+        ``updates`` maps row index -> replacement neighbor array (int64,
+        sorted ascending — the caller's contract, as for
+        :meth:`from_graph`).  Unchanged spans of ``indices`` are copied
+        in bulk, so patching between slots costs O(touched rows + one
+        memcpy of nnz) instead of the full per-edge Python recompile of
+        :meth:`from_graph` — this is the incremental path the dynamic
+        topology layer (:mod:`repro.radio.dynamic`) patches engines
+        through.
+        """
+        counts = np.diff(self.indptr)
+        touched = sorted(updates)
+        for i in touched:
+            if not (0 <= i < self.n):
+                raise ConfigurationError(
+                    f"row update for vertex index {i} outside 0..{self.n - 1}"
+                )
+            counts[i] = updates[i].size
+        indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        prev = 0
+        for i in touched:
+            src0, src1 = self.indptr[prev], self.indptr[i]
+            dst0 = indptr[prev]
+            indices[dst0:dst0 + (src1 - src0)] = self.indices[src0:src1]
+            indices[indptr[i]:indptr[i + 1]] = updates[i]
+            prev = i + 1
+        src0, src1 = self.indptr[prev], self.indptr[self.n]
+        dst0 = indptr[prev]
+        indices[dst0:dst0 + (src1 - src0)] = self.indices[src0:src1]
+        return CSRAdjacency(n=self.n, indptr=indptr, indices=indices)
 
 
 @runtime_checkable

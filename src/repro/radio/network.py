@@ -28,7 +28,16 @@ asserts bit-for-bit agreement between them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Set
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+)
 
 import networkx as nx
 import numpy as np
@@ -37,6 +46,7 @@ from ..errors import ConfigurationError, SimulationError
 from ..rng import SeedLike, make_rng, spawn_streams
 from .channel import CollisionModel, Feedback, Reception, resolve
 from .device import ActionKind, Device
+from .dynamic import DynamicTopology, TopologyPatch
 from .engine_registry import register_engine
 from .energy import EnergyLedger
 from .faults import FaultCounters, FaultModel, FaultRuntime, SlotFaultPlan
@@ -145,6 +155,13 @@ class SlotEngineBase:
         Dedicated random stream for the fault stack (independent of all
         device streams, so the same protocol randomness meets the same
         faults on either engine).
+    dynamic:
+        Optional compiled :class:`~repro.radio.dynamic.DynamicTopology`.
+        When given, ``graph`` must be its :meth:`initial_graph
+        <repro.radio.dynamic.DynamicTopology.initial_graph>`; each slot
+        the engine applies the runtime's :class:`~repro.radio.dynamic.TopologyPatch`
+        (via the engine-specific :meth:`_apply_topology_patch`) and
+        skips the inactive vertices exactly like crashed devices.
     """
 
     #: Engine-registry name; concrete engines override.
@@ -159,6 +176,7 @@ class SlotEngineBase:
         trace: Optional[EventTrace] = None,
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
+        dynamic: Optional[DynamicTopology] = None,
     ) -> None:
         validate_topology(graph)
         self.graph = graph
@@ -168,6 +186,22 @@ class SlotEngineBase:
         self.trace = trace
         self.slot = 0
         self._node_set: Set[Hashable] = set(graph.nodes)
+        if dynamic is not None and not isinstance(dynamic, DynamicTopology):
+            raise ConfigurationError(
+                f"dynamic must be a DynamicTopology or None, "
+                f"got {type(dynamic).__name__}"
+            )
+        if dynamic is not None and dynamic.n != graph.number_of_nodes():
+            raise ConfigurationError(
+                f"dynamic topology compiled for {dynamic.n} vertices, but the "
+                f"engine graph has {graph.number_of_nodes()} (pass "
+                f"DynamicTopology.initial_graph())"
+            )
+        self._dynamic = dynamic
+        #: Optional :class:`repro.radio.invariants.InvariantMonitor`
+        #: attached by the experiment layer; the shared slot loop calls
+        #: its ``after_slot`` hook once per executed slot.
+        self.invariant_monitor = None
         #: Fault/delivery tally; delivery counts are maintained even
         #: without a fault model attached.
         self.fault_counters = FaultCounters()
@@ -180,12 +214,45 @@ class SlotEngineBase:
         """The fault plan for the current slot (``None`` = no faults).
 
         Concrete engines call this exactly once at the top of
-        :meth:`step`; the runtime enforces in-order consumption so the
-        fault randomness stays engine-independent.
+        :meth:`step`; the runtimes enforce in-order consumption so both
+        the fault randomness and the topology patch sequence stay
+        engine-independent.  On dynamic runs this is also where the
+        slot's :class:`~repro.radio.dynamic.TopologyPatch` is applied
+        and the inactive vertices are merged into the plan's dead set.
         """
-        if self._fault_runtime is None:
-            return None
-        return self._fault_runtime.plan(self.slot)
+        dynamic = self._dynamic
+        if dynamic is not None:
+            patch = dynamic.advance(self.slot)
+            if patch is not None:
+                self._apply_topology_patch(patch)
+        plan: Optional[SlotFaultPlan] = None
+        if self._fault_runtime is not None:
+            plan = self._fault_runtime.plan(self.slot)
+        if dynamic is not None:
+            inactive = dynamic.inactive
+            if inactive:
+                if plan is None:
+                    plan = SlotFaultPlan(dead=inactive)
+                elif not inactive <= plan.dead:
+                    plan = SlotFaultPlan(
+                        dead=plan.dead | inactive,
+                        dropped=plan.dropped,
+                        jammed=plan.jammed,
+                    )
+        return plan
+
+    def _apply_topology_patch(self, patch: TopologyPatch) -> None:
+        """Apply one slot's edge diff to the engine's live adjacency."""
+        raise NotImplementedError
+
+    def adjacency_snapshot(self) -> Dict[Hashable, FrozenSet[Hashable]]:
+        """The engine's live adjacency as canonical neighbor sets.
+
+        The invariant checker's window into engine state: both engines
+        must report the same snapshot at the same slot, whatever their
+        internal representation.
+        """
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     def run(
@@ -214,6 +281,8 @@ class SlotEngineBase:
                 break
             self.step(devices)
             executed += 1
+            if self.invariant_monitor is not None:
+                self.invariant_monitor.after_slot(self)
         return executed
 
     def step(self, devices: Mapping[Hashable, Device]) -> None:
@@ -231,7 +300,16 @@ class SlotEngineBase:
 
     @property
     def max_degree(self) -> int:
-        """Maximum degree of the topology (the Delta of Lemma 2.4)."""
+        """Maximum degree of the topology (the Delta of Lemma 2.4).
+
+        On dynamic runs this is the static
+        :attr:`~repro.radio.dynamic.DynamicTopology.max_degree_bound`
+        over the whole timeline — a constant both engines share, so the
+        Decay layer's parameterization never depends on when a protocol
+        reads it.
+        """
+        if self._dynamic is not None:
+            return self._dynamic.max_degree_bound
         return max((d for _, d in self.graph.degree), default=0)
 
 
@@ -257,12 +335,27 @@ class RadioNetwork(SlotEngineBase):
         trace: Optional[EventTrace] = None,
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
+        dynamic: Optional[DynamicTopology] = None,
     ) -> None:
         super().__init__(graph, collision_model, size_policy, ledger, trace,
-                         faults=faults, fault_seed=fault_seed)
+                         faults=faults, fault_seed=fault_seed, dynamic=dynamic)
         self._adjacency: Dict[Hashable, List[Hashable]] = {
             v: list(graph.neighbors(v)) for v in graph.nodes
         }
+
+    def _apply_topology_patch(self, patch: TopologyPatch) -> None:
+        """Apply one slot's edge diff to the per-vertex neighbor lists."""
+        adjacency = self._adjacency
+        for u, v in patch.removed:
+            adjacency[u].remove(v)
+            adjacency[v].remove(u)
+        for u, v in patch.added:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+
+    def adjacency_snapshot(self) -> Dict[Hashable, FrozenSet[Hashable]]:
+        """The live adjacency as canonical neighbor sets (see base)."""
+        return {v: frozenset(nbrs) for v, nbrs in self._adjacency.items()}
 
     def step(self, devices: Mapping[Hashable, Device]) -> None:
         """Execute one synchronous slot for all devices."""

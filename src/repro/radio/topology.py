@@ -113,6 +113,10 @@ def random_geometric(n: int, radius: Optional[float] = None,
                  enumerate(rng.random(size=(n, 2)))}
     graph = nx.random_geometric_graph(n, radius, pos=positions)
     giant = _giant_component(graph)
+    # The connectivity radius rides along as a graph attribute (node
+    # positions already do, as ``pos``): mobility re-wiring in
+    # repro.radio.dynamic recomputes links from exactly this geometry.
+    giant.graph["radius"] = float(radius)
     return giant
 
 

@@ -1,0 +1,113 @@
+"""CLI surface for dynamic membership and invariant checking, plus the
+``report --by`` error-path regression pin.
+
+All tests drive :func:`repro.experiments.__main__.main` in-process.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import run_specs
+from repro.experiments.__main__ import main
+from repro.experiments.spec import ExperimentSpec
+
+
+def _run_cli(argv, capsys):
+    status = main(argv)
+    captured = capsys.readouterr()
+    return status, captured.out, captured.err
+
+
+class TestDynamicFlags:
+    def test_run_with_dynamic_preset_and_invariants(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        status, stdout, _ = _run_cli([
+            "run", "--topologies", "grid", "--algorithms", "decay_bfs",
+            "--sizes", "16", "--seeds", "1", "--serial",
+            "--dynamic", "churn_mix", "--invariant-sample", "1",
+            "--json", str(out),
+        ], capsys)
+        assert status == 0
+        doc = json.loads(out.read_text())
+        (record,) = doc["results"]
+        assert record["schema_version"] == 3
+        assert record["spec"]["dynamic"]["join_fraction"] == 0.2
+        assert record["invariants"]["checked_slots"] > 0
+        assert record["invariants"]["violations"] == {}
+        # The emitted document passes the CLI validator.
+        status, stdout, _ = _run_cli(["validate", str(out)], capsys)
+        assert status == 0
+        assert ": ok" in stdout
+
+    def test_run_with_inline_dynamic_json(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        schedule = json.dumps({"join_fraction": 0.25, "join_start": 4})
+        status, _, _ = _run_cli([
+            "run", "--topologies", "grid", "--algorithms", "decay_bfs",
+            "--sizes", "16", "--seeds", "1", "--serial",
+            "--dynamic", schedule, "--json", str(out),
+        ], capsys)
+        assert status == 0
+        (record,) = json.loads(out.read_text())["results"]
+        assert record["spec"]["dynamic"]["join_fraction"] == 0.25
+        # No --invariant-sample: no invariants block.
+        assert "invariants" not in record
+
+    def test_unknown_dynamic_preset_is_a_clean_error(self, capsys):
+        status, _, stderr = _run_cli([
+            "run", "--topologies", "grid", "--algorithms", "decay_bfs",
+            "--dynamic", "bogus",
+        ], capsys)
+        assert status == 2
+        assert "error:" in stderr
+        assert "bogus" in stderr
+
+    def test_bad_dynamic_json_is_a_clean_error(self, capsys):
+        status, _, stderr = _run_cli([
+            "run", "--topologies", "grid", "--algorithms", "decay_bfs",
+            "--dynamic", "{not json",
+        ], capsys)
+        assert status == 2
+        assert "--dynamic" in stderr
+
+    def test_list_shows_dynamic_presets_and_invariants(self, capsys):
+        status, stdout, _ = _run_cli(["list"], capsys)
+        assert status == 0
+        assert "dynamic schedules:" in stdout
+        assert "churn_mix" in stdout
+        assert "ledger_monotone" in stdout
+
+
+class TestReportByRegression:
+    """``report --by`` with an unknown key: one-line error, exit 2."""
+
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        spec = ExperimentSpec(
+            topology="path", n=6, algorithm="trivial_bfs", seed=0
+        )
+        run_specs([spec], parallel=False, store=str(tmp_path / "store"))
+        return str(tmp_path / "store")
+
+    def test_unknown_key_exits_2_with_one_line_error(self, store_dir, capsys):
+        status, stdout, stderr = _run_cli(
+            ["report", store_dir, "--by", "bogus"], capsys
+        )
+        assert status == 2
+        assert stdout == ""
+        lines = [line for line in stderr.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("error:")
+        assert "bogus" in lines[0]
+        # The message names the valid grouping axes.
+        assert "topology" in lines[0] and "algorithm" in lines[0]
+
+    def test_known_keys_still_work(self, store_dir, capsys):
+        status, stdout, _ = _run_cli(
+            ["report", store_dir, "--by", "topology,algorithm"], capsys
+        )
+        assert status == 0
+        assert "trivial_bfs" in stdout

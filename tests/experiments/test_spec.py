@@ -106,13 +106,16 @@ class TestDerived:
         a = [g.random() for g in spec(seed=3).seed_streams()]
         b = [g.random() for g in spec(seed=3).seed_streams()]
         assert a == b
-        # v2 added the fault stream (index 3); the first three streams
-        # must stay identical to the v1 derivation.
-        assert len(set(a)) == 4
+        # v2 added the fault stream (index 3) and v3 the dynamic stream
+        # (index 4); earlier streams must stay identical to the earlier
+        # derivations, so adding a stream never reseeds old results.
+        assert len(set(a)) == 5
         from repro.rng import make_rng, spawn_streams
 
         v1 = [g.random() for g in spawn_streams(make_rng(3), 3)]
         assert a[:3] == v1
+        v2 = [g.random() for g in spawn_streams(make_rng(3), 4)]
+        assert a[:4] == v2
 
 
 class TestRoundTrip:

@@ -81,6 +81,7 @@ churn_layers = st.builds(
             st.integers(min_value=0, max_value=64),
         ),
         max_size=4,
+        unique=True,  # exact duplicate (slot, op, index) triples are rejected
     ).map(tuple),
 )
 fault_layers = st.one_of(iid_layers, ge_layers, jammer_layers, churn_layers)

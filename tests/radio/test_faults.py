@@ -132,7 +132,7 @@ class TestRuntime:
     def test_churn_lifecycle_and_crash_count(self):
         g = topology.path_graph(4)
         sched = ChurnSchedule(events=(
-            (1, "crash", 2), (1, "crash", 2),   # double-crash counts once
+            (1, "crash", 2),
             (3, "revive", 2), (4, "crash", 99),  # out-of-range index ignored
         ))
         rt = FaultRuntime(FaultModel((sched,)), g, list(g.nodes), seed=0)
@@ -142,6 +142,26 @@ class TestRuntime:
         assert rt.plan(3).dead == frozenset()
         assert rt.plan(4).dead == frozenset()
         assert rt.counters.crashed == 1
+
+    def test_churn_duplicate_events_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate churn event"):
+            ChurnSchedule(events=((1, "crash", 2), (1, "crash", 2)))
+
+    def test_churn_same_slot_canonical_order(self):
+        # Same-slot events canonicalize to revive-before-crash, then by
+        # index — declaration order no longer matters, and equal
+        # schedules compare (and hash) equal.
+        a = ChurnSchedule(events=((5, "crash", 1), (5, "revive", 1), (2, "crash", 3)))
+        b = ChurnSchedule(events=((2, "crash", 3), (5, "revive", 1), (5, "crash", 1)))
+        assert a == b
+        assert a.events == ((2, "crash", 3), (5, "revive", 1), (5, "crash", 1))
+        # A same-slot revive+crash therefore nets to dead: the crash
+        # always applies after the revive, whatever the spelling.
+        g = topology.path_graph(4)
+        rt = FaultRuntime(FaultModel((a,)), g, list(g.nodes), seed=0)
+        for slot in range(5):
+            rt.plan(slot)
+        assert rt.plan(5).dead == frozenset({1, 3})
 
     def test_jammer_targets_highest_degree_closed_neighborhood(self):
         g = topology.star_graph(5)  # hub 0, leaves 1..5

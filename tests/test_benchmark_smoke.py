@@ -92,3 +92,18 @@ def test_bench_decay_smoke():
     assert delta == 4
     assert slots > 0
     assert sender_slots >= 0
+
+
+def test_bench_churn_smoke():
+    module = _load("bench_churn")
+    rows = module.smoke(n=16, seeds=1)
+    # Both churn mechanisms, both anchored at full completion for rate 0.
+    mechanisms = {r["mechanism"] for r in rows}
+    assert mechanisms == {"fault", "membership"}
+    for row in rows:
+        if row["churn_rate"] == 0.0:
+            assert row["completion"] == 1.0
+    # Clean-invariant assertion runs inside smoke(); pin the row shape
+    # the committed BENCH_churn.json relies on.
+    assert {"mechanism", "algorithm", "churn_rate", "completion",
+            "statuses"} <= set(rows[0])
