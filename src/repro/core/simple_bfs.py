@@ -125,6 +125,7 @@ def decay_bfs(
     failure_probability: float = 1e-3,
     seed: SeedLike = None,
     engine: Optional[str] = None,
+    tx_power: int = 0,
 ) -> Dict[Hashable, float]:
     """Slot-level layered BFS via repeated Decay (Bar-Yehuda et al.).
 
@@ -137,7 +138,9 @@ def decay_bfs(
     (``"reference"``/``"fast"``) naming the backend to build.
     ``sources`` is a single vertex or an iterable of vertices (the
     multi-source wavefront starts from all of them at distance 0),
-    matching :func:`trivial_bfs`.
+    matching :func:`trivial_bfs`.  ``tx_power`` is the frontier
+    senders' standing SINR power level (ignored by the binary collision
+    models).
     """
     network = coerce_network(network, engine)
     source_set = _coerce_sources(network.graph, sources)
@@ -160,6 +163,7 @@ def decay_bfs(
             receivers,
             failure_probability=failure_probability,
             seed=rng,
+            tx_power=tx_power,
         )
         for v, msg in heard.items():
             hop = msg.payload[0]
@@ -178,6 +182,7 @@ def decay_bfs_batch(
     depth_budget: int,
     failure_probability: float = 1e-3,
     seeds: Optional[Sequence[SeedLike]] = None,
+    tx_power: int = 0,
 ) -> List[Dict[Hashable, float]]:
     """:func:`decay_bfs` for every replica lane of a batched network.
 
@@ -229,6 +234,7 @@ def decay_bfs_batch(
             rounds,
             failure_probability=failure_probability,
             seeds={r: rngs[r] for r in active},
+            tx_power=tx_power,
         )
         for r, heard in heard_by_lane.items():
             for v, msg in heard.items():
@@ -247,6 +253,7 @@ def decay_bfs_mega(
     depth_budgets: Mapping[int, int],
     failure_probabilities: Union[float, Mapping[int, float]] = 1e-3,
     seeds: Optional[Mapping[Tuple[int, int], SeedLike]] = None,
+    tx_power: Union[int, Mapping[int, int]] = 0,
 ) -> Dict[Tuple[int, int], Dict[Hashable, float]]:
     """:func:`decay_bfs` for every lane of a heterogeneous mega batch.
 
@@ -309,6 +316,7 @@ def decay_bfs_mega(
             rounds,
             failure_probability=failure_probabilities,
             seeds={key: rngs[key] for key in active},
+            tx_power=tx_power,
         )
         for key, heard in heard_by_lane.items():
             for v, msg in heard.items():

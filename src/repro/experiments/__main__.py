@@ -39,6 +39,7 @@ from ..radio.dynamic import coerce_dynamic_schedule, named_dynamic_schedules
 from ..radio.engine import available_engines
 from ..radio.faults import coerce_fault_model, named_fault_models
 from ..radio.invariants import invariant_names
+from ..radio.sinr import coerce_sinr_params, named_sinr_params
 from ..radio.topology import scenario_is_deterministic, scenario_names
 from ..radio.kernels import get_kernel, kernel_names
 from .fabric import HashRing, member_name, owned_specs
@@ -82,6 +83,12 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                         help="membership schedule for every cell: a preset "
                              "name (see `list`) or an inline DynamicSchedule "
                              "JSON object (joins/leaves/mobility over slots)")
+    parser.add_argument("--sinr", metavar="NAME_OR_JSON", default=None,
+                        help="physical-layer knobs for the 'sinr' collision "
+                             "model: a preset name (see `list`) or an inline "
+                             "SinrParams JSON object (threshold, power "
+                             "ladder, pathloss exponent, noise floor); "
+                             "requires --collision-model sinr")
     parser.add_argument("--invariant-sample", type=int, default=None,
                         metavar="N",
                         help="check the online safety invariants every N "
@@ -236,6 +243,21 @@ def _parse_dynamic(text: Optional[str]):
     return coerce_dynamic_schedule(text)
 
 
+def _parse_sinr(text: Optional[str]):
+    """CLI SINR designation: preset name or inline JSON object."""
+    if text is None:
+        return None
+    if text.lstrip().startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"--sinr is neither a preset nor valid JSON: {exc}"
+            ) from None
+        return coerce_sinr_params(data)
+    return coerce_sinr_params(text)
+
+
 def _execution_from_args(args: argparse.Namespace):
     """The per-spec execution hint a CLI invocation implies.
 
@@ -273,6 +295,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         collision_model=args.collision_model,
         fault_model=_parse_fault_model(args.fault_model),
         dynamic=_parse_dynamic(args.dynamic),
+        sinr=_parse_sinr(args.sinr),
         execution=_execution_from_args(args),
         parallel=not args.serial,
         max_workers=args.max_workers,
@@ -313,6 +336,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         collision_model=args.collision_model,
         fault_model=_parse_fault_model(args.fault_model),
         dynamic=_parse_dynamic(args.dynamic),
+        sinr=_parse_sinr(args.sinr),
         execution=_execution_from_args(args),
     ))
     done = store.completed_hashes()
@@ -361,6 +385,7 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         collision_model=args.collision_model,
         fault_model=_parse_fault_model(args.fault_model),
         dynamic=_parse_dynamic(args.dynamic),
+        sinr=_parse_sinr(args.sinr),
         execution=_execution_from_args(args),
     ))
     mine = owned_specs(specs, ring, member)
@@ -469,6 +494,14 @@ def _cmd_list() -> int:
         for name in kernel_names()
     ) + ", megabatch")
     print("collision models:", ", ".join(COLLISION_MODELS))
+    print("sinr presets:")
+    for name, params in sorted(named_sinr_params().items()):
+        ladder = "/".join(
+            f"{p}:{c}" for p, c in zip(params.power_levels, params.power_costs)
+        )
+        print(f"  {name:<12} threshold {params.threshold_milli / 1000:g}, "
+              f"alpha {params.pathloss_exponent}, "
+              f"power ladder (signal:cost) {ladder}")
     print("fault models:")
     for name, model in sorted(named_fault_models().items()):
         layers = ", ".join(layer.KIND for layer in model.layers) or "clean channel"

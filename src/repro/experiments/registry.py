@@ -299,6 +299,8 @@ class RunContext:
             kernel = self._kernel_hint()
             if kernel is not None and self.spec.engine == "fast":
                 kwargs["kernel"] = kernel
+            if self.spec.sinr is not None:
+                kwargs["sinr"] = self.spec.sinr
             graph = self.graph
             dynamic = build_dynamic_topology(
                 self.spec.dynamic, self.graph, seed=self._dynamic_stream
@@ -463,6 +465,7 @@ class BatchRunContext:
                 faults=spec.fault_model,
                 fault_seeds=[ctx._slot_faults for ctx in self.contexts],
                 kernel=self.contexts[0]._kernel_hint(),
+                sinr=spec.sinr,
             )
             setup = time.perf_counter() - start
             for ctx, lane in zip(self.contexts, self._batch_net.lanes):
@@ -531,6 +534,7 @@ class MegaRunContext:
                     faults=spec.fault_model,
                     fault_seeds=[ctx._slot_faults for ctx in group],
                     kernel=group[0]._kernel_hint(),
+                    sinr=spec.sinr,
                 ))
             self._mega_net = MegaBatchedNetwork(member_nets, kernel=kernel)
             setup = time.perf_counter() - start
@@ -594,6 +598,7 @@ def _run_decay_bfs(ctx: RunContext) -> Dict[str, Any]:
         ctx.depth_budget(),
         failure_probability=float(ctx.params.get("failure_probability", 1e-3)),
         seed=ctx.rng,
+        tx_power=int(ctx.params.get("tx_power", 0)),
     )
     out = _labels_output(ctx, labels)
     out["slots"] = net.slot
@@ -617,6 +622,7 @@ def _run_decay_bfs_batch(bctx: BatchRunContext) -> List[Dict[str, Any]]:
         first.depth_budget(),
         failure_probability=float(bctx.params.get("failure_probability", 1e-3)),
         seeds=[ctx.rng for ctx in bctx.contexts],
+        tx_power=int(bctx.params.get("tx_power", 0)),
     )
     outputs: List[Dict[str, Any]] = []
     for ctx, labels, lane in zip(bctx.contexts, labels_by_lane, net.lanes):
@@ -652,6 +658,10 @@ def _run_decay_bfs_mega(mctx: MegaRunContext) -> List[List[Dict[str, Any]]]:
             (m, r): ctx.rng
             for m, group in enumerate(mctx.members)
             for r, ctx in enumerate(group)
+        },
+        tx_power={
+            m: int(group[0].params.get("tx_power", 0))
+            for m, group in enumerate(mctx.members)
         },
     )
     outputs: List[List[Dict[str, Any]]] = []

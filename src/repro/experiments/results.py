@@ -31,9 +31,10 @@ from .spec import ExperimentSpec, from_numpy
 
 #: Version stamp of the ``RunResult`` JSON schema written by default.
 #: v2 added the spec's ``fault_model`` and the per-run ``status`` and
-#: ``faults`` blocks; v3 added the spec's optional ``dynamic`` schedule
-#: and the optional ``invariants`` counter block (present only when the
-#: online checker ran).  Older documents still parse (losslessly
+#: ``faults`` blocks; v3 added the spec's optional ``dynamic`` schedule,
+#: the spec's optional ``sinr`` physical-layer params, and the optional
+#: ``invariants`` counter block (present only when the online checker
+#: ran).  Older documents still parse (losslessly
 #: up-converted by ``from_dict``) and re-serialize byte-identically on
 #: request.
 SCHEMA_VERSION = 3
@@ -357,6 +358,11 @@ class RunResult:
                     "a result whose spec has a dynamic schedule cannot be "
                     f"serialized in the v{version} schema"
                 )
+            if self.spec.sinr is not None:
+                raise ConfigurationError(
+                    "a result whose spec has sinr params cannot be "
+                    f"serialized in the v{version} schema"
+                )
         if version == 1:
             if self.status != "ok" or self.fault_counts() != ZERO_FAULTS:
                 raise ConfigurationError(
@@ -464,6 +470,10 @@ class RunResult:
         if version < 3 and spec.dynamic is not None:
             raise ConfigurationError(
                 f"v{version} documents cannot carry a dynamic schedule"
+            )
+        if version < 3 and spec.sinr is not None:
+            raise ConfigurationError(
+                f"v{version} documents cannot carry sinr params"
             )
         return cls(
             spec=spec,

@@ -36,6 +36,7 @@ from ..errors import ConfigurationError
 from ..radio.dynamic import DynamicSchedule, coerce_dynamic_schedule
 from ..radio.energy import EnergyLedger
 from ..radio.faults import FaultModel, coerce_fault_model
+from ..radio.sinr import SinrParams, coerce_sinr_params
 from ..radio.topology import scenario_is_deterministic
 from ..rng import make_rng
 from .registry import (
@@ -451,6 +452,7 @@ def iter_grid(
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
     dynamic: Union[None, str, Mapping[str, Any], DynamicSchedule] = None,
+    sinr: Union[None, str, Mapping[str, Any], SinrParams] = None,
     execution: Union[None, Mapping[str, Any], ExecutionPolicy] = None,
 ) -> Iterator[ExperimentSpec]:
     """Lazily expand a scenario grid, one spec per cell, in grid order.
@@ -471,7 +473,11 @@ def iter_grid(
     cell; sweep a fault axis by expanding one grid per model.
     ``dynamic`` (a :class:`~repro.radio.dynamic.DynamicSchedule`, its
     dict form, or a preset name) likewise applies one membership
-    schedule to every cell.  ``execution`` (an
+    schedule to every cell.  ``sinr`` (a
+    :class:`~repro.radio.sinr.SinrParams`, its dict form, or a preset
+    name from :func:`~repro.radio.sinr.named_sinr_params`) sets the
+    physical-layer knobs for every cell; it requires
+    ``collision_model="sinr"``.  ``execution`` (an
     :class:`~repro.experiments.spec.ExecutionPolicy` or its dict form)
     stamps one execution hint onto every cell — not part of cell
     identity, but ``invariant_sample`` does decide whether results
@@ -490,6 +496,7 @@ def iter_grid(
         raise ConfigurationError("expand_grid requires at least one size")
     faults = coerce_fault_model(fault_model)
     schedule = coerce_dynamic_schedule(dynamic)
+    sinr_params = coerce_sinr_params(sinr)
     if execution is not None and not isinstance(execution, ExecutionPolicy):
         execution = ExecutionPolicy.from_dict(execution)
     params_by_algorithm = dict(algorithm_params or {})
@@ -547,6 +554,7 @@ def iter_grid(
                         seed=cell_seed(i, j),
                         fault_model=faults,
                         dynamic=schedule,
+                        sinr=sinr_params,
                         execution=execution,
                     )
 
@@ -565,6 +573,7 @@ def expand_grid(
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
     dynamic: Union[None, str, Mapping[str, Any], DynamicSchedule] = None,
+    sinr: Union[None, str, Mapping[str, Any], SinrParams] = None,
     execution: Union[None, Mapping[str, Any], ExecutionPolicy] = None,
 ) -> List[ExperimentSpec]:
     """Eager form of :func:`iter_grid` (same arguments and order)."""
@@ -580,6 +589,7 @@ def expand_grid(
         algorithm_params=algorithm_params,
         fault_model=fault_model,
         dynamic=dynamic,
+        sinr=sinr,
         execution=execution,
     ))
 
@@ -830,6 +840,7 @@ def run_sweep(
     algorithm_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
     fault_model: Union[None, str, Mapping[str, Any], FaultModel] = None,
     dynamic: Union[None, str, Mapping[str, Any], DynamicSchedule] = None,
+    sinr: Union[None, str, Mapping[str, Any], SinrParams] = None,
     execution: Union[None, Mapping[str, Any], ExecutionPolicy] = None,
     parallel: bool = True,
     max_workers: Optional[int] = None,
@@ -859,6 +870,7 @@ def run_sweep(
         algorithm_params=algorithm_params,
         fault_model=fault_model,
         dynamic=dynamic,
+        sinr=sinr,
         execution=execution,
     )
     return run_specs(specs, parallel=parallel, max_workers=max_workers,

@@ -37,6 +37,7 @@ from ..radio.engine import available_engines
 from ..radio.faults import FaultModel, coerce_fault_model
 from ..radio.kernels import kernel_names
 from ..radio.message import MessageSizePolicy
+from ..radio.sinr import SinrParams, coerce_sinr_params
 from ..rng import make_rng, spawn_streams
 
 #: Names accepted by :attr:`ExperimentSpec.collision_model`.
@@ -310,6 +311,18 @@ class ExperimentSpec:
         identity — and of ``spec_hash`` when set; static specs keep
         their historic hashes because the key is only serialized when
         present.
+    sinr:
+        Optional SINR physical-layer parameters (schema v3): a
+        :class:`~repro.radio.sinr.SinrParams`, its ``to_dict`` mapping,
+        or a :func:`~repro.radio.sinr.named_sinr_params` preset name.
+        Only meaningful — and always present, defaulting to
+        ``SinrParams()`` — when ``collision_model`` is ``"sinr"``;
+        rejected for the binary models.  Part of the cell's identity
+        (threshold, power ladder and costs, pathloss exponent, noise
+        floor all change what a run computes) and of ``spec_hash``;
+        binary-model specs keep their historic hashes because the key
+        is only serialized when set.  SINR compiles per-edge gains for
+        a static topology, so it cannot combine with ``dynamic``.
     execution:
         Optional :class:`ExecutionPolicy` (or its ``to_dict`` mapping)
         — an execution *hint*, not part of the cell's identity: how to
@@ -337,6 +350,7 @@ class ExperimentSpec:
     seed: int = 0
     fault_model: Optional[FaultModel] = None
     dynamic: Optional[DynamicSchedule] = None
+    sinr: Optional[SinrParams] = None
     execution: Optional[ExecutionPolicy] = field(default=None, compare=False)
     batch_replicas: Optional[int] = field(default=None, compare=False)
 
@@ -350,6 +364,22 @@ class ExperimentSpec:
         object.__setattr__(
             self, "dynamic", coerce_dynamic_schedule(self.dynamic)
         )
+        sinr = coerce_sinr_params(self.sinr)
+        if self.collision_model == CollisionModel.SINR.value:
+            if sinr is None:
+                sinr = SinrParams()
+            if self.dynamic is not None:
+                raise ConfigurationError(
+                    "the SINR collision model compiles per-edge gains for a "
+                    "static topology; it cannot combine with a dynamic "
+                    "schedule"
+                )
+        elif sinr is not None:
+            raise ConfigurationError(
+                f"sinr params require collision_model='sinr', got "
+                f"{self.collision_model!r}"
+            )
+        object.__setattr__(self, "sinr", sinr)
         if self.topology not in topology.scenario_names():
             raise ConfigurationError(
                 f"unknown topology {self.topology!r}; registered: "
@@ -506,6 +536,16 @@ class ExperimentSpec:
                     "the v1 schema; use the default serialization"
                 )
             doc["dynamic"] = self.dynamic.to_dict()
+        # Same emit-only-when-set contract for the SINR axis: binary
+        # specs keep their historic canonical bytes, SINR specs carry
+        # their full physical-layer identity.
+        if self.sinr is not None:
+            if not include_fault_model:
+                raise ConfigurationError(
+                    "a spec with sinr params cannot be serialized in the v1 "
+                    "schema; use the default serialization"
+                )
+            doc["sinr"] = self.sinr.to_dict()
         return doc
 
     @classmethod

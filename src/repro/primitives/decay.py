@@ -82,7 +82,9 @@ class DecaySender(Device):
 
     ``start_slot`` anchors the protocol to the network's current clock,
     so repeated Decay executions on one long-lived network line up (the
-    slot argument passed by the executor is absolute).
+    slot argument passed by the executor is absolute).  ``power`` sets
+    the sender's standing transmit power level (an index into the SINR
+    power ladder; ignored by the binary collision models).
     """
 
     def __init__(
@@ -92,8 +94,10 @@ class DecaySender(Device):
         message: Message,
         params: DecayParameters,
         start_slot: int = 0,
+        power: int = 0,
     ) -> None:
         super().__init__(vertex, rng)
+        self.power_level = power
         self.message = message
         self.params = params
         self.start_slot = start_slot
@@ -157,13 +161,16 @@ def run_decay_local_broadcast(
     failure_probability: float = 1e-3,
     seed=None,
     engine: Optional[str] = None,
+    tx_power: int = 0,
 ) -> Dict[Hashable, Message]:
     """Execute one slot-level Local-Broadcast on ``network``.
 
     ``network`` may be an already-constructed slot engine, or a bare
     ``networkx`` graph together with an ``engine`` name
     (``"reference"``/``"fast"``) — the engine is then built via
-    :func:`~repro.radio.engine.make_network`.
+    :func:`~repro.radio.engine.make_network`.  ``tx_power`` is the
+    senders' standing SINR power level (ignored by the binary collision
+    models).
 
     Returns ``{receiver: message}`` for every receiver that heard one.
     Senders and receivers must be disjoint; all other vertices sleep.
@@ -180,7 +187,10 @@ def run_decay_local_broadcast(
 
     def factory(vertex: Hashable, rng: np.random.Generator) -> Device:
         if vertex in sender_set:
-            return DecaySender(vertex, rng, messages[vertex], params, start_slot)
+            return DecaySender(
+                vertex, rng, messages[vertex], params, start_slot,
+                power=tx_power,
+            )
         if vertex in receiver_set:
             return DecayReceiver(vertex, rng, params, start_slot)
         return _SleepingDevice(vertex, rng)
@@ -201,6 +211,7 @@ def run_decay_local_broadcast_batch(
     rounds: Mapping[int, Tuple[Mapping[Hashable, Message], Iterable[Hashable]]],
     failure_probability: float = 1e-3,
     seeds: Optional[Mapping[int, SeedLike]] = None,
+    tx_power: int = 0,
 ) -> Dict[int, Dict[Hashable, Message]]:
     """One Decay Local-Broadcast per replica lane, in lockstep.
 
@@ -240,7 +251,10 @@ def run_decay_local_broadcast_batch(
             start_slot: int = start_slot,
         ) -> Device:
             if vertex in sender_set:
-                return DecaySender(vertex, rng, messages[vertex], params, start_slot)
+                return DecaySender(
+                    vertex, rng, messages[vertex], params, start_slot,
+                    power=tx_power,
+                )
             if vertex in receiver_set:
                 return DecayReceiver(vertex, rng, params, start_slot)
             return _SleepingDevice(vertex, rng)
@@ -272,6 +286,7 @@ def run_decay_local_broadcast_mega(
     ],
     failure_probability: Union[float, Mapping[int, float]] = 1e-3,
     seeds: Optional[Mapping[Tuple[int, int], SeedLike]] = None,
+    tx_power: Union[int, Mapping[int, int]] = 0,
 ) -> Dict[Tuple[int, int], Dict[Hashable, Message]]:
     """One Decay Local-Broadcast per lane, fused across *members*.
 
@@ -318,6 +333,12 @@ def run_decay_local_broadcast_mega(
             )
         start_slot = network.lane(key).slot
 
+        power = (
+            tx_power
+            if isinstance(tx_power, int)
+            else tx_power.get(member_index, 0)
+        )
+
         def factory(
             vertex: Hashable,
             rng: np.random.Generator,
@@ -326,9 +347,13 @@ def run_decay_local_broadcast_mega(
             receiver_set: Set[Hashable] = receiver_set,
             params: DecayParameters = params,
             start_slot: int = start_slot,
+            power: int = power,
         ) -> Device:
             if vertex in sender_set:
-                return DecaySender(vertex, rng, messages[vertex], params, start_slot)
+                return DecaySender(
+                    vertex, rng, messages[vertex], params, start_slot,
+                    power=power,
+                )
             if vertex in receiver_set:
                 return DecayReceiver(vertex, rng, params, start_slot)
             return _SleepingDevice(vertex, rng)

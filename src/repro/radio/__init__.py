@@ -71,6 +71,13 @@ from .message import (
     message_of_ints,
 )
 from .network import RadioNetwork, SlotEngineBase
+from .sinr import (
+    SinrField,
+    SinrParams,
+    coerce_sinr_params,
+    named_sinr_params,
+    resolve_sinr,
+)
 from .trace import Event, EventTrace
 
 
@@ -115,12 +122,15 @@ __all__ = [
     "ReplicaBatchedNetwork",
     "ReplicaFaultRuntimes",
     "ReplicaLane",
+    "SinrField",
+    "SinrParams",
     "SlotEngineBase",
     "SlotExecutorView",
     "SlotFaultPlan",
     "UNBOUNDED",
     "available_engines",
     "coerce_fault_model",
+    "coerce_sinr_params",
     "get_engine",
     "id_bits",
     "int_bits",
@@ -128,4 +138,6 @@ __all__ = [
     "register_engine",
     "message_of_ints",
     "named_fault_models",
+    "named_sinr_params",
+    "resolve_sinr",
 ]

@@ -74,6 +74,7 @@ from .energy import EnergyLedger
 from .fast_engine import _NOISE, _NOTHING, _SILENCE, CompiledTopology
 from .faults import FaultCounters, FaultModel, ReplicaFaultRuntimes
 from .kernels import MegaBatchPlan, SlotKernel
+from .kernels.sinr_csr import SinrCsr, sinr_arbitrate_many
 from .message import Message, MessageSizePolicy
 from .network import (
     jam_reception_for,
@@ -81,6 +82,7 @@ from .network import (
     validate_population,
     validate_topology,
 )
+from .sinr import SinrField, SinrParams, coerce_sinr_params, transmit_level
 
 
 @dataclass
@@ -105,7 +107,7 @@ class _LaneRun:
     :meth:`ReplicaBatchedNetwork.run_lockstep` call."""
 
     __slots__ = ("lane", "live", "executed", "tx_counts", "listen_counts",
-                 "msgs", "tx_idx", "listeners", "resolved")
+                 "msgs", "tx_idx", "tx_levels", "listeners", "resolved")
 
     def __init__(self, lane: ReplicaLane, live: List[Tuple[Hashable, Device]],
                  n: int) -> None:
@@ -116,10 +118,15 @@ class _LaneRun:
         self.listen_counts = np.zeros(n, dtype=np.int64)
         self.msgs: List[Optional[Message]] = [None] * n
         self.tx_idx: List[int] = []
+        # Power level per live transmitter (aligned with tx_idx); only
+        # populated under the SINR collision model.
+        self.tx_levels: List[int] = []
         # (index, device, jammed) per listener, rebuilt every slot.
         self.listeners: List[Tuple[int, Device, bool]] = []
-        # This slot's (counts, codes) pair from the fused product.
-        self.resolved: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        # This slot's fused-product output: a (counts, codes) pair for
+        # the binary models, a (counts, codes, deliver) triple under
+        # SINR arbitration.
+        self.resolved: Optional[Tuple[np.ndarray, ...]] = None
 
 
 class ReplicaBatchedNetwork:
@@ -148,6 +155,12 @@ class ReplicaBatchedNetwork:
     kernel:
         Optional :mod:`repro.radio.kernels` backend (or its name)
         resolving the fused product; default: best available.
+    sinr:
+        Optional :class:`~repro.radio.sinr.SinrParams` (or preset name /
+        mapping), exactly as on the serial engines: required context for
+        ``CollisionModel.SINR`` (defaults apply when omitted), rejected
+        for the binary models.  The per-edge gain field is compiled once
+        and shared by every lane.
     """
 
     name = "fast-batch"
@@ -162,6 +175,7 @@ class ReplicaBatchedNetwork:
         faults: Optional[FaultModel] = None,
         fault_seeds: Optional[Sequence[SeedLike]] = None,
         kernel: Union[None, str, SlotKernel] = None,
+        sinr: Union[None, str, Mapping, SinrParams] = None,
     ) -> None:
         validate_topology(graph)
         if not isinstance(replicas, int) or isinstance(replicas, bool) or replicas < 1:
@@ -170,10 +184,37 @@ class ReplicaBatchedNetwork:
             )
         self.graph = graph
         self.replicas = replicas
+        if not isinstance(collision_model, CollisionModel):
+            try:
+                collision_model = CollisionModel(collision_model)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown collision model {collision_model!r}; known: "
+                    f"{', '.join(m.value for m in CollisionModel)}"
+                ) from None
         self.collision_model = collision_model
         self.size_policy = size_policy or MessageSizePolicy.unbounded()
         self._topology = CompiledTopology(graph, kernel=kernel)
         self._node_set: Set[Hashable] = set(graph.nodes)
+        sinr_params = coerce_sinr_params(sinr)
+        if collision_model is CollisionModel.SINR:
+            if sinr_params is None:
+                sinr_params = SinrParams()
+        elif sinr_params is not None:
+            raise ConfigurationError(
+                "sinr params require collision_model=CollisionModel.SINR, "
+                f"got {collision_model.value!r}"
+            )
+        self.sinr = sinr_params
+        self._sinr_csr: Optional[SinrCsr] = (
+            SinrCsr.compile(
+                SinrField(graph, sinr_params),
+                self._topology.adjacency,
+                self._topology.vertices,
+            )
+            if sinr_params is not None
+            else None
+        )
         if ledgers is None:
             ledgers = [EnergyLedger() for _ in range(replicas)]
         elif len(ledgers) != replicas:
@@ -281,13 +322,30 @@ class ReplicaBatchedNetwork:
     def _step_all(self, running: List[_LaneRun]) -> None:
         """Execute one synchronous slot across all running lanes."""
         self._collect_actions(running)
-        # One fused sparse product covering every lane that has both
-        # transmitters and listeners this slot.
+        # One fused product covering every lane that has both
+        # transmitters and listeners this slot: the sparse
+        # counts/codes product for the binary models, fused SINR
+        # arbitration (same block-diagonal trick) otherwise.
         need = [s for s in running if s.listeners and s.tx_idx]
         if need:
-            resolved = self._topology.counts_codes_many(
-                [np.asarray(s.tx_idx, dtype=np.int64) for s in need]
-            )
+            if self._sinr_csr is None:
+                resolved: List[Tuple[np.ndarray, ...]] = (
+                    self._topology.counts_codes_many(
+                        [np.asarray(s.tx_idx, dtype=np.int64) for s in need]
+                    )
+                )
+            else:
+                csr = self._sinr_csr
+                resolved = sinr_arbitrate_many(
+                    [
+                        (
+                            csr,
+                            np.asarray(s.tx_idx, dtype=np.int64),
+                            np.asarray(s.tx_levels, dtype=np.int64),
+                        )
+                        for s in need
+                    ]
+                )
             for s, pair in zip(need, resolved):
                 s.resolved = pair
         self._dispatch(running)
@@ -300,6 +358,7 @@ class ReplicaBatchedNetwork:
         index = self._topology.index
         idle_kind = ActionKind.IDLE
         transmit_kind = ActionKind.TRANSMIT
+        sinr = self.sinr
 
         for s in running:
             lane = s.lane
@@ -310,6 +369,7 @@ class ReplicaBatchedNetwork:
             listen_counts = s.listen_counts
             msgs = s.msgs
             tx_idx = s.tx_idx = []
+            tx_levels = s.tx_levels = []
             listeners = s.listeners = []
             for vertex, device in s.live:
                 if device.halted:
@@ -328,6 +388,12 @@ class ReplicaBatchedNetwork:
                             f"device {vertex!r} transmitted no message"
                         )
                     self.size_policy.check(message)
+                    if sinr is None:
+                        cost = 1
+                        level = 0
+                    else:
+                        level = transmit_level(device, action, sinr)
+                        cost = sinr.power_costs[level]
                     # Dropped transmitters are charged like the serial
                     # engines but never enter the channel math.
                     if plan is not None and vertex in plan.dropped:
@@ -335,7 +401,9 @@ class ReplicaBatchedNetwork:
                     else:
                         tx_idx.append(i)
                         msgs[i] = message
-                    tx_counts[i] += 1
+                        if sinr is not None:
+                            tx_levels.append(level)
+                    tx_counts[i] += cost
                 else:  # LISTEN
                     listen_counts[i] += 1
                     listeners.append(
@@ -346,31 +414,38 @@ class ReplicaBatchedNetwork:
         """Phase C of a slot: per lane, dispatch receptions under its
         own collision model outcome and fault plan.  Expects each lane
         needing channel resolution (listeners *and* transmitters) to
-        carry this slot's ``resolved`` (counts, codes) pair."""
-        receiver_cd = self.collision_model is CollisionModel.RECEIVER_CD
-        silent = _SILENCE if receiver_cd else _NOTHING
-        noisy = _NOISE if receiver_cd else _NOTHING
+        carry this slot's ``resolved`` arrays."""
+        has_cd = self.collision_model is not CollisionModel.NO_CD
+        silent = _SILENCE if has_cd else _NOTHING
+        noisy = _NOISE if has_cd else _NOTHING
         jam = self._jam_reception
+        sinr = self._sinr_csr is not None
 
         for s in running:
             counters = s.lane.fault_counters
             if s.listeners:
                 if s.tx_idx:
-                    counts, codes = s.resolved
                     gather = np.asarray(
                         [i for i, _, _ in s.listeners], dtype=np.int64
                     )
+                    if sinr:
+                        counts, codes, deliver = s.resolved
+                        listen_deliver = deliver[gather].tolist()
+                    else:
+                        counts, codes = s.resolved
+                        listen_deliver = (counts[gather] == 1).tolist()
                     listen_counts_slot = counts[gather].tolist()
                     listen_codes = codes[gather].tolist()
                     msgs = s.msgs
                     slot = s.lane.slot
-                    for (i, device, jammed), c, code in zip(
-                        s.listeners, listen_counts_slot, listen_codes
+                    for (i, device, jammed), c, code, ok in zip(
+                        s.listeners, listen_counts_slot, listen_codes,
+                        listen_deliver,
                     ):
                         if jammed:
                             counters.jammed += 1
                             device.receive(slot, jam)
-                        elif c == 1:
+                        elif ok:
                             counters.delivered += 1
                             device.receive(
                                 slot, Reception(Feedback.MESSAGE, msgs[code - 1])
@@ -506,18 +581,41 @@ class MegaBatchedNetwork:
                 self.members[member_idx]._collect_actions(states)
             # One block-diagonal product for every lane, of every
             # member, that has both transmitters and listeners.
+            # SINR members take the fused arbitration kernel instead
+            # (its own block-diagonal pass over all such lanes).
             need = [
                 (member_idx, state)
                 for _, member_idx, state, _ in running
                 if state.listeners and state.tx_idx
             ]
-            if need:
+            binary_need = [
+                (m, state) for m, state in need
+                if self.members[m]._sinr_csr is None
+            ]
+            sinr_need = [
+                (m, state) for m, state in need
+                if self.members[m]._sinr_csr is not None
+            ]
+            if binary_need:
                 resolved = self._plan.counts_codes_many(
                     [(m, np.asarray(state.tx_idx, dtype=np.int64))
-                     for m, state in need]
+                     for m, state in binary_need]
                 )
-                for (_, state), pair in zip(need, resolved):
+                for (_, state), pair in zip(binary_need, resolved):
                     state.resolved = pair
+            if sinr_need:
+                arbitrated = sinr_arbitrate_many(
+                    [
+                        (
+                            self.members[m]._sinr_csr,
+                            np.asarray(state.tx_idx, dtype=np.int64),
+                            np.asarray(state.tx_levels, dtype=np.int64),
+                        )
+                        for m, state in sinr_need
+                    ]
+                )
+                for (_, state), triple in zip(sinr_need, arbitrated):
+                    state.resolved = triple
             for member_idx, states in by_member.items():
                 self.members[member_idx]._dispatch(states)
             still_running = []

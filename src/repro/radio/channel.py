@@ -8,6 +8,13 @@ and cannot tell the cases apart.
 The receiver-side collision-detection variant lets a listener
 distinguish silence from noise; the paper's lower bounds (Section 5)
 hold even under this stronger model, so both are provided.
+
+A third, physical-layer variant arbitrates by received signal strength
+instead of transmitter count: ``SINR`` (see :mod:`repro.radio.sinr`).
+Its arbitration needs per-edge signal powers that :func:`resolve` does
+not see, so the engines route SINR slots through
+:func:`repro.radio.sinr.resolve_sinr`; calling :func:`resolve` with the
+SINR model is a configuration error, never a silent fallback.
 """
 
 from __future__ import annotations
@@ -26,6 +33,9 @@ class CollisionModel(enum.Enum):
     NO_CD = "no_cd"
     #: Receiver-side CD: listener distinguishes silence from collision.
     RECEIVER_CD = "receiver_cd"
+    #: SINR threshold: strongest unique signal wins if it clears the
+    #: configured threshold (:mod:`repro.radio.sinr`); CD-like feedback.
+    SINR = "sinr"
 
 
 class Feedback(enum.Enum):
@@ -63,8 +73,17 @@ def resolve(
 
     ``transmissions`` are the messages sent this slot by the listener's
     neighbors.  Exactly one transmitter → delivery; otherwise feedback
-    depends on the collision model.
+    depends on the collision model.  The SINR model arbitrates by
+    signal strength, which this count-based resolver cannot see — use
+    :func:`repro.radio.sinr.resolve_sinr` instead.
     """
+    if model is CollisionModel.SINR:
+        from ..errors import ConfigurationError
+
+        raise ConfigurationError(
+            "SINR arbitration needs per-edge signal powers; use "
+            "repro.radio.sinr.resolve_sinr"
+        )
     count = len(transmissions)
     if count == 1:
         return Reception(Feedback.MESSAGE, transmissions[0])

@@ -32,10 +32,17 @@ class ActionKind(enum.Enum):
 
 @dataclass(frozen=True)
 class Action:
-    """A device's choice for one slot."""
+    """A device's choice for one slot.
+
+    ``power`` selects a discrete transmit power level for this slot
+    only (an index into the SINR model's ``power_levels`` ladder);
+    ``None`` defers to the device's standing
+    :attr:`Device.power_level`.  Binary collision models ignore it.
+    """
 
     kind: ActionKind
     message: Optional[Message] = None
+    power: Optional[int] = None
 
     @classmethod
     def idle(cls) -> "Action":
@@ -48,11 +55,11 @@ class Action:
         return _LISTEN
 
     @classmethod
-    def transmit(cls, message: Message) -> "Action":
-        """Transmit ``message``: costs one energy unit."""
+    def transmit(cls, message: Message, power: Optional[int] = None) -> "Action":
+        """Transmit ``message``; under SINR, cost depends on the level."""
         if message is None:
             raise ValueError("transmit requires a message")
-        return cls(ActionKind.TRANSMIT, message)
+        return cls(ActionKind.TRANSMIT, message, power)
 
 
 # Idle/listen carry no payload, so one frozen instance each serves every
@@ -67,6 +74,11 @@ class Device:
     Subclasses override :meth:`step` (choose this slot's action) and
     :meth:`receive` (process channel feedback after a listening slot).
     """
+
+    #: Standing transmit power level (index into the SINR power
+    #: ladder); overridable per slot via ``Action.transmit(power=)``.
+    #: Ignored by the binary collision models.
+    power_level: int = 0
 
     def __init__(self, vertex: Hashable, rng: np.random.Generator) -> None:
         self.vertex = vertex

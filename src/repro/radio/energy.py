@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -70,16 +70,24 @@ class EnergyLedger:
         self,
         transmitters: Iterable[Hashable],
         listeners: Iterable[Hashable],
+        transmit_costs: Optional[Sequence[int]] = None,
     ) -> None:
         """Charge one slot to every transmitter and listener at once.
 
         Equivalent to one :meth:`charge_transmit` per transmitter plus
         one :meth:`charge_listen` per listener; the batch form is used
         by the vectorized engine so each slot touches the ledger once.
+        ``transmit_costs`` (aligned with ``transmitters``) replaces the
+        flat one-unit transmit charge with per-transmitter costs — the
+        SINR power ladder, where louder costs more.
         """
         devices = self._devices
-        for v in transmitters:
-            devices[v].transmit_slots += 1
+        if transmit_costs is None:
+            for v in transmitters:
+                devices[v].transmit_slots += 1
+        else:
+            for v, cost in zip(transmitters, transmit_costs):
+                devices[v].transmit_slots += int(cost)
         for v in listeners:
             devices[v].listen_slots += 1
 

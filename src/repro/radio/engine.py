@@ -147,8 +147,8 @@ def make_network(
 
     ``kwargs`` are forwarded to the engine constructor
     (``collision_model``, ``size_policy``, ``ledger``, ``trace``,
-    ``faults``, ``fault_seed``, ``dynamic``; the fast engine also
-    accepts ``kernel``).  Raises
+    ``faults``, ``fault_seed``, ``dynamic``, ``sinr``; the fast engine
+    also accepts ``kernel``).  Raises
     :class:`~repro.errors.ConfigurationError` for unknown engine names.
     """
     return get_engine(engine)(graph, **kwargs)

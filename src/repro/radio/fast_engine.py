@@ -55,8 +55,10 @@ from .energy import EnergyLedger
 from .faults import FaultModel
 from .engine_registry import register_engine
 from .kernels import CSRAdjacency, SlotKernel, resolve_kernel
+from .kernels.sinr_csr import SinrCsr, sinr_arbitrate
 from .message import Message, MessageSizePolicy
 from .network import SlotEngineBase
+from .sinr import SinrParams
 from .trace import EventTrace
 
 # Non-delivery receptions carry no message, so one frozen instance per
@@ -161,13 +163,25 @@ class FastRadioNetwork(SlotEngineBase):
         fault_seed: SeedLike = None,
         kernel: Union[None, str, SlotKernel] = None,
         dynamic: Optional[DynamicTopology] = None,
+        sinr: Optional[SinrParams] = None,
     ) -> None:
         super().__init__(graph, collision_model, size_policy, ledger, trace,
-                         faults=faults, fault_seed=fault_seed, dynamic=dynamic)
+                         faults=faults, fault_seed=fault_seed, dynamic=dynamic,
+                         sinr=sinr)
         self._topology = CompiledTopology(graph, kernel=kernel)
         self._index = self._topology.index
         # Per-slot message staging area, reused across slots.
         self._msg_buf: List[Optional[Message]] = [None] * self._topology.n
+        # Compiled per-edge gains for SINR arbitration (static topology;
+        # the base class rejects dynamic + SINR).
+        self._sinr_csr: Optional[SinrCsr] = (
+            SinrCsr.compile(
+                self._sinr_field, self._topology.adjacency,
+                self._topology.vertices,
+            )
+            if self._sinr_field is not None
+            else None
+        )
 
     def _apply_topology_patch(self, patch: TopologyPatch) -> None:
         """Apply one slot's edge diff as an incremental CSR row splice."""
@@ -202,6 +216,23 @@ class FastRadioNetwork(SlotEngineBase):
             for i, v in enumerate(vertices)
         }
 
+    def sinr_gain_snapshot(self) -> Optional[Dict[tuple, int]]:
+        """Live directed edge->gain table from the *compiled* CSR gains.
+
+        Reads the arrays the engine actually arbitrates with, so the
+        invariant checker sees any drift between them and a fresh
+        recomputation from the graph (see base class).
+        """
+        csr = self._sinr_csr
+        if csr is None:
+            return None
+        vertices = self._topology.vertices
+        table: Dict[tuple, int] = {}
+        for i, u in enumerate(vertices):
+            for k in range(int(csr.indptr[i]), int(csr.indptr[i + 1])):
+                table[(u, vertices[int(csr.indices[k])])] = int(csr.gains[k])
+        return table
+
     # ------------------------------------------------------------------
     def _transmitter_counts(
         self, tx_idx: np.ndarray
@@ -221,13 +252,17 @@ class FastRadioNetwork(SlotEngineBase):
         trace = self.trace
         index = self._index
         msg_buf = self._msg_buf
-        receiver_cd = self.collision_model is CollisionModel.RECEIVER_CD
-        silent = _SILENCE if receiver_cd else _NOTHING
-        noisy = _NOISE if receiver_cd else _NOTHING
+        sinr = self.sinr
+        # SINR feedback is CD-like: silence and noise are distinguishable.
+        has_cd = self.collision_model is not CollisionModel.NO_CD
+        silent = _SILENCE if has_cd else _NOTHING
+        noisy = _NOISE if has_cd else _NOTHING
         jam = self._jam_reception
 
         tx_idx: List[int] = []
+        tx_levels: List[int] = []
         tx_vertices: List[Hashable] = []
+        tx_costs: List[int] = []
         listen_idx: List[int] = []
         listen_vertices: List[Hashable] = []
         listen_devices: List[Device] = []
@@ -249,6 +284,7 @@ class FastRadioNetwork(SlotEngineBase):
                 if message is None:
                     raise SimulationError(f"device {vertex!r} transmitted no message")
                 self.size_policy.check(message)
+                level = self._transmit_level(device, action)
                 # Dropped transmitters are charged and traced like the
                 # reference engine, but never enter the channel math.
                 if plan is not None and vertex in plan.dropped:
@@ -256,34 +292,52 @@ class FastRadioNetwork(SlotEngineBase):
                 else:
                     i = index[vertex]
                     tx_idx.append(i)
+                    tx_levels.append(level)
                     msg_buf[i] = message
                 tx_vertices.append(vertex)
+                if sinr is None:
+                    detail = message.kind
+                else:
+                    tx_costs.append(sinr.power_costs[level])
+                    detail = f"{message.kind}/p{level}"
                 if trace is not None:
-                    trace.record(slot, "transmit", vertex, message.kind)
+                    trace.record(slot, "transmit", vertex, detail)
             else:  # LISTEN
                 listen_idx.append(index[vertex])
                 listen_vertices.append(vertex)
                 listen_devices.append(device)
                 listen_jammed.append(plan is not None and vertex in plan.jammed)
 
-        self.ledger.charge_slot_batch(tx_vertices, listen_vertices)
+        self.ledger.charge_slot_batch(
+            tx_vertices, listen_vertices,
+            transmit_costs=tx_costs if sinr is not None else None,
+        )
 
         if listen_idx:
             if tx_idx:
-                counts, codes = self._transmitter_counts(
-                    np.asarray(tx_idx, dtype=np.int64)
-                )
                 gather = np.asarray(listen_idx, dtype=np.int64)
+                if sinr is None:
+                    counts, codes = self._transmitter_counts(
+                        np.asarray(tx_idx, dtype=np.int64)
+                    )
+                    listen_deliver = (counts[gather] == 1).tolist()
+                else:
+                    counts, codes, deliver = sinr_arbitrate(
+                        self._sinr_csr,
+                        np.asarray(tx_idx, dtype=np.int64),
+                        np.asarray(tx_levels, dtype=np.int64),
+                    )
+                    listen_deliver = deliver[gather].tolist()
                 listen_counts = counts[gather].tolist()
                 listen_codes = codes[gather].tolist()
-                for vertex, device, c, code, jammed in zip(
+                for vertex, device, c, code, ok, jammed in zip(
                     listen_vertices, listen_devices, listen_counts,
-                    listen_codes, listen_jammed,
+                    listen_codes, listen_deliver, listen_jammed,
                 ):
                     if jammed:
                         counters.jammed += 1
                         device.receive(slot, jam)
-                    elif c == 1:
+                    elif ok:
                         message = msg_buf[code - 1]
                         counters.delivered += 1
                         device.receive(slot, Reception(Feedback.MESSAGE, message))

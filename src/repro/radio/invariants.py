@@ -11,9 +11,14 @@ once via :func:`register_invariant` and evaluated by an
   ``period`` slots — debug runs use ``period=1``, production sweeps a
   sparser sampling via ``ExecutionPolicy.invariant_sample``):
   ``ledger_monotone`` (per-device energy and the slot clock never
-  decrease) and ``alive_topology_agreement`` (the engine's live
+  decrease), ``alive_topology_agreement`` (the engine's live
   adjacency matches the declared topology — for dynamic runs, the
-  :class:`repro.radio.dynamic.DynamicTopology` authoritative state);
+  :class:`repro.radio.dynamic.DynamicTopology` authoritative state),
+  ``fault_counters_monotone`` (the fault/delivery tallies never roll
+  backwards — the signature of mis-ordered fault-vs-channel
+  composition), and ``sinr_gain_integrity`` (under the SINR collision
+  model, the engine's compiled fixed-point gain table stays equal to a
+  fresh :class:`repro.radio.sinr.SinrField` recompute);
 - **label invariants** run on every label observation the algorithm
   driver publishes (:meth:`InvariantMonitor.observe_labels`, wired
   into the Decay-BFS layer loop): ``labels_monotone`` (a settled BFS
@@ -239,6 +244,71 @@ def _alive_topology_agreement(
         )
     if not inactive <= set(expected):
         return "inactive set references vertices outside the topology"
+    return None
+
+
+@register_invariant("fault_counters_monotone")
+def _fault_counters_monotone(
+    monitor: InvariantMonitor, engine: Any
+) -> Optional[str]:
+    """Per-run fault/delivery tallies never decrease.
+
+    Catches mis-ordered fault application relative to channel
+    arbitration: every composition bug observed so far reclassifies
+    already-counted events (e.g. jammed slots re-counted as delivered),
+    which shows up as a counter rolling backwards between samples.
+    """
+    counters = getattr(engine, "fault_counters", None)
+    if counters is None:
+        return None
+    current = counters.as_dict()
+    prev = monitor.state.setdefault("fault_counters_monotone", {})
+    bad: Optional[str] = None
+    for name, value in current.items():
+        if value < prev.get(name, 0):
+            bad = (
+                f"fault counter {name!r} went backwards: "
+                f"{value} < {prev[name]}"
+            )
+    monitor.state["fault_counters_monotone"] = current
+    return bad
+
+
+@register_invariant("sinr_gain_integrity")
+def _sinr_gain_integrity(monitor: InvariantMonitor, engine: Any) -> Optional[str]:
+    """The engine's live SINR gain table matches a fresh recompute.
+
+    SINR runs are static-topology by construction, so the fixed-point
+    per-edge gains compiled at engine construction must stay equal to
+    ``SinrField(engine.graph, engine.sinr)`` for the whole run — any
+    drift means the compiled channel arithmetic (CSR gains, pathloss
+    rounding) has diverged from the declared physical layer.  A no-op
+    for binary-collision runs.
+    """
+    params = getattr(engine, "sinr", None)
+    snapshot_of = getattr(engine, "sinr_gain_snapshot", None)
+    if params is None or snapshot_of is None:
+        return None
+    expected = monitor.state.get("sinr_gain_integrity")
+    if expected is None:
+        # One fresh compile serves the whole run: the topology (and
+        # therefore the reference table) cannot change under SINR.
+        from .sinr import SinrField
+
+        expected = SinrField(engine.graph, params).gain_table()
+        monitor.state["sinr_gain_integrity"] = expected
+    snapshot = snapshot_of()
+    if snapshot != expected:
+        drifted = sorted(
+            edge for edge in expected if snapshot.get(edge) != expected[edge]
+        )
+        extra = sorted(set(snapshot) - set(expected))
+        culprit = drifted[0] if drifted else extra[0]
+        return (
+            f"compiled SINR gains drifted from the declared physical "
+            f"layer at {len(drifted) + len(extra)} directed edge(s) "
+            f"(e.g. {culprit!r})"
+        )
     return None
 
 

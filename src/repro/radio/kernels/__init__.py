@@ -39,6 +39,7 @@ from .megabatch import MegaBatchPlan
 from .numba_csr import NUMBA_KERNEL, NumbaKernel
 from .numpy_csr import NUMPY_KERNEL, NumpyKernel
 from .scipy_csr import SCIPY_KERNEL, ScipyKernel
+from .sinr_csr import SinrCsr, compile_sinr, sinr_arbitrate, sinr_arbitrate_many
 
 __all__ = [
     "CSRAdjacency",
@@ -49,10 +50,14 @@ __all__ = [
     "NumpyKernel",
     "SCIPY_KERNEL",
     "ScipyKernel",
+    "SinrCsr",
     "SlotKernel",
+    "compile_sinr",
     "default_kernel",
     "get_kernel",
     "kernel_names",
     "register_kernel",
     "resolve_kernel",
+    "sinr_arbitrate",
+    "sinr_arbitrate_many",
 ]

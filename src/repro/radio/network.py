@@ -51,6 +51,13 @@ from .engine_registry import register_engine
 from .energy import EnergyLedger
 from .faults import FaultCounters, FaultModel, FaultRuntime, SlotFaultPlan
 from .message import Message, MessageSizePolicy
+from .sinr import (
+    SinrField,
+    SinrParams,
+    coerce_sinr_params,
+    resolve_sinr,
+    transmit_level,
+)
 from .trace import EventTrace
 
 
@@ -73,13 +80,14 @@ def jam_reception_for(collision_model: CollisionModel) -> Reception:
     """The channel outcome a jammed listener perceives.
 
     Indistinguishable from a collision under the active collision model
-    (``NOISE`` with receiver-side CD, ``NOTHING`` without); shared by
-    every executor tier so jam semantics stay engine-independent.
+    (``NOISE`` with receiver-side CD or SINR, ``NOTHING`` without CD);
+    shared by every executor tier so jam semantics stay
+    engine-independent.
     """
     return Reception(
-        Feedback.NOISE
-        if collision_model is CollisionModel.RECEIVER_CD
-        else Feedback.NOTHING
+        Feedback.NOTHING
+        if collision_model is CollisionModel.NO_CD
+        else Feedback.NOISE
     )
 
 
@@ -162,6 +170,12 @@ class SlotEngineBase:
         the engine applies the runtime's :class:`~repro.radio.dynamic.TopologyPatch`
         (via the engine-specific :meth:`_apply_topology_patch`) and
         skips the inactive vertices exactly like crashed devices.
+    sinr:
+        Optional :class:`~repro.radio.sinr.SinrParams` (or preset name /
+        mapping).  Required context for ``CollisionModel.SINR`` (the
+        defaults apply when omitted) and rejected for the binary models.
+        SINR compiles a per-edge gain field for the construction
+        topology, so it composes with faults but not with ``dynamic``.
     """
 
     #: Engine-registry name; concrete engines override.
@@ -177,9 +191,18 @@ class SlotEngineBase:
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
         dynamic: Optional[DynamicTopology] = None,
+        sinr: Optional[SinrParams] = None,
     ) -> None:
         validate_topology(graph)
         self.graph = graph
+        if not isinstance(collision_model, CollisionModel):
+            try:
+                collision_model = CollisionModel(collision_model)
+            except ValueError:
+                raise ConfigurationError(
+                    f"unknown collision model {collision_model!r}; known: "
+                    f"{', '.join(m.value for m in CollisionModel)}"
+                ) from None
         self.collision_model = collision_model
         self.size_policy = size_policy or MessageSizePolicy.unbounded()
         self.ledger = ledger if ledger is not None else EnergyLedger()
@@ -198,6 +221,26 @@ class SlotEngineBase:
                 f"DynamicTopology.initial_graph())"
             )
         self._dynamic = dynamic
+        sinr_params = coerce_sinr_params(sinr)
+        if collision_model is CollisionModel.SINR:
+            if sinr_params is None:
+                sinr_params = SinrParams()
+            if dynamic is not None:
+                raise ConfigurationError(
+                    "the SINR collision model compiles per-edge gains for "
+                    "a static topology; dynamic membership is not supported"
+                )
+        elif sinr_params is not None:
+            raise ConfigurationError(
+                "sinr params require collision_model=CollisionModel.SINR, "
+                f"got {collision_model.value!r}"
+            )
+        #: Active :class:`~repro.radio.sinr.SinrParams` (``None`` for
+        #: the binary collision models).
+        self.sinr = sinr_params
+        self._sinr_field: Optional[SinrField] = (
+            SinrField(graph, sinr_params) if sinr_params is not None else None
+        )
         #: Optional :class:`repro.radio.invariants.InvariantMonitor`
         #: attached by the experiment layer; the shared slot loop calls
         #: its ``after_slot`` hook once per executed slot.
@@ -253,6 +296,30 @@ class SlotEngineBase:
         internal representation.
         """
         raise NotImplementedError
+
+    def sinr_gain_snapshot(self) -> Optional[Dict[tuple, int]]:
+        """The engine's *live* directed edge->gain table (``None`` when
+        the collision model is not SINR).
+
+        The invariant checker (``sinr_gain_integrity``) compares this
+        against a fresh recomputation from the graph and params, so it
+        must read whatever state the engine actually arbitrates with —
+        engines with a compiled representation override it.
+        """
+        if self._sinr_field is None:
+            return None
+        return self._sinr_field.gain_table()
+
+    def _transmit_level(self, device: Device, action) -> int:
+        """Resolve and validate a transmitter's discrete power level.
+
+        Per-action ``power`` wins over the device's standing
+        ``power_level``; binary collision models always use level 0
+        (the ladder does not exist for them).
+        """
+        if self.sinr is None:
+            return 0
+        return transmit_level(device, action, self.sinr)
 
     # ------------------------------------------------------------------
     def run(
@@ -336,9 +403,11 @@ class RadioNetwork(SlotEngineBase):
         faults: Optional[FaultModel] = None,
         fault_seed: SeedLike = None,
         dynamic: Optional[DynamicTopology] = None,
+        sinr: Optional[SinrParams] = None,
     ) -> None:
         super().__init__(graph, collision_model, size_policy, ledger, trace,
-                         faults=faults, fault_seed=fault_seed, dynamic=dynamic)
+                         faults=faults, fault_seed=fault_seed, dynamic=dynamic,
+                         sinr=sinr)
         self._adjacency: Dict[Hashable, List[Hashable]] = {
             v: list(graph.neighbors(v)) for v in graph.nodes
         }
@@ -362,6 +431,10 @@ class RadioNetwork(SlotEngineBase):
         plan = self._next_fault_plan()
         counters = self.fault_counters
         transmissions: Dict[Hashable, Message] = {}
+        # Under SINR: each live transmitter's power multiplier.
+        signals: Optional[Dict[Hashable, int]] = (
+            {} if self.sinr is not None else None
+        )
         listeners: List[Hashable] = []
 
         for vertex, device in devices.items():
@@ -377,15 +450,25 @@ class RadioNetwork(SlotEngineBase):
                 if message is None:
                     raise SimulationError(f"device {vertex!r} transmitted no message")
                 self.size_policy.check(message)
+                level = self._transmit_level(device, action)
                 # A dropped transmitter still spends the slot's energy —
                 # the device transmitted; the channel lost the message.
                 if plan is not None and vertex in plan.dropped:
                     counters.dropped += 1
                 else:
                     transmissions[vertex] = message
-                self.ledger.charge_transmit(vertex)
+                    if signals is not None:
+                        signals[vertex] = self.sinr.power_levels[level]
+                if self.sinr is None:
+                    self.ledger.charge_transmit(vertex)
+                    detail = message.kind
+                else:
+                    self.ledger.charge_transmit(
+                        vertex, self.sinr.power_costs[level]
+                    )
+                    detail = f"{message.kind}/p{level}"
                 if self.trace is not None:
-                    self.trace.record(self.slot, "transmit", vertex, message.kind)
+                    self.trace.record(self.slot, "transmit", vertex, detail)
             else:  # LISTEN
                 listeners.append(vertex)
                 self.ledger.charge_listen(vertex)
@@ -394,13 +477,21 @@ class RadioNetwork(SlotEngineBase):
             if plan is not None and vertex in plan.jammed:
                 counters.jammed += 1
                 reception = self._jam_reception
-            else:
+            elif self._sinr_field is None:
                 heard = [
                     transmissions[u]
                     for u in self._adjacency[vertex]
                     if u in transmissions
                 ]
                 reception = resolve(heard, self.collision_model)
+            else:
+                field = self._sinr_field
+                contributions = [
+                    (transmissions[u], field.gain(u, vertex) * signals[u])
+                    for u in self._adjacency[vertex]
+                    if u in transmissions
+                ]
+                reception = resolve_sinr(contributions, self.sinr)
             if reception.received:
                 counters.delivered += 1
             devices[vertex].receive(self.slot, reception)

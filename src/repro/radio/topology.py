@@ -29,6 +29,7 @@ import networkx as nx
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, make_rng
+from .sinr import GRID
 
 
 def _relabel(graph: nx.Graph) -> nx.Graph:
@@ -323,6 +324,77 @@ def star_of_paths(arms: int, arm_length: int) -> nx.Graph:
     return graph
 
 
+def poisson_cluster(n: int, seed: SeedLike = None,
+                    parents: Optional[int] = None,
+                    spread: int = 48) -> nx.Graph:
+    """Poisson-clustered sensor field on the SINR integer lattice.
+
+    The parent/daughter point process of the discrete-power-control
+    literature (see PAPERS.md): ``parents`` cluster centers fall
+    uniformly on the :data:`~repro.radio.sinr.GRID` lattice, every
+    device lands a Normal(0, ``spread``) integer offset from its
+    (uniformly chosen) parent, and devices connect within the smallest
+    disc radius that makes the field connected — the largest edge of a
+    Euclidean minimum spanning tree, so all ``n`` devices are kept and
+    connectivity holds by construction (no giant-component fallback).
+
+    Positions are generated *as lattice integers* and exposed through
+    the standard float ``pos`` attribute as exact multiples of
+    ``1/GRID``, so the SINR layer's quantization round-trips them
+    losslessly: the gain field this family induces is a pure function
+    of ``(n, seed)``.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if spread < 1:
+        raise ConfigurationError(f"spread must be >= 1, got {spread}")
+    k = parents if parents is not None else max(1, round(n / 8))
+    if k < 1:
+        raise ConfigurationError(f"parents must be >= 1, got {parents}")
+    rng = make_rng(seed)
+    px = rng.integers(0, GRID + 1, size=k)
+    py = rng.integers(0, GRID + 1, size=k)
+    assign = rng.integers(0, k, size=n)
+    dx = rng.normal(0.0, float(spread), size=n)
+    dy = rng.normal(0.0, float(spread), size=n)
+    xs = [
+        min(GRID, max(0, int(px[assign[i]]) + round(float(dx[i]))))
+        for i in range(n)
+    ]
+    ys = [
+        min(GRID, max(0, int(py[assign[i]]) + round(float(dy[i]))))
+        for i in range(n)
+    ]
+    # Prim's MST over squared lattice distances (exact ints); the
+    # largest tree edge becomes the squared connection radius.
+    infinity = 1 << 62
+    best = [infinity] * n
+    best[0] = 0
+    in_tree = [False] * n
+    radius2 = 0
+    for _ in range(n):
+        u = min(
+            (i for i in range(n) if not in_tree[i]), key=best.__getitem__
+        )
+        in_tree[u] = True
+        radius2 = max(radius2, best[u])
+        for v in range(n):
+            if not in_tree[v]:
+                d2 = (xs[u] - xs[v]) ** 2 + (ys[u] - ys[v]) ** 2
+                if d2 < best[v]:
+                    best[v] = d2
+    graph = nx.Graph()
+    for i in range(n):
+        graph.add_node(i, pos=(xs[i] / GRID, ys[i] / GRID))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d2 = (xs[i] - xs[j]) ** 2 + (ys[i] - ys[j]) ** 2
+            if d2 <= radius2:
+                graph.add_edge(i, j)
+    graph.graph["radius"] = math.sqrt(radius2) / GRID
+    return graph
+
+
 def power_law(n: int, m: int = 2, seed: SeedLike = None) -> nx.Graph:
     """Barabási–Albert preferential attachment — power-law degrees.
 
@@ -503,6 +575,15 @@ def _register_default_scenarios() -> None:
     register_scenario(
         "power_law", lambda n, seed=None: power_law(max(3, n), seed=seed),
         deterministic=False,
+    )
+    # The scenario adapter derives the point-process seed from ``n``
+    # itself, so the family is registered deterministic (same ``n`` ->
+    # same field) and therefore eligible for replica/mega batching —
+    # the regime the SINR differential grid sweeps.
+    register_scenario(
+        "poisson_cluster",
+        lambda n, seed=None: poisson_cluster(n, seed=n),
+        deterministic=True,
     )
 
 

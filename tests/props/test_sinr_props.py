@@ -1,0 +1,136 @@
+"""Property-based tests of the SINR arbitration algebra.
+
+Three laws the fixed-point design guarantees by construction, checked
+over randomized inputs:
+
+- **permutation invariance** — arbitration depends only on the *set* of
+  contributions (sums and maxima commute), never on transmitter order;
+- **threshold monotonicity** — raising the SINR threshold can only
+  destroy receptions, never create one (the winner is
+  threshold-independent; only its clearance test tightens);
+- **ledger replay** — a device's transmit energy is exactly the replay
+  of its trace events through the power-cost ladder: the ``kind/pN``
+  transmit details are a complete audit log of the charges.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio import (
+    Action,
+    Device,
+    EventTrace,
+    Feedback,
+    make_network,
+    message_of_ints,
+    topology,
+)
+from repro.radio.sinr import SinrParams, resolve_sinr
+
+#: (message, received_signal) contribution lists; signals span several
+#: orders of magnitude so both the argmax and the threshold test bite.
+_contributions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=1, max_value=10**9),
+    ),
+    max_size=8,
+).map(
+    lambda pairs: [
+        (message_of_ints(sender, i, kind="p"), signal)
+        for i, (sender, signal) in enumerate(pairs)
+    ]
+)
+
+_thresholds = st.integers(min_value=1, max_value=100_000)
+
+
+def _outcome(reception):
+    """Comparable essence of a reception: feedback + winning payload."""
+    payload = reception.message.payload if reception.message else None
+    return (reception.feedback, payload)
+
+
+class TestArbitrationAlgebra:
+    @given(contributions=_contributions, threshold=_thresholds,
+           data=st.data())
+    def test_permutation_invariant(self, contributions, threshold, data):
+        params = SinrParams(threshold_milli=threshold)
+        shuffled = data.draw(st.permutations(contributions))
+        assert _outcome(resolve_sinr(shuffled, params)) == _outcome(
+            resolve_sinr(contributions, params)
+        )
+
+    @given(contributions=_contributions, lo=_thresholds, hi=_thresholds)
+    def test_threshold_monotone(self, contributions, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        at_lo = resolve_sinr(contributions, SinrParams(threshold_milli=lo))
+        at_hi = resolve_sinr(contributions, SinrParams(threshold_milli=hi))
+        # Raising the threshold never *creates* a reception...
+        if at_hi.received:
+            assert at_lo.received
+            # ...and the winner is threshold-independent.
+            assert _outcome(at_hi) == _outcome(at_lo)
+
+    @given(contributions=_contributions, threshold=_thresholds)
+    def test_feedback_vocabulary(self, contributions, threshold):
+        r = resolve_sinr(contributions, SinrParams(threshold_milli=threshold))
+        if not contributions:
+            assert r.feedback is Feedback.SILENCE
+        else:
+            assert r.feedback in (Feedback.MESSAGE, Feedback.NOISE)
+        assert r.received == (r.feedback is Feedback.MESSAGE)
+
+
+class _PowerFuzzDevice(Device):
+    """Randomized device choosing a fresh power level every transmit."""
+
+    HORIZON = 12
+
+    def step(self, slot):
+        if slot >= self.HORIZON:
+            self.halted = True
+            return Action.idle()
+        roll = self.rng.random()
+        if roll < 0.4:
+            level = int(self.rng.integers(0, 3))
+            return Action.transmit(
+                message_of_ints(self.vertex, slot, kind="fuzz"), power=level
+            )
+        if roll < 0.8:
+            return Action.listen()
+        return Action.idle()
+
+    def receive(self, slot, reception):
+        pass
+
+
+class TestLedgerReplay:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           engine=st.sampled_from(["reference", "fast"]))
+    def test_transmit_charges_replay_from_trace(self, seed, engine):
+        params = SinrParams(power_levels=(1, 4, 16), power_costs=(1, 3, 9))
+        graph = topology.scenario("poisson_cluster", 12, seed=seed)
+        trace = EventTrace()
+        net = make_network(graph, engine=engine, collision_model="sinr",
+                           sinr=params, trace=trace)
+        devices = net.spawn_devices(_PowerFuzzDevice, seed=seed + 1)
+        net.run(devices, max_slots=_PowerFuzzDevice.HORIZON + 1)
+
+        replayed = {}
+        for event in trace.of_kind("transmit"):
+            kind, _, level = str(event.detail).partition("/p")
+            assert kind == "fuzz"
+            replayed[event.subject] = (
+                replayed.get(event.subject, 0) + params.power_costs[int(level)]
+            )
+        charged = {
+            v: e.transmit_slots
+            for v, e in net.ledger.devices().items()
+            if e.transmit_slots
+        }
+        assert replayed == charged

@@ -156,9 +156,14 @@ class TestV2RoundTrip:
 # Schema v1 (legacy, fault-model-free)
 # ---------------------------------------------------------------------------
 
+#: v1 predates both fault models and the SINR physical layer; only
+#: specs carrying neither can travel through the legacy shape.
+v1_specs = clean_specs.filter(lambda s: s.sinr is None)
+
+
 class TestV1RoundTrip:
     @settings(max_examples=80)
-    @given(spec=clean_specs)
+    @given(spec=v1_specs)
     def test_v1_shape_roundtrip_byte_identical(self, spec):
         doc = spec.to_dict(include_fault_model=False)
         assert "fault_model" not in doc
@@ -172,5 +177,11 @@ class TestV1RoundTrip:
     @settings(max_examples=40)
     @given(spec=specs.filter(lambda s: s.fault_model is not None))
     def test_faulty_spec_refuses_v1_shape(self, spec):
+        with pytest.raises(ConfigurationError, match="v1"):
+            spec.to_dict(include_fault_model=False)
+
+    @settings(max_examples=40)
+    @given(spec=clean_specs.filter(lambda s: s.sinr is not None))
+    def test_sinr_spec_refuses_v1_shape(self, spec):
         with pytest.raises(ConfigurationError, match="v1"):
             spec.to_dict(include_fault_model=False)

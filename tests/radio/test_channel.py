@@ -1,11 +1,39 @@
 """Tests for channel arbitration: the RN model's delivery rule."""
 
+import pytest
+
+from repro.errors import ConfigurationError
 from repro.radio import CollisionModel, Feedback, Message
 from repro.radio.channel import resolve
 
 
 def _msg(sender):
     return Message(sender=sender, payload="m", bits=1)
+
+
+class TestCollisionModelEnum:
+    """Every model variant is enumerated, named, and routed somewhere.
+
+    These tests iterate :class:`CollisionModel` itself (not a
+    hand-copied tuple), so adding a variant without wiring it through
+    channel arbitration — or without covering it in the differential
+    fault grid — fails here rather than silently passing.
+    """
+
+    def test_every_variant_has_a_resolution_path(self):
+        for model in CollisionModel:
+            if model is CollisionModel.SINR:
+                # Binary arbitration cannot express signal strengths:
+                # SINR slots must route through resolve_sinr instead.
+                with pytest.raises(ConfigurationError):
+                    resolve([_msg(1)], model)
+            else:
+                assert resolve([_msg(1)], model).received
+
+    def test_values_are_the_spec_vocabulary(self):
+        assert {m.value for m in CollisionModel} == {
+            "no_cd", "receiver_cd", "sinr"
+        }
 
 
 class TestNoCD:

@@ -36,8 +36,17 @@ ENGINE_NAMES = ("reference", "fast")
 FAULT_MODELS = tuple(sorted(name for name in named_fault_models() if name != "none"))
 #: >= 3 topology families: sparse/large-D, hub-heavy, expander, heavy-tail.
 FAMILIES = ("path", "star_of_paths", "expander", "power_law")
-MODELS = (CollisionModel.NO_CD, CollisionModel.RECEIVER_CD)
+#: EVERY registered collision model — enumerated from the enum itself,
+#: so a new variant lands in this differential grid automatically (and
+#: ``test_grid_covers_every_collision_model`` makes the coverage claim
+#: explicit).
+MODELS = tuple(CollisionModel)
 SEEDS = (0, 1)
+
+
+def test_grid_covers_every_collision_model():
+    """No collision model ships without riding the fault grid."""
+    assert set(MODELS) == set(CollisionModel)
 
 
 class _FuzzDevice(Device):

@@ -24,9 +24,11 @@ from repro.radio.invariants import (
 
 BUILTINS = (
     "alive_topology_agreement",
+    "fault_counters_monotone",
     "frontier_valid",
     "labels_monotone",
     "ledger_monotone",
+    "sinr_gain_integrity",
 )
 
 

@@ -62,6 +62,16 @@ def test_bench_backend_smoke():
     assert {"batched_s", "mega_s", "speedup", "cells"} <= set(row)
 
 
+def test_bench_sinr_smoke():
+    module = _load("bench_sinr")
+    row = module.smoke(sizes=(8, 10), seeds=1)
+    assert row["preset"] == "default"
+    assert row["cells"] == 4
+    # Byte-identity is asserted inside smoke(); here pin the row shape
+    # the committed BENCH_sinr.json relies on.
+    assert {"preset", "serial_s", "mega_s", "speedup", "cells"} <= set(row)
+
+
 def test_bench_diameter_approx_smoke():
     module = _load("bench_diameter_approx")
     two, th = module.smoke()
